@@ -1,0 +1,284 @@
+//! An external kd-tree (k-d-B-tree style, bulk-loaded).
+//!
+//! The classic spatial index adapted to halfplane queries: internal nodes
+//! split by coordinate medians (cycling axes), leaves hold one block of
+//! points, and a query recurses into every node whose bounding box the
+//! query line crosses. Average-case good; on the paper's diagonal input
+//! every leaf box straddles a near-diagonal query line, so queries take
+//! Ω(n) IOs no matter how small the output — the motivation for Section 3.
+
+use lcrs_extmem::{Device, Record, VecFile};
+
+use crate::BaselineStats;
+
+#[derive(Debug, Clone, Copy)]
+struct KdNode {
+    lo: [i64; 2],
+    hi: [i64; 2],
+    /// Children (left, right); both 0 ⇒ leaf (node 0 is the root, never a
+    /// child).
+    left: u32,
+    right: u32,
+    pts_off: u64,
+    pts_len: u64,
+}
+
+impl Record for KdNode {
+    const SIZE: usize = 32 + 8 + 16;
+    fn store(&self, buf: &mut [u8]) {
+        self.lo.store(buf);
+        self.hi.store(&mut buf[16..]);
+        self.left.store(&mut buf[32..]);
+        self.right.store(&mut buf[36..]);
+        self.pts_off.store(&mut buf[40..]);
+        self.pts_len.store(&mut buf[48..]);
+    }
+    fn load(buf: &[u8]) -> Self {
+        KdNode {
+            lo: <[i64; 2]>::load(buf),
+            hi: <[i64; 2]>::load(&buf[16..]),
+            left: u32::load(&buf[32..]),
+            right: u32::load(&buf[36..]),
+            pts_off: u64::load(&buf[40..]),
+            pts_len: u64::load(&buf[48..]),
+        }
+    }
+}
+
+type PtRec = ([i64; 2], u32);
+
+/// Bulk-loaded external kd-tree over 2D points.
+pub struct ExternalKdTree {
+    dev: Device,
+    nodes: VecFile<KdNode>,
+    points: VecFile<PtRec>,
+    n: usize,
+    pages_at_build_end: u64,
+}
+
+impl ExternalKdTree {
+    pub fn build(dev: &Device, points: &[(i64, i64)]) -> ExternalKdTree {
+        let leaf_cap = dev.records_per_page(<PtRec as Record>::SIZE).max(1);
+        let mut items: Vec<PtRec> =
+            points.iter().enumerate().map(|(i, &(x, y))| ([x, y], i as u32)).collect();
+        let mut nodes: Vec<KdNode> = Vec::new();
+        let mut dfs: Vec<PtRec> = Vec::with_capacity(items.len());
+
+        fn bbox(items: &[PtRec]) -> ([i64; 2], [i64; 2]) {
+            let mut lo = items[0].0;
+            let mut hi = items[0].0;
+            for (c, _) in &items[1..] {
+                for i in 0..2 {
+                    lo[i] = lo[i].min(c[i]);
+                    hi[i] = hi[i].max(c[i]);
+                }
+            }
+            (lo, hi)
+        }
+
+        fn rec(
+            items: &mut [PtRec],
+            ni: usize,
+            axis: usize,
+            nodes: &mut Vec<KdNode>,
+            dfs: &mut Vec<PtRec>,
+            leaf_cap: usize,
+        ) {
+            let (lo, hi) = bbox(items);
+            if items.len() <= leaf_cap {
+                nodes[ni] = KdNode {
+                    lo,
+                    hi,
+                    left: 0,
+                    right: 0,
+                    pts_off: dfs.len() as u64,
+                    pts_len: items.len() as u64,
+                };
+                dfs.extend_from_slice(items);
+                return;
+            }
+            let mid = items.len() / 2;
+            items.select_nth_unstable_by_key(mid, |(c, id)| (c[axis], *id));
+            let li = nodes.len();
+            nodes.push(Default::default());
+            nodes.push(Default::default());
+            let (l, r) = items.split_at_mut(mid);
+            rec(l, li, (axis + 1) % 2, nodes, dfs, leaf_cap);
+            rec(r, li + 1, (axis + 1) % 2, nodes, dfs, leaf_cap);
+            nodes[ni] = KdNode {
+                lo,
+                hi,
+                left: li as u32,
+                right: li as u32 + 1,
+                pts_off: 0,
+                pts_len: 0,
+            };
+        }
+
+        if !items.is_empty() {
+            nodes.push(Default::default());
+            rec(&mut items, 0, 0, &mut nodes, &mut dfs, leaf_cap);
+        }
+        ExternalKdTree {
+            dev: dev.clone(),
+            nodes: VecFile::from_slice(dev, &nodes),
+            points: VecFile::from_slice(dev, &dfs),
+            n: points.len(),
+            pages_at_build_end: dev.pages_allocated(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn pages(&self) -> u64 {
+        self.pages_at_build_end
+    }
+
+    /// Report points strictly below `y = m·x + c` (`inclusive` adds
+    /// on-line points).
+    pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u32>, BaselineStats) {
+        let before = self.dev.stats();
+        let mut stats = BaselineStats::default();
+        let mut out = Vec::new();
+        if self.n > 0 {
+            self.visit(0, m, c, inclusive, &mut stats, &mut out);
+        }
+        stats.reported = out.len();
+        stats.ios = self.dev.stats().since(before).total();
+        (out, stats)
+    }
+
+    /// (min, max) of y - m·x - c over the box corners.
+    fn slack_range(node: &KdNode, m: i64, c: i64) -> (i128, i128) {
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for &x in &[node.lo[0], node.hi[0]] {
+            for &y in &[node.lo[1], node.hi[1]] {
+                let s = y as i128 - m as i128 * x as i128 - c as i128;
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+        }
+        (lo, hi)
+    }
+
+    fn visit(
+        &self,
+        ni: usize,
+        m: i64,
+        c: i64,
+        inclusive: bool,
+        stats: &mut BaselineStats,
+        out: &mut Vec<u32>,
+    ) {
+        let node = self.nodes.get(ni);
+        stats.nodes_visited += 1;
+        let (lo, hi) = Self::slack_range(&node, m, c);
+        // Point below line ⟺ slack y - mx - c < 0 (<= when inclusive).
+        let all_below = if inclusive { hi <= 0 } else { hi < 0 };
+        let none_below = if inclusive { lo > 0 } else { lo >= 0 };
+        if none_below {
+            return;
+        }
+        if node.left == 0 && node.right == 0 {
+            // Leaf: scan the block.
+            let mut buf: Vec<PtRec> = Vec::with_capacity(node.pts_len as usize);
+            self.points
+                .read_range(node.pts_off as usize..(node.pts_off + node.pts_len) as usize, &mut buf);
+            for ([x, y], id) in buf {
+                let s = y as i128 - m as i128 * x as i128 - c as i128;
+                let hit = if inclusive { s <= 0 } else { s < 0 };
+                if hit {
+                    out.push(id);
+                }
+            }
+            return;
+        }
+        let _ = all_below; // kd-trees lack DFS-contiguous subtree ranges...
+        // (this implementation has them, but the classic index walks the
+        // subtree; we keep the classic behavior for a faithful baseline)
+        self.visit(node.left as usize, m, c, inclusive, stats, out);
+        self.visit(node.right as usize, m, c, inclusive, stats, out);
+    }
+}
+
+impl Default for KdNode {
+    fn default() -> Self {
+        KdNode { lo: [0; 2], hi: [0; 2], left: 0, right: 0, pts_off: 0, pts_len: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrs_extmem::DeviceConfig;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<(i64, i64)> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i64).rem_euclid(200_001) - 100_000
+        };
+        (0..n).map(|_| (next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts = pseudo(800, 3);
+        let t = ExternalKdTree::build(&dev, &pts);
+        for (m, c) in [(0, 0), (3, 5000), (-7, -20_000), (100, 0)] {
+            for inclusive in [false, true] {
+                let (mut got, _) = t.query_below(m, c, inclusive);
+                got.sort_unstable();
+                let want: Vec<u32> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(x, y))| {
+                        let rhs = m as i128 * x as i128 + c as i128;
+                        if inclusive {
+                            y as i128 <= rhs
+                        } else {
+                            (y as i128) < rhs
+                        }
+                    })
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(got, want, "m={m} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_degrades_to_linear_ios() {
+        // The Section 1.2 lower-bound instance: every leaf box straddles a
+        // near-diagonal line, so even an empty-output query visits Ω(n)
+        // nodes.
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts: Vec<(i64, i64)> = (0..4096).map(|i| (i, i)).collect();
+        let t = ExternalKdTree::build(&dev, &pts);
+        let (got, st) = t.query_below(1, 0, false); // y < x: empty
+        assert!(got.is_empty());
+        let n_leaves = 4096 / dev.records_per_page(20);
+        assert!(
+            st.nodes_visited >= n_leaves,
+            "expected Ω(n) visits, got {} (leaves {n_leaves})",
+            st.nodes_visited
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let t = ExternalKdTree::build(&dev, &[]);
+        assert!(t.query_below(1, 1, true).0.is_empty());
+        let t1 = ExternalKdTree::build(&dev, &[(5, 5)]);
+        assert_eq!(t1.query_below(0, 10, false).0, vec![0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # lcrs-baselines — external-memory baselines for halfspace reporting
+//!
+//! The comparison structures of the paper's Section 1.2: a naive scan
+//! (always Θ(n) IOs), an external kd-tree (k-d-B style — good average-case
+//! performance, Ω(n) worst case on the diagonal adversarial input), and an
+//! STR bulk-loaded R-tree (the classic spatial-database index, with the same
+//! failure mode). All report exactly the points strictly below (or on) a
+//! query line, so they are interchangeable with `lcrs_halfspace::HalfspaceRS2`
+//! in the benchmark harness.
+
+pub mod kdtree;
+pub mod rtree;
+pub mod scan;
+
+pub use kdtree::ExternalKdTree;
+pub use rtree::StrRTree;
+pub use scan::ExternalScan;
+
+/// Statistics shared by the baselines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineStats {
+    pub ios: u64,
+    pub nodes_visited: usize,
+    pub reported: usize,
+}

@@ -1,0 +1,79 @@
+//! The trivial baseline: points in a flat file, every query scans it.
+
+use lcrs_extmem::{Device, VecFile};
+
+use crate::BaselineStats;
+
+/// Linear scan baseline: optimal space, Θ(n) IOs per query.
+pub struct ExternalScan {
+    dev: Device,
+    points: VecFile<(i64, i64, u32)>,
+    pages_at_build_end: u64,
+}
+
+impl ExternalScan {
+    pub fn build(dev: &Device, points: &[(i64, i64)]) -> ExternalScan {
+        let recs: Vec<(i64, i64, u32)> =
+            points.iter().enumerate().map(|(i, &(x, y))| (x, y, i as u32)).collect();
+        ExternalScan {
+            dev: dev.clone(),
+            points: VecFile::from_slice(dev, &recs),
+            pages_at_build_end: dev.pages_allocated(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn pages(&self) -> u64 {
+        self.pages_at_build_end
+    }
+
+    /// Report points strictly below `y = m·x + c` (`inclusive` adds
+    /// on-line points).
+    pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u32>, BaselineStats) {
+        let before = self.dev.stats();
+        let mut out = Vec::new();
+        self.points.scan_while(|_, (x, y, id)| {
+            let rhs = m as i128 * x as i128 + c as i128;
+            let hit = if inclusive { y as i128 <= rhs } else { (y as i128) < rhs };
+            if hit {
+                out.push(id);
+            }
+            true
+        });
+        let stats = BaselineStats {
+            ios: self.dev.stats().since(before).total(),
+            nodes_visited: self.points.pages(),
+            reported: out.len(),
+        };
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrs_extmem::DeviceConfig;
+
+    #[test]
+    fn scan_reports_exactly_and_costs_n() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts: Vec<(i64, i64)> = (0..500).map(|i| (i, (i * 7) % 500)).collect();
+        let s = ExternalScan::build(&dev, &pts);
+        let (got, st) = s.query_below(1, 0, false);
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| y < x)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(st.ios as usize, s.points.pages());
+    }
+}

@@ -1,0 +1,50 @@
+//! EXP-CLUSTER — Section 3.1/3.2 (Lemma 3.2, Figs. 3-4 analogue):
+//! structural quality of the greedy 3k-clustering.
+//!
+//! Measured: cluster count vs the N/k bound, maximum cluster size vs 3k,
+//! duplication factor (Σ|C_i| / |L_i| — the overhead of lines appearing in
+//! several clusters), and per-cluster line retirement.
+
+use lcrs_bench::print_table;
+use lcrs_geom::line2::Line2;
+use lcrs_halfspace::hs2d::cluster::greedy_clustering;
+use lcrs_workloads::{points2, Dist2};
+
+fn dual_lines(dist: Dist2, n: usize, seed: u64) -> Vec<Line2> {
+    let pts = points2(dist, n + 16, 1 << 29, seed);
+    let mut ls: Vec<Line2> = pts.iter().map(|&(x, y)| Line2::new(-x, y)).collect();
+    ls.sort_by_key(|l| (l.m, l.b));
+    ls.dedup();
+    ls.truncate(n);
+    ls
+}
+
+fn main() {
+    println!("# EXP-CLUSTER: greedy 3k-clustering quality (Lemma 3.2)");
+    let mut rows = Vec::new();
+    for dist in [Dist2::Uniform, Dist2::Gaussianish, Dist2::Circle] {
+        for (n, k) in [(2048usize, 32usize), (2048, 128), (8192, 128)] {
+            let lines = dual_lines(dist, n, (n + k) as u64);
+            let ids: Vec<u32> = (0..lines.len() as u32).collect();
+            let c = greedy_clustering(&lines, &ids, k, 3);
+            let total: usize = c.clusters.iter().map(|x| x.len()).sum();
+            let maxc = c.clusters.iter().map(|x| x.len()).max().unwrap();
+            rows.push(vec![
+                format!("{dist:?}"),
+                format!("{n}"),
+                format!("{k}"),
+                format!("{}", c.clusters.len()),
+                format!("{}", n / k),
+                format!("{maxc}"),
+                format!("{}", 3 * k),
+                format!("{:.2}", total as f64 / c.covered.len() as f64),
+                format!("{}", c.level_vertices),
+            ]);
+        }
+    }
+    print_table(
+        "clusterings of the k-level (paper: ≤ N/k clusters of ≤ 3k lines; duplication O(1))",
+        &["dist", "N", "k", "clusters", "N/k bound", "max |C|", "3k bound", "dup factor", "level vtx"],
+        &rows,
+    );
+}

@@ -1,0 +1,63 @@
+//! EXP-CONSTR — construction cost of every structure (Sections 3.2, 4.1,
+//! 5): wall time and write IOs vs N. The paper's bounds are
+//! O(N log₂N·log_B n) expected (2D), O(n log₂n·log_B n) (3D) and
+//! O(N log₂ N) (partition trees).
+
+use lcrs_bench::{print_table, time_it};
+use lcrs_extmem::{Device, DeviceConfig};
+use lcrs_geom::point::PointD;
+use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs_halfspace::hs3d::{HalfspaceRS3, Hs3dConfig};
+use lcrs_halfspace::ptree::{PTreeConfig, PartitionTree};
+use lcrs_workloads::{points2, points3, Dist2, Dist3};
+
+fn main() {
+    let page = 4096usize;
+    println!("# EXP-CONSTR: construction cost, page={page}B");
+    let mut rows = Vec::new();
+    for e in [13usize, 14, 15, 16] {
+        let n_pts = 1usize << e;
+        {
+            let pts = points2(Dist2::Uniform, n_pts, 1 << 29, e as u64);
+            let dev = Device::new(DeviceConfig::new(page, 0));
+            let (hs, secs) = time_it(|| HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default()));
+            rows.push(vec![
+                "hs2d".into(),
+                format!("{n_pts}"),
+                format!("{:.2}", secs),
+                format!("{}", dev.stats().writes),
+                format!("{}", hs.pages()),
+            ]);
+        }
+        {
+            let pts = points3(Dist3::Uniform, n_pts, 1 << 19, e as u64);
+            let dev = Device::new(DeviceConfig::new(page, 0));
+            let (hs, secs) = time_it(|| HalfspaceRS3::build(&dev, &pts, Hs3dConfig::default()));
+            rows.push(vec![
+                "hs3d".into(),
+                format!("{n_pts}"),
+                format!("{:.2}", secs),
+                format!("{}", dev.stats().writes),
+                format!("{}", hs.pages()),
+            ]);
+        }
+        {
+            let pts = points2(Dist2::Uniform, n_pts, 1 << 29, e as u64);
+            let ptpts: Vec<PointD<2>> = pts.iter().map(|&(x, y)| PointD::new([x, y])).collect();
+            let dev = Device::new(DeviceConfig::new(page, 0));
+            let (t, secs) = time_it(|| PartitionTree::build(&dev, &ptpts, PTreeConfig::default()));
+            rows.push(vec![
+                "ptree-2d".into(),
+                format!("{n_pts}"),
+                format!("{:.2}", secs),
+                format!("{}", dev.stats().writes),
+                format!("{}", t.pages()),
+            ]);
+        }
+    }
+    print_table(
+        "construction wall time, write IOs and final size",
+        &["structure", "N", "seconds", "write IOs", "pages"],
+        &rows,
+    );
+}

@@ -1,0 +1,74 @@
+//! EXP-LEVELS — Section 2.3 / Lemma 2.2 (quantitative analogue of Fig. 2):
+//! measured k-level complexity of line arrangements.
+//!
+//! Checks: (a) the k-level vertex count stays below Dey's O(N·(k+1)^{1/3})
+//! bound; (b) the *expected* complexity of a random level in [β, 2β] is
+//! O(N) (Lemma 2.2 with d=2), the fact the 2D construction relies on.
+
+use lcrs_bench::{mean, print_table};
+use lcrs_geom::level::level_vertices;
+use lcrs_geom::line2::Line2;
+use lcrs_workloads::{points2, Dist2};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dual_lines(n: usize, seed: u64) -> Vec<Line2> {
+    // Dual lines of uniform points; dedup slopes collisions are fine (the
+    // generator returns distinct points whp, dedup to be safe).
+    let pts = points2(Dist2::Uniform, n + 16, 1 << 29, seed);
+    let mut ls: Vec<Line2> = pts.iter().map(|&(x, y)| Line2::new(-x, y)).collect();
+    ls.sort_by_key(|l| (l.m, l.b));
+    ls.dedup();
+    ls.truncate(n);
+    ls
+}
+
+fn main() {
+    println!("# EXP-LEVELS: k-level complexity (Lemma 2.2, Dey's bound)");
+    let mut rows = Vec::new();
+    for n in [256usize, 512, 1024, 2048] {
+        let lines = dual_lines(n, n as u64);
+        let ids: Vec<u32> = (0..lines.len() as u32).collect();
+        for k in [1usize, (n as f64).sqrt() as usize, n / 2] {
+            let v = level_vertices(&lines, &ids, k).len();
+            let dey = n as f64 * ((k + 1) as f64).powf(1.0 / 3.0);
+            rows.push(vec![
+                format!("{n}"),
+                format!("{k}"),
+                format!("{v}"),
+                format!("{:.2}", v as f64 / n as f64),
+                format!("{:.3}", v as f64 / dey),
+            ]);
+        }
+    }
+    print_table(
+        "k-level vertex counts (paper: O(N·k^{1/3}) worst case — ratio must stay < 1)",
+        &["N", "k", "vertices", "vertices/N", "vs Dey bound"],
+        &rows,
+    );
+
+    // Random level in [β, 2β]: expected complexity O(N).
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    for n in [512usize, 1024, 2048] {
+        let beta = 64usize;
+        let lines = dual_lines(n, 3 * n as u64);
+        let ids: Vec<u32> = (0..lines.len() as u32).collect();
+        let mut sizes = Vec::new();
+        for _ in 0..8 {
+            let k = rng.gen_range(beta..=2 * beta);
+            sizes.push(level_vertices(&lines, &ids, k).len() as f64);
+        }
+        rows.push(vec![
+            format!("{n}"),
+            format!("[{beta},{}]", 2 * beta),
+            format!("{:.0}", mean(&sizes)),
+            format!("{:.2}", mean(&sizes) / n as f64),
+        ]);
+    }
+    print_table(
+        "expected complexity of a random level in [β,2β] (Lemma 2.2: O(N) for d=2)",
+        &["N", "level range", "avg vertices", "avg/N"],
+        &rows,
+    );
+}

@@ -1,0 +1,254 @@
+//! The simulated disk.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::stats::IoStats;
+
+/// Identifier of a disk page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Configuration of a [`Device`].
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceConfig {
+    /// Page size in bytes; `B` for a record type is `page_bytes / SIZE`.
+    pub page_bytes: usize,
+    /// Number of pages the internal-memory cache may hold (the `M/B` of the
+    /// external-memory model). `0` disables caching, so *every* page access
+    /// counts as an IO — the setting used for query measurements.
+    pub cache_pages: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig { page_bytes: 4096, cache_pages: 0 }
+    }
+}
+
+impl DeviceConfig {
+    /// Convenience constructor.
+    pub fn new(page_bytes: usize, cache_pages: usize) -> Self {
+        DeviceConfig { page_bytes, cache_pages }
+    }
+}
+
+struct CacheEntry {
+    /// Tick of last use, for LRU eviction.
+    last_used: u64,
+}
+
+struct DeviceInner {
+    cfg: DeviceConfig,
+    pages: Vec<Box<[u8]>>,
+    stats: IoStats,
+    /// Clean LRU cache: pages are write-through, so eviction never writes.
+    cache: HashMap<PageId, CacheEntry>,
+    tick: u64,
+}
+
+impl DeviceInner {
+    fn touch(&mut self, id: PageId) {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.cfg.cache_pages == 0 {
+            return;
+        }
+        if let Some(e) = self.cache.get_mut(&id) {
+            e.last_used = tick;
+            return;
+        }
+        if self.cache.len() >= self.cfg.cache_pages {
+            // Evict the least recently used page. Linear scan is fine: the
+            // cache is internal memory, not part of the IO cost model, and
+            // cache sizes in the experiments are small.
+            if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, e)| e.last_used) {
+                self.cache.remove(&victim);
+            }
+        }
+        self.cache.insert(id, CacheEntry { last_used: tick });
+    }
+
+    fn account_read(&mut self, id: PageId) {
+        if self.cfg.cache_pages > 0 && self.cache.contains_key(&id) {
+            self.stats.cache_hits += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.touch(id);
+    }
+
+    fn account_write(&mut self, id: PageId) {
+        self.stats.writes += 1;
+        self.touch(id);
+    }
+}
+
+/// A simulated disk with IO accounting.
+///
+/// Cheap to clone (shared handle). Single-threaded by design: the whole
+/// benchmark suite measures IO counts, not wall-clock parallelism.
+#[derive(Clone)]
+pub struct Device {
+    inner: Rc<RefCell<DeviceInner>>,
+}
+
+impl Device {
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Device {
+            inner: Rc::new(RefCell::new(DeviceInner {
+                cfg,
+                pages: Vec::new(),
+                stats: IoStats::default(),
+                cache: HashMap::new(),
+                tick: 0,
+            })),
+        }
+    }
+
+    /// A device with default page size and no cache.
+    pub fn default_device() -> Self {
+        Device::new(DeviceConfig::default())
+    }
+
+    pub fn config(&self) -> DeviceConfig {
+        self.inner.borrow().cfg
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.inner.borrow().cfg.page_bytes
+    }
+
+    /// Records of `size` bytes that fit in one page (the model's `B`).
+    pub fn records_per_page(&self, size: usize) -> usize {
+        assert!(size > 0 && size <= self.page_bytes(), "record size {size} vs page");
+        self.page_bytes() / size
+    }
+
+    /// Allocate `count` fresh zeroed pages with consecutive ids; returns the
+    /// first id. Allocation itself is free (it models formatting, not IO).
+    pub fn alloc_pages(&self, count: usize) -> PageId {
+        let mut inner = self.inner.borrow_mut();
+        let first = inner.pages.len() as u64;
+        let page_bytes = inner.cfg.page_bytes;
+        for _ in 0..count {
+            inner.pages.push(vec![0u8; page_bytes].into_boxed_slice());
+        }
+        PageId(first)
+    }
+
+    /// Number of pages allocated so far (a space measure in blocks).
+    pub fn pages_allocated(&self) -> u64 {
+        self.inner.borrow().pages.len() as u64
+    }
+
+    /// Read a page, paying one IO unless cached.
+    pub fn read_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
+        let mut inner = self.inner.borrow_mut();
+        assert!((id.0 as usize) < inner.pages.len(), "read of unallocated page {id:?}");
+        inner.account_read(id);
+        f(&inner.pages[id.0 as usize])
+    }
+
+    /// Overwrite a page (write-through), paying one write IO.
+    pub fn write_page(&self, id: PageId, f: impl FnOnce(&mut [u8])) {
+        let mut inner = self.inner.borrow_mut();
+        assert!((id.0 as usize) < inner.pages.len(), "write of unallocated page {id:?}");
+        inner.account_write(id);
+        f(&mut inner.pages[id.0 as usize])
+    }
+
+    /// Read-modify-write: one read IO (unless cached) plus one write IO.
+    pub fn update_page<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut inner = self.inner.borrow_mut();
+        assert!((id.0 as usize) < inner.pages.len(), "update of unallocated page {id:?}");
+        inner.account_read(id);
+        inner.account_write(id);
+        f(&mut inner.pages[id.0 as usize])
+    }
+
+    pub fn stats(&self) -> IoStats {
+        self.inner.borrow().stats
+    }
+
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().stats = IoStats::default();
+    }
+
+    /// Drop all cached pages (so the next accesses pay IOs) without touching
+    /// the counters. Used to measure cold-cache queries.
+    pub fn clear_cache(&self) {
+        self.inner.borrow_mut().cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_accounting_no_cache() {
+        let dev = Device::new(DeviceConfig::new(128, 0));
+        let p = dev.alloc_pages(2);
+        dev.write_page(p, |b| b[0] = 7);
+        let v = dev.read_page(p, |b| b[0]);
+        assert_eq!(v, 7);
+        let s = dev.stats();
+        assert_eq!((s.reads, s.writes, s.cache_hits), (1, 1, 0));
+    }
+
+    #[test]
+    fn consecutive_alloc_ids() {
+        let dev = Device::default_device();
+        let a = dev.alloc_pages(3);
+        let b = dev.alloc_pages(1);
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(3));
+        assert_eq!(dev.pages_allocated(), 4);
+    }
+
+    #[test]
+    fn cache_absorbs_repeat_reads() {
+        let dev = Device::new(DeviceConfig::new(128, 2));
+        let p = dev.alloc_pages(3);
+        let ids = [PageId(p.0), PageId(p.0 + 1), PageId(p.0 + 2)];
+        dev.reset_stats();
+        dev.read_page(ids[0], |_| ());
+        dev.read_page(ids[0], |_| ());
+        assert_eq!(dev.stats().reads, 1);
+        assert_eq!(dev.stats().cache_hits, 1);
+        // Fill beyond capacity: 0 is evicted as LRU after 1,2 are touched.
+        dev.read_page(ids[1], |_| ());
+        dev.read_page(ids[2], |_| ());
+        dev.read_page(ids[0], |_| ());
+        assert_eq!(dev.stats().reads, 4);
+    }
+
+    #[test]
+    fn clear_cache_forces_io() {
+        let dev = Device::new(DeviceConfig::new(128, 4));
+        let p = dev.alloc_pages(1);
+        dev.read_page(p, |_| ());
+        dev.clear_cache();
+        dev.read_page(p, |_| ());
+        assert_eq!(dev.stats().reads, 2);
+    }
+
+    #[test]
+    fn update_counts_read_and_write() {
+        let dev = Device::default_device();
+        let p = dev.alloc_pages(1);
+        dev.update_page(p, |b| b[1] = 9);
+        let s = dev.stats();
+        assert_eq!((s.reads, s.writes), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn read_unallocated_panics() {
+        let dev = Device::default_device();
+        dev.read_page(PageId(0), |_| ());
+    }
+}

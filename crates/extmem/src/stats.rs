@@ -1,0 +1,58 @@
+//! IO accounting.
+
+/// Cumulative IO counters of a [`crate::Device`].
+///
+/// `reads`/`writes` count page transfers that actually hit the simulated
+/// disk; `cache_hits` counts page accesses absorbed by the internal-memory
+/// cache (free in the external-memory model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub cache_hits: u64,
+}
+
+impl IoStats {
+    /// Total IOs (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Counter difference `self - earlier`, for scoped measurement.
+    pub fn since(&self, earlier: IoStats) -> IoDelta {
+        IoDelta {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+        }
+    }
+}
+
+/// IOs spent between two [`IoStats`] snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoDelta {
+    pub reads: u64,
+    pub writes: u64,
+    pub cache_hits: u64,
+}
+
+impl IoDelta {
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let a = IoStats { reads: 10, writes: 4, cache_hits: 7 };
+        let b = IoStats { reads: 25, writes: 9, cache_hits: 7 };
+        let d = b.since(a);
+        assert_eq!(d, IoDelta { reads: 15, writes: 5, cache_hits: 0 });
+        assert_eq!(d.total(), 20);
+        assert_eq!(b.total(), 34);
+    }
+}

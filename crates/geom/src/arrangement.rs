@@ -1,0 +1,148 @@
+//! Brute-force arrangement utilities — the test oracle for the level walk.
+//!
+//! [`naive_level_carriers`] reconstructs the k-level of an arrangement the
+//! slow, obviously-correct way: enumerate every pairwise crossing abscissa,
+//! and between consecutive crossings select the line with exactly k others
+//! strictly below at an exact rational midpoint. O(N³ log N) — usable as an
+//! oracle up to a few dozen lines, which is exactly its job.
+
+use crate::line2::Line2;
+use crate::rational::Rat;
+
+/// Exact midpoint of two finite rationals.
+fn midpoint(a: Rat, b: Rat) -> Rat {
+    let (an, ad) = a.parts();
+    let (bn, bd) = b.parts();
+    Rat::new(an * bd + bn * ad, 2 * ad * bd)
+}
+
+/// The carrier sequence of the k-level: `(interval_start, line_id)` pairs,
+/// left to right, with consecutive duplicates merged. The first interval
+/// starts at `-∞`.
+pub fn naive_level_carriers(lines: &[Line2], members: &[u32], k: usize) -> Vec<(Rat, u32)> {
+    assert!(k < members.len());
+    // All crossing abscissae, deduplicated.
+    let mut xs: Vec<Rat> = Vec::new();
+    for (i, &a) in members.iter().enumerate() {
+        for &b in &members[i + 1..] {
+            if let Some(x) = lines[a as usize].crossing_x(&lines[b as usize]) {
+                xs.push(x);
+            }
+        }
+    }
+    xs.sort();
+    xs.dedup();
+
+    // Evaluation abscissae: one per open interval.
+    let mut probes: Vec<Rat> = Vec::new();
+    if xs.is_empty() {
+        probes.push(Rat::int(0));
+    } else {
+        probes.push(Rat::NegInf); // compare by slope order at -∞
+        for w in xs.windows(2) {
+            probes.push(midpoint(w[0], w[1]));
+        }
+        probes.push(Rat::PosInf);
+    }
+
+    let mut out: Vec<(Rat, u32)> = Vec::new();
+    for (pi, &probe) in probes.iter().enumerate() {
+        // Carrier = the member with exactly k others strictly below. With
+        // ±∞ probes we compare via cmp_at (slope order).
+        let mut carrier = None;
+        for &cand in members {
+            let below = members
+                .iter()
+                .filter(|&&o| {
+                    o != cand
+                        && lines[o as usize].cmp_at(&lines[cand as usize], probe)
+                            == std::cmp::Ordering::Less
+                })
+                .count();
+            if below == k {
+                carrier = Some(cand);
+                break;
+            }
+        }
+        let carrier = carrier.expect("every interval has a level carrier");
+        let start = if pi == 0 { Rat::NegInf } else { xs[pi - 1] };
+        match out.last() {
+            Some(&(_, last)) if last == carrier => {}
+            _ => out.push((start, carrier)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::LevelWalk;
+
+    fn pseudo_lines(n: usize, seed: u64) -> Vec<Line2> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as i64
+        };
+        let mut out: Vec<Line2> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        while out.len() < n {
+            let l = Line2::new(next() % 201 - 100, next() % 20_001 - 10_000);
+            if seen.insert((l.m, l.b)) {
+                out.push(l);
+            }
+        }
+        out
+    }
+
+    /// The carrier sequence produced by the fast walk, in the same format.
+    fn walk_carriers(lines: &[Line2], members: &[u32], k: usize) -> Vec<(Rat, u32)> {
+        let mut walk = LevelWalk::new(lines, members, k);
+        let mut out = vec![(Rat::NegInf, walk.current_line())];
+        while let Some(v) = walk.step() {
+            match out.last() {
+                Some(&(_, last)) if last == v.new_line => {}
+                _ => out.push((v.x, v.new_line)),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn walk_matches_naive_oracle_exactly() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let n = 8 + (seed as usize) * 3;
+            let lines = pseudo_lines(n, seed);
+            let ids: Vec<u32> = (0..n as u32).collect();
+            for k in [0usize, 1, n / 3, n - 1] {
+                let naive = naive_level_carriers(&lines, &ids, k);
+                let walk = walk_carriers(&lines, &ids, k);
+                assert_eq!(walk, naive, "seed {seed} n {n} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_on_three_line_triangle() {
+        let lines =
+            vec![Line2::new(1, 0), Line2::new(-1, 0), Line2::new(0, -10)];
+        let ids = [0u32, 1, 2];
+        // 1-level: starts on line 1 (middle at -∞: slopes desc 0(m=1) low, then 2... )
+        let c = naive_level_carriers(&lines, &ids, 1);
+        assert!(c.len() >= 3, "triangle mid-level has at least two bends: {c:?}");
+        // And it agrees with the walk (also covered by the random test).
+        assert_eq!(c, walk_carriers(&lines, &ids, 1));
+    }
+
+    #[test]
+    fn parallel_bundle_has_single_carrier() {
+        let lines = vec![Line2::new(3, 0), Line2::new(3, 100), Line2::new(3, 200)];
+        let ids = [0u32, 1, 2];
+        for k in 0..3 {
+            let c = naive_level_carriers(&lines, &ids, k);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c[0].1, k as u32);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The duality transform of Section 2.1 (Lemma 2.1).
+//!
+//! Dual of a point `(a_1,…,a_d)` is the hyperplane
+//! `x_d = -a_1·x_1 - … - a_{d-1}·x_{d-1} + a_d`; dual of a hyperplane
+//! `x_d = b_1·x_1 + … + b_{d-1}·x_{d-1} + b_d` is the point `(b_1,…,b_d)`.
+//! The transform preserves the above/below relation, so "points of S below a
+//! query hyperplane h" becomes "dual lines/planes of S below the dual point
+//! h*" — the formulation all structures in this workspace are built in.
+
+use crate::line2::Line2;
+use crate::plane3::Plane3;
+
+/// Dual line of the 2D point `(a, b)`: `y = -a·x + b`.
+pub fn point2_to_line(a: i64, b: i64) -> Line2 {
+    Line2::new(-a, b)
+}
+
+/// Dual point of the 2D line `y = m·x + c`: `(m, c)`.
+pub fn line_to_point2(l: Line2) -> (i64, i64) {
+    (l.m, l.b)
+}
+
+/// Dual plane of the 3D point `(a, b, c)`: `z = -a·x - b·y + c`.
+pub fn point3_to_plane(a: i64, b: i64, c: i64) -> Plane3 {
+    Plane3::new(-a, -b, c)
+}
+
+/// Dual point of the 3D plane `z = u·x + v·y + w`: `(u, v, w)`.
+pub fn plane_to_point3(p: Plane3) -> (i64, i64, i64) {
+    (p.a, p.b, p.c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duality_preserves_above_below_2d() {
+        let mut s = 3u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as i64 % 1000) - 500
+        };
+        for _ in 0..500 {
+            let (px, py) = (next(), next());
+            let h = Line2::new(next(), next());
+            // p strictly above h  <=>  dual line p* strictly above dual point h*.
+            let p_above_h = (py as i128) > h.eval(px);
+            let pstar = point2_to_line(px, py);
+            let (hx, hy) = line_to_point2(h);
+            let pstar_above_hstar = pstar.eval(hx) > hy as i128;
+            assert_eq!(p_above_h, pstar_above_hstar);
+            // And the same with "on".
+            let p_on_h = (py as i128) == h.eval(px);
+            let pstar_on_hstar = pstar.eval(hx) == hy as i128;
+            assert_eq!(p_on_h, pstar_on_hstar);
+        }
+    }
+
+    #[test]
+    fn duality_preserves_above_below_3d() {
+        let mut s = 11u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((s >> 33) as i64 % 1000) - 500
+        };
+        for _ in 0..500 {
+            let (px, py, pz) = (next(), next(), next());
+            let h = Plane3::new(next(), next(), next());
+            let p_above_h = (pz as i128) > h.eval(px, py);
+            let pstar = point3_to_plane(px, py, pz);
+            let (hx, hy, hz) = plane_to_point3(h);
+            let pstar_above_hstar = pstar.eval(hx, hy) > hz as i128;
+            assert_eq!(p_above_h, pstar_above_hstar);
+        }
+    }
+
+    #[test]
+    fn duality_is_involutive_on_coefficients() {
+        let l = Line2::new(17, -4);
+        let (a, b) = line_to_point2(l);
+        // Dualizing the point gives y = -17x - 4... the transform is not an
+        // involution on lines, but round-tripping point→line→point is exact:
+        let p = (5i64, 9i64);
+        let back = line_to_point2(point2_to_line(p.0, p.1));
+        assert_eq!(back, (-5, 9));
+        let _ = (a, b);
+    }
+}

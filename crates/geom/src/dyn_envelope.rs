@@ -1,0 +1,273 @@
+//! Dynamic first-ray-hit envelope queries under insertions and deletions.
+//!
+//! The Edelsbrunner–Welzl level traversal (Section 2.3 of the paper) needs a
+//! dynamic structure over the lines above (resp. below) the walk point that
+//! answers: *where does a rightward ray along the current line first meet the
+//! lower (resp. upper) envelope of the set?* The paper uses Overmars–van
+//! Leeuwen dynamic hulls (O(log² n) per operation); we substitute a simpler
+//! sqrt-decomposition — lines are kept in O(√n) groups, each group stores its
+//! static [`LowerEnvelope`], rebuilt on update — trading the polylog for
+//! O(√n log n) per operation. This affects construction time only, never the
+//! structure produced (see DESIGN.md §3.1).
+//!
+//! Upper-envelope queries are served by the same code via negation.
+
+use crate::envelope::LowerEnvelope;
+use crate::line2::Line2;
+use crate::rational::Rat;
+
+/// Which envelope of the set the structure answers hits against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Set of lines above a walk point: ray hits the *lower* envelope.
+    Lower,
+    /// Set of lines below a walk point: ray hits the *upper* envelope
+    /// (implemented by negating every line).
+    Upper,
+}
+
+struct Group {
+    members: Vec<u32>,
+    env: LowerEnvelope,
+}
+
+/// Dynamic set of lines supporting insert, remove and first-ray-hit.
+pub struct DynEnvelope {
+    /// Working copies of all lines, indexed by the caller's line ids;
+    /// negated when `side == Upper` so every query is a lower-envelope query.
+    lines: Vec<Line2>,
+    side: Side,
+    groups: Vec<Group>,
+    /// Group index of each member line, `NONE` when absent.
+    loc: Vec<u32>,
+    cap: usize,
+    len: usize,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl DynEnvelope {
+    /// Create over the universe `all_lines` (indexed by id) containing the
+    /// subset `members`.
+    pub fn new(all_lines: &[Line2], members: &[u32], side: Side) -> DynEnvelope {
+        let lines: Vec<Line2> = match side {
+            Side::Lower => all_lines.to_vec(),
+            Side::Upper => all_lines.iter().map(|l| l.negated()).collect(),
+        };
+        let cap = ((members.len() as f64).sqrt() as usize).max(8);
+        let mut s = DynEnvelope {
+            lines,
+            side,
+            groups: Vec::new(),
+            loc: vec![NONE; all_lines.len()],
+            cap,
+            len: 0,
+        };
+        for chunk in members.chunks(cap) {
+            let gi = s.groups.len() as u32;
+            for &id in chunk {
+                debug_assert_eq!(s.loc[id as usize], NONE, "duplicate member {id}");
+                s.loc[id as usize] = gi;
+            }
+            s.groups.push(Group {
+                members: chunk.to_vec(),
+                env: LowerEnvelope::build(&s.lines, chunk),
+            });
+            s.len += chunk.len();
+        }
+        s
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn contains(&self, id: u32) -> bool {
+        self.loc[id as usize] != NONE
+    }
+
+    fn rebuild(&mut self, gi: usize) {
+        self.groups[gi].env = LowerEnvelope::build(&self.lines, &self.groups[gi].members);
+    }
+
+    /// Insert line `id` (must be absent).
+    pub fn insert(&mut self, id: u32) {
+        assert_eq!(self.loc[id as usize], NONE, "insert of present line {id}");
+        // Append to the last group; spill into a fresh group at 2×cap.
+        if self.groups.last().map_or(true, |g| g.members.len() >= 2 * self.cap) {
+            self.groups.push(Group { members: Vec::new(), env: LowerEnvelope::build(&self.lines, &[]) });
+        }
+        let gi = self.groups.len() - 1;
+        self.groups[gi].members.push(id);
+        self.loc[id as usize] = gi as u32;
+        self.len += 1;
+        self.rebuild(gi);
+    }
+
+    /// Remove line `id` (must be present).
+    pub fn remove(&mut self, id: u32) {
+        let gi = self.loc[id as usize];
+        assert_ne!(gi, NONE, "remove of absent line {id}");
+        let gi = gi as usize;
+        let g = &mut self.groups[gi];
+        let pos = g.members.iter().position(|&m| m == id).expect("loc consistent");
+        g.members.swap_remove(pos);
+        self.loc[id as usize] = NONE;
+        self.len -= 1;
+        self.rebuild(gi);
+    }
+
+    /// First abscissa (in the `x0+ε` sense) where the rightward ray along
+    /// the caller's line `l` meets the envelope, with the line hit.
+    ///
+    /// Precondition: at `x0+ε`, `l` is strictly below every member
+    /// (`Side::Lower`) resp. strictly above every member (`Side::Upper`).
+    pub fn first_hit(&self, l: Line2, x0: Rat) -> Option<(Rat, u32)> {
+        let l = match self.side {
+            Side::Lower => l,
+            Side::Upper => l.negated(),
+        };
+        let mut best: Option<(Rat, u32)> = None;
+        for g in &self.groups {
+            if g.env.is_empty() {
+                continue;
+            }
+            if let Some((x, id)) = g.env.first_hit(&self.lines, l, x0) {
+                best = match best {
+                    Some((bx, bid)) if bx <= x => Some((bx, bid)),
+                    _ => Some((x, id)),
+                };
+            }
+        }
+        best
+    }
+
+    /// All member ids (unordered); test helper.
+    pub fn members(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.groups.iter().flat_map(|g| g.members.iter().copied()).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(lines: &[(i64, i64)]) -> Vec<Line2> {
+        lines.iter().map(|&(m, b)| Line2::new(m, b)).collect()
+    }
+
+    /// Oracle: earliest crossing (>= x0, flipping after x0+ε) of `l` with
+    /// any member, by brute force.
+    fn naive_first_hit(
+        all: &[Line2],
+        members: &[u32],
+        l: Line2,
+        x0: Rat,
+        side: Side,
+    ) -> Option<Rat> {
+        use std::cmp::Ordering::*;
+        let mut best: Option<Rat> = None;
+        for &id in members {
+            let g = all[id as usize];
+            let want = match side {
+                Side::Lower => Less,    // l below g after x0
+                Side::Upper => Greater, // l above g after x0
+            };
+            assert_eq!(l.cmp_at_plus(&g, x0), want, "precondition");
+            if let Some(xc) = l.crossing_x(&g) {
+                if xc >= x0 && l.cmp_at_plus(&g, xc) != want {
+                    best = Some(best.map_or(xc, |b| b.min(xc)));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn lower_side_hits_nearest_line_above() {
+        let all = mk(&[(0, 10), (0, 5), (1, 100)]);
+        let d = DynEnvelope::new(&all, &[0, 1, 2], Side::Lower);
+        let ray = Line2::new(2, 0); // crosses y=5 at 2.5, y=10 at 5
+        let hit = d.first_hit(ray, Rat::int(0)).unwrap();
+        assert_eq!(hit, (Rat::new(5, 2), 1));
+    }
+
+    #[test]
+    fn upper_side_hits_nearest_line_below() {
+        let all = mk(&[(0, -10), (0, -5), (1, -100)]);
+        let d = DynEnvelope::new(&all, &[0, 1, 2], Side::Upper);
+        let ray = Line2::new(-2, 0); // descending; meets y=-5 at 2.5
+        let hit = d.first_hit(ray, Rat::int(0)).unwrap();
+        assert_eq!(hit, (Rat::new(5, 2), 1));
+    }
+
+    #[test]
+    fn insert_remove_affect_hits() {
+        let all = mk(&[(0, 10), (0, 5), (0, 2)]);
+        let mut d = DynEnvelope::new(&all, &[0, 1], Side::Lower);
+        let ray = Line2::new(1, 0);
+        assert_eq!(d.first_hit(ray, Rat::int(0)).unwrap().1, 1);
+        d.insert(2);
+        assert_eq!(d.first_hit(ray, Rat::int(0)).unwrap().1, 2);
+        d.remove(2);
+        d.remove(1);
+        assert_eq!(d.first_hit(ray, Rat::int(0)).unwrap().1, 0);
+        d.remove(0);
+        assert!(d.first_hit(ray, Rat::int(0)).is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn randomized_against_naive_with_churn() {
+        let mut s = 42u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as i64
+        };
+        for side in [Side::Lower, Side::Upper] {
+            let n = 60usize;
+            // Universe of distinct lines.
+            let all: Vec<Line2> =
+                (0..n).map(|i| Line2::new(next() % 50, (next() % 2000) + i as i64 * 4096)).collect();
+            // Members: offset so the ray (below/above all) has valid precondition:
+            // choose ray far below (Lower) / above (Upper) everything with an
+            // extreme slope so crossings exist.
+            let members: Vec<u32> = (0..n as u32).filter(|i| i % 3 != 0).collect();
+            let mut d = DynEnvelope::new(&all, &members, side);
+            let mut live = members.clone();
+            for step in 0..40 {
+                // Ray: steeper than all member slopes so it eventually crosses
+                // everything; positioned on the correct side at x0.
+                let x0 = Rat::int((step as i64 % 7) - 3);
+                let ray = match side {
+                    Side::Lower => Line2::new(100, -1_000_000),
+                    Side::Upper => Line2::new(-100, 1_000_000),
+                };
+                let got = d.first_hit(ray, x0).map(|(x, _)| x);
+                let want = naive_first_hit(&all, &live, ray, x0, side);
+                assert_eq!(got, want, "side {side:?} step {step}");
+                // Churn.
+                if step % 2 == 0 && !live.is_empty() {
+                    let victim = live[(next() as usize) % live.len()];
+                    live.retain(|&x| x != victim);
+                    d.remove(victim);
+                } else {
+                    let absent: Vec<u32> =
+                        (0..n as u32).filter(|i| !live.contains(i)).collect();
+                    if !absent.is_empty() {
+                        let add = absent[(next() as usize) % absent.len()];
+                        live.push(add);
+                        d.insert(add);
+                    }
+                }
+                assert_eq!(d.len(), live.len());
+            }
+        }
+    }
+}

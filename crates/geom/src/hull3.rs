@@ -1,0 +1,613 @@
+//! Randomized incremental lower convex hull with Clarkson–Shor conflict
+//! lists — the dual of the lower envelope of planes (Section 4.1).
+//!
+//! The lower envelope of planes `z = a·x + b·y + c` corresponds, under the
+//! map `plane ↦ point (a,b,c)`, to the lower convex hull of the dual points:
+//! envelope *faces* are hull *vertices*, envelope *vertices* are hull
+//! *facets*, and "plane `q` passes strictly below envelope vertex `v`" is
+//! exactly the facet-visibility predicate `q sees facet(v)`.
+//!
+//! To keep every face bounded we add four *sentinel* planes with huge
+//! gradients (they own the envelope at infinity but lie far above every real
+//! plane inside the query region, see DESIGN.md §3.2) and one *apex* dual
+//! point that caps the upper hull so the polytope stays closed; facets
+//! incident to the apex are ignored by [`LowerHull::snapshot`].
+//!
+//! Insertion follows the textbook randomized incremental construction with
+//! full bipartite conflict lists (de Berg et al., ch. 11): candidates for a
+//! new facet's conflicts are the conflicts of the two old facets flanking
+//! its horizon edge. Because the paper's samples `R_i` are *prefixes of one
+//! random permutation*, a single incremental run, paused at the right
+//! prefix sizes, yields every layer's triangulated envelope *and* conflict
+//! lists (DESIGN.md §3.2).
+
+use crate::plane3::Plane3;
+
+/// Sentinel gradient magnitude; must exceed four times the real-coefficient
+/// budget so sentinels win at infinity in every direction.
+pub const SENTINEL_L: i64 = 1 << 22;
+/// Sentinel plane intercept: `2·L·W'` with `W' = 2^24`.
+pub const SENTINEL_Z: i64 = 2 * SENTINEL_L * (1 << 24);
+/// Apex height (any value above `SENTINEL_Z` works).
+const APEX_Z: i64 = 2 * SENTINEL_Z;
+/// Number of artificial dual points (4 sentinels + 1 apex).
+const ARTIFICIAL: u32 = 5;
+const APEX: u32 = 4;
+
+const NO_FACET: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Facet {
+    /// Vertex ids, counter-clockwise seen from outside.
+    v: [u32; 3],
+    /// `nbr[i]` is the facet across the edge `(v[i], v[(i+1)%3])`.
+    nbr: [u32; 3],
+    /// Uninserted real point indices that strictly see this facet.
+    conflicts: Vec<u32>,
+}
+
+/// A facet of a [`LowerHull::snapshot`]: an envelope vertex with the three
+/// planes meeting there and the not-yet-sampled planes strictly below it.
+#[derive(Debug, Clone)]
+pub struct SnapFacet {
+    /// The three defining planes: `Ok(i)` = the i-th real input plane,
+    /// `Err(s)` = sentinel number `s` (0..4).
+    pub verts: [Result<u32, u32>; 3],
+    /// Real input planes not in the current prefix that pass strictly below
+    /// this envelope vertex, ascending by input index.
+    pub conflicts: Vec<u32>,
+}
+
+/// Incremental lower hull over a fixed insertion order of planes.
+pub struct LowerHull {
+    /// Dual point coordinates: 0..4 sentinels, 4 apex, `5 + i` = plane `i`.
+    pts: Vec<[i64; 3]>,
+    facets: Vec<Facet>,
+    alive: Vec<bool>,
+    /// Per real point: facets it sees (may contain dead ids, cleaned lazily).
+    point_conflicts: Vec<Vec<u32>>,
+    inserted: usize,
+    n_real: usize,
+    /// Scratch marks for BFS / candidate dedup.
+    facet_mark: Vec<u32>,
+    point_mark: Vec<u32>,
+    stamp: u32,
+}
+
+fn det3(u: [i128; 3], v: [i128; 3], w: [i128; 3]) -> i128 {
+    u[0] * (v[1] * w[2] - v[2] * w[1]) - u[1] * (v[0] * w[2] - v[2] * w[0])
+        + u[2] * (v[0] * w[1] - v[1] * w[0])
+}
+
+impl LowerHull {
+    /// Set up the initial sentinel pyramid and the conflict lists of all
+    /// `planes` (which all see the two base facets). `planes` must already
+    /// be in the desired (random) insertion order.
+    pub fn new(planes: &[Plane3]) -> LowerHull {
+        let l = SENTINEL_L;
+        let s = SENTINEL_Z;
+        let mut pts = vec![
+            [-l, -l, s],
+            [l, -l, s],
+            [l, l, s],
+            [-l, l, s],
+            [0, 0, APEX_Z],
+        ];
+        for p in planes {
+            debug_assert!(
+                p.a.abs() <= crate::MAX_COORD_3D
+                    && p.b.abs() <= crate::MAX_COORD_3D
+                    && p.c.abs() <= 2 * crate::MAX_COORD_3D,
+                "plane {p:?} outside the 3D coordinate budget"
+            );
+            pts.push([p.a, p.b, p.c]);
+        }
+        // Initial polytope: square base (two triangles, outward = down) and
+        // four apex side facets (outward = away from the axis).
+        //   base0 = (0,2,1)  base1 = (0,3,2)   [down-facing: vertices CW
+        //   seen from above = CCW seen from below]
+        //   side_i = (i, i+1, APEX) for the quad edge (i, i+1).
+        let mut facets = Vec::with_capacity(6);
+        let mut alive = Vec::new();
+        // ids: 0 = base0 (0,2,1), 1 = base1 (0,3,2),
+        //      2 = side (0,1,A), 3 = side (1,2,A), 4 = side (2,3,A), 5 = side (3,0,A)
+        facets.push(Facet { v: [0, 2, 1], nbr: [1, 3, 2], conflicts: vec![] });
+        facets.push(Facet { v: [0, 3, 2], nbr: [5, 4, 0], conflicts: vec![] });
+        facets.push(Facet { v: [0, 1, APEX], nbr: [0, 3, 5], conflicts: vec![] });
+        facets.push(Facet { v: [1, 2, APEX], nbr: [0, 4, 2], conflicts: vec![] });
+        facets.push(Facet { v: [2, 3, APEX], nbr: [1, 5, 3], conflicts: vec![] });
+        facets.push(Facet { v: [3, 0, APEX], nbr: [1, 2, 4], conflicts: vec![] });
+        for _ in 0..6 {
+            alive.push(true);
+        }
+        let mut hull = LowerHull {
+            pts,
+            facets,
+            alive,
+            point_conflicts: vec![Vec::new(); planes.len()],
+            inserted: 0,
+            n_real: planes.len(),
+            facet_mark: vec![0; 6],
+            point_mark: vec![0; planes.len()],
+            stamp: 0,
+        };
+        hull.debug_check_initial();
+        // Every real point lies strictly below the base plane, hence sees
+        // both base facets and nothing else.
+        for i in 0..planes.len() as u32 {
+            hull.facets[0].conflicts.push(i);
+            hull.facets[1].conflicts.push(i);
+            hull.point_conflicts[i as usize].extend([0u32, 1]);
+            debug_assert!(hull.sees(i, 0) && hull.sees(i, 1), "plane {i} must see the base");
+        }
+        hull
+    }
+
+    fn debug_check_initial(&self) {
+        #[cfg(debug_assertions)]
+        {
+            // Neighbor pointers must be mutually consistent.
+            for (fi, f) in self.facets.iter().enumerate() {
+                for i in 0..3 {
+                    let (u, v) = (f.v[i], f.v[(i + 1) % 3]);
+                    let g = &self.facets[f.nbr[i] as usize];
+                    let found = (0..3).any(|j| g.v[j] == v && g.v[(j + 1) % 3] == u);
+                    assert!(found, "facet {fi} edge {i} neighbor mismatch");
+                }
+            }
+        }
+    }
+
+    /// Does real point `pi` strictly see facet `fi`?
+    fn sees(&self, pi: u32, fi: u32) -> bool {
+        self.sees_vertex(ARTIFICIAL + pi, fi)
+    }
+
+    fn sees_vertex(&self, vid: u32, fi: u32) -> bool {
+        let f = &self.facets[fi as usize];
+        let a = self.pts[f.v[0] as usize];
+        let b = self.pts[f.v[1] as usize];
+        let c = self.pts[f.v[2] as usize];
+        let p = self.pts[vid as usize];
+        let sub = |x: [i64; 3], y: [i64; 3]| {
+            [
+                x[0] as i128 - y[0] as i128,
+                x[1] as i128 - y[1] as i128,
+                x[2] as i128 - y[2] as i128,
+            ]
+        };
+        det3(sub(b, a), sub(c, a), sub(p, a)) > 0
+    }
+
+    /// Number of real points inserted so far.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    pub fn n_real(&self) -> usize {
+        self.n_real
+    }
+
+    /// Insert the next point of the order; returns `false` when the point
+    /// was inside the hull (its plane nowhere on the envelope of the prefix).
+    pub fn insert_next(&mut self) -> bool {
+        assert!(self.inserted < self.n_real, "all points inserted");
+        let pi = self.inserted as u32;
+        self.inserted += 1;
+        let pv = ARTIFICIAL + pi;
+
+        // A facet the point sees (visibility is static while a facet lives).
+        let start = {
+            let lst = &mut self.point_conflicts[pi as usize];
+            let alive = &self.alive;
+            lst.retain(|&f| alive[f as usize]);
+            match lst.first() {
+                Some(&f) => f,
+                None => return false, // interior: never on the envelope
+            }
+        };
+        debug_assert!(self.sees(pi, start));
+
+        // BFS the visible region.
+        self.stamp += 1;
+        let visible_stamp = self.stamp;
+        let mut visible = vec![start];
+        self.facet_mark[start as usize] = visible_stamp;
+        let mut qi = 0;
+        while qi < visible.len() {
+            let f = visible[qi];
+            qi += 1;
+            for i in 0..3 {
+                let nb = self.facets[f as usize].nbr[i];
+                if self.facet_mark[nb as usize] == visible_stamp {
+                    continue;
+                }
+                debug_assert!(self.alive[nb as usize]);
+                if self.sees(pi, nb) {
+                    self.facet_mark[nb as usize] = visible_stamp;
+                    visible.push(nb);
+                }
+            }
+        }
+
+        // Horizon: for each visible facet edge whose neighbor is not
+        // visible, record (u, v, dead_inside, outside). The horizon of a
+        // convex-position insertion is a single cycle; key the map by `u`.
+        struct HorizonEdge {
+            v: u32,
+            inside: u32,
+            outside: u32,
+        }
+        let mut horizon: std::collections::HashMap<u32, HorizonEdge> =
+            std::collections::HashMap::new();
+        for &f in &visible {
+            for i in 0..3 {
+                let nb = self.facets[f as usize].nbr[i];
+                if self.facet_mark[nb as usize] == visible_stamp {
+                    continue;
+                }
+                let (u, v) =
+                    (self.facets[f as usize].v[i], self.facets[f as usize].v[(i + 1) % 3]);
+                let prev = horizon.insert(u, HorizonEdge { v, inside: f, outside: nb });
+                debug_assert!(prev.is_none(), "horizon is not a simple cycle");
+            }
+        }
+        debug_assert!(!horizon.is_empty());
+
+        // Create the new cone of facets (u, v, pv) and stitch neighbors.
+        let mut new_ids: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (&u, e) in &horizon {
+            let id = self.facets.len() as u32;
+            self.facets.push(Facet { v: [u, e.v, pv], nbr: [e.outside, NO_FACET, NO_FACET], conflicts: vec![] });
+            self.alive.push(true);
+            self.facet_mark.push(0);
+            new_ids.insert(u, id);
+        }
+        for (&u, e) in &horizon {
+            let id = new_ids[&u];
+            // Across (v, pv): the new facet starting at v. Across (pv, u):
+            // the new facet ending at u, i.e., the one whose v == u.
+            let next = new_ids[&e.v];
+            self.facets[id as usize].nbr[1] = next;
+            self.facets[next as usize].nbr[2] = id;
+            // Fix the outside facet's pointer for edge (v, u).
+            let of = e.outside as usize;
+            let j = (0..3)
+                .find(|&j| self.facets[of].v[j] == e.v && self.facets[of].v[(j + 1) % 3] == u)
+                .expect("outside facet must share the horizon edge");
+            self.facets[of].nbr[j] = id;
+        }
+
+        // Redistribute conflicts: candidates for facet (u,v,pv) are the
+        // conflicts of the dead facet inside the edge and of the outside
+        // facet (de Berg Lemma 11.6 — complete by induction).
+        for (&u, e) in &horizon {
+            let id = new_ids[&u];
+            self.stamp += 1;
+            let cand_stamp = self.stamp;
+            let mut cands: Vec<u32> = Vec::new();
+            for src in [e.inside, e.outside] {
+                for k in 0..self.facets[src as usize].conflicts.len() {
+                    let q = self.facets[src as usize].conflicts[k];
+                    if q <= pi {
+                        continue; // already inserted (or the point itself)
+                    }
+                    if self.point_mark[q as usize] != cand_stamp {
+                        self.point_mark[q as usize] = cand_stamp;
+                        cands.push(q);
+                    }
+                }
+            }
+            cands.sort_unstable();
+            for q in cands {
+                if self.sees(q, id) {
+                    self.facets[id as usize].conflicts.push(q);
+                    self.point_conflicts[q as usize].push(id);
+                }
+            }
+            // Sanity: every new facet must not be seen from the interior.
+            #[cfg(debug_assertions)]
+            {
+                let f = &self.facets[id as usize];
+                let a = self.pts[f.v[0] as usize];
+                let b = self.pts[f.v[1] as usize];
+                let c = self.pts[f.v[2] as usize];
+                let interior = [0i128, 0, (SENTINEL_Z as i128 + APEX_Z as i128) / 2];
+                let sub = |x: [i64; 3]| {
+                    [x[0] as i128 - a[0] as i128, x[1] as i128 - a[1] as i128, x[2] as i128 - a[2] as i128]
+                };
+                let subi = [
+                    interior[0] - a[0] as i128,
+                    interior[1] - a[1] as i128,
+                    interior[2] - a[2] as i128,
+                ];
+                assert!(
+                    det3(sub(b), sub(c), subi) < 0,
+                    "new facet oriented inward"
+                );
+            }
+        }
+
+        // Retire the visible facets.
+        for &f in &visible {
+            self.alive[f as usize] = false;
+            self.facets[f as usize].conflicts = Vec::new();
+        }
+        true
+    }
+
+    /// Insert points until `count` real points have been processed.
+    pub fn insert_until(&mut self, count: usize) {
+        while self.inserted < count.min(self.n_real) {
+            self.insert_next();
+        }
+    }
+
+    /// Snapshot of the current *lower* hull: every alive facet not incident
+    /// to the apex, with conflicts (uninserted real planes strictly below
+    /// the corresponding envelope vertex).
+    pub fn snapshot(&self) -> Vec<SnapFacet> {
+        let mut out = Vec::new();
+        for (fi, f) in self.facets.iter().enumerate() {
+            if !self.alive[fi] || f.v.contains(&APEX) {
+                continue;
+            }
+            let verts = [
+                Self::classify_vert(f.v[0]),
+                Self::classify_vert(f.v[1]),
+                Self::classify_vert(f.v[2]),
+            ];
+            out.push(SnapFacet { verts, conflicts: f.conflicts.clone() });
+        }
+        out
+    }
+
+    fn classify_vert(v: u32) -> Result<u32, u32> {
+        if v >= ARTIFICIAL {
+            Ok(v - ARTIFICIAL)
+        } else {
+            Err(v)
+        }
+    }
+
+    /// The four sentinel planes (duals of the sentinel points).
+    pub fn sentinel_planes() -> [Plane3; 4] {
+        let l = SENTINEL_L;
+        let s = SENTINEL_Z;
+        [
+            Plane3::new(-l, -l, s),
+            Plane3::new(l, -l, s),
+            Plane3::new(l, l, s),
+            Plane3::new(-l, l, s),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_of_vert(v: Result<u32, u32>, planes: &[Plane3]) -> Plane3 {
+        match v {
+            Ok(i) => planes[i as usize],
+            Err(s) => LowerHull::sentinel_planes()[s as usize],
+        }
+    }
+
+    /// Brute-force minimum plane over (x, y) among a prefix (plus
+    /// sentinels — which must never win inside the region).
+    fn envelope_min(planes: &[Plane3], prefix: usize, x: i64, y: i64) -> (usize, i128) {
+        let mut best = (usize::MAX, i128::MAX);
+        for (i, p) in planes[..prefix].iter().enumerate() {
+            let v = p.eval(x, y);
+            if v < best.1 {
+                best = (i, v);
+            }
+        }
+        for s in LowerHull::sentinel_planes() {
+            assert!(s.eval(x, y) > best.1, "sentinel interferes in the query region");
+        }
+        best
+    }
+
+    fn pseudo_planes(n: usize, seed: u64) -> Vec<Plane3> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as i64
+        };
+        (0..n)
+            .map(|_| {
+                Plane3::new(next() % 1000 - 500, next() % 1000 - 500, next() % 100_000 - 50_000)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_plane_cone() {
+        let planes = vec![Plane3::new(3, -2, 10)];
+        let mut h = LowerHull::new(&planes);
+        assert!(h.insert_next());
+        let snap = h.snapshot();
+        // Four facets: the point with each sentinel edge.
+        assert_eq!(snap.len(), 4);
+        for f in &snap {
+            let reals: Vec<_> = f.verts.iter().filter(|v| v.is_ok()).collect();
+            assert_eq!(reals.len(), 1);
+            assert!(f.conflicts.is_empty());
+        }
+    }
+
+    #[test]
+    fn interior_point_detected() {
+        // Second plane strictly above the first everywhere (parallel).
+        let planes = vec![Plane3::new(0, 0, 0), Plane3::new(0, 0, 100)];
+        let mut h = LowerHull::new(&planes);
+        assert!(h.insert_next());
+        assert!(!h.insert_next(), "dominated plane must be interior");
+        let snap = h.snapshot();
+        for f in &snap {
+            assert!(!f.verts.contains(&Ok(1)));
+        }
+    }
+
+    #[test]
+    fn envelope_vertices_match_brute_force_min() {
+        for seed in [1u64, 7, 42] {
+            let planes = pseudo_planes(40, seed);
+            let mut h = LowerHull::new(&planes);
+            h.insert_until(planes.len());
+            let snap = h.snapshot();
+            let hull_vertices: std::collections::HashSet<u32> = snap
+                .iter()
+                .flat_map(|f| f.verts.iter().filter_map(|v| v.ok()))
+                .collect();
+            // At many probe locations, the minimum plane must be a hull
+            // vertex (it owns a face of the envelope there).
+            let mut s = seed ^ 0x55;
+            let mut next = move || {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((s >> 33) as i64 % 2_000_000) - 1_000_000
+            };
+            for _ in 0..200 {
+                let (x, y) = (next() % 100_000, next() % 100_000);
+                let (who, val) = envelope_min(&planes, planes.len(), x, y);
+                // Unique minimum ⇒ must be a vertex.
+                let unique = planes
+                    .iter()
+                    .enumerate()
+                    .all(|(i, p)| i == who || p.eval(x, y) > val);
+                if unique {
+                    assert!(
+                        hull_vertices.contains(&(who as u32)),
+                        "seed {seed}: min plane {who} at ({x},{y}) missing from hull"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_are_exactly_planes_below_vertices() {
+        // Verify conflict lists against the definition via an independent
+        // rational computation of each envelope vertex.
+        let planes = pseudo_planes(24, 99);
+        let prefix = 10;
+        let mut h = LowerHull::new(&planes);
+        h.insert_until(prefix);
+        let snap = h.snapshot();
+        for f in &snap {
+            let p1 = plane_of_vert(f.verts[0], &planes);
+            let p2 = plane_of_vert(f.verts[1], &planes);
+            let p3 = plane_of_vert(f.verts[2], &planes);
+            // Solve p1=p2=p3: Cramer on (a1-a2)x + (b1-b2)y = c2-c1 etc.
+            let (a1, b1) = (p1.a as i128 - p2.a as i128, p1.b as i128 - p2.b as i128);
+            let r1 = p2.c as i128 - p1.c as i128;
+            let (a2, b2) = (p1.a as i128 - p3.a as i128, p1.b as i128 - p3.b as i128);
+            let r2 = p3.c as i128 - p1.c as i128;
+            let den = a1 * b2 - a2 * b1;
+            assert!(den != 0, "degenerate facet");
+            let xn = r1 * b2 - r2 * b1;
+            let yn = a1 * r2 - a2 * r1;
+            // z·den = a1'·xn + b1'·yn + c1·den for plane 1.
+            let zn = p1.a as i128 * xn + p1.b as i128 * yn + p1.c as i128 * den;
+            for q in prefix..planes.len() {
+                let p = planes[q];
+                // q strictly below the vertex ⟺ (a·xn + b·yn + c·den) · sign(den) < zn · sign(den)
+                let lhs = p.a as i128 * xn + p.b as i128 * yn + p.c as i128 * den;
+                let below = if den > 0 { lhs < zn } else { lhs > zn };
+                assert_eq!(
+                    f.conflicts.contains(&(q as u32)),
+                    below,
+                    "conflict mismatch plane {q} vs facet {:?}",
+                    f.verts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_planes_only_lowest_survives() {
+        // A stack of parallel planes: exactly one (the lowest) is ever on
+        // the envelope; the rest are interior points of the dual hull.
+        let planes: Vec<Plane3> =
+            (0..10).map(|i| Plane3::new(5, -3, i * 100)).collect();
+        let mut h = LowerHull::new(&planes);
+        h.insert_until(planes.len());
+        let snap = h.snapshot();
+        let verts: std::collections::HashSet<u32> =
+            snap.iter().flat_map(|f| f.verts.iter().filter_map(|v| v.ok())).collect();
+        assert_eq!(verts, std::collections::HashSet::from([0u32]));
+        // And every higher plane conflicts with nothing (it is above the
+        // envelope everywhere).
+        for f in &snap {
+            assert!(f.conflicts.is_empty(), "parallel planes above cannot conflict");
+        }
+    }
+
+    #[test]
+    fn two_crossing_plane_families() {
+        // Two tilted families crossing along a line: both extremes appear.
+        let planes = vec![
+            Plane3::new(100, 0, 0),
+            Plane3::new(-100, 0, 0),
+            Plane3::new(0, 100, 50_000),
+            Plane3::new(0, -100, 50_000),
+        ];
+        let mut h = LowerHull::new(&planes);
+        h.insert_until(planes.len());
+        let snap = h.snapshot();
+        let verts: std::collections::HashSet<u32> =
+            snap.iter().flat_map(|f| f.verts.iter().filter_map(|v| v.ok())).collect();
+        // The first two planes dominate far out along x and must be
+        // vertices; the y-family sits 50k higher at the crossing line but
+        // still wins far out along y.
+        for i in 0..4u32 {
+            assert!(verts.contains(&i), "plane {i} missing from envelope");
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_the_vertex_set() {
+        let planes = pseudo_planes(30, 1234);
+        let mut reference: Option<std::collections::HashSet<u32>> = None;
+        for rot in [0usize, 7, 19] {
+            let rotated: Vec<Plane3> =
+                (0..planes.len()).map(|i| planes[(i + rot) % planes.len()]).collect();
+            let mut h = LowerHull::new(&rotated);
+            h.insert_until(rotated.len());
+            let verts: std::collections::HashSet<u32> = h
+                .snapshot()
+                .iter()
+                .flat_map(|f| f.verts.iter().filter_map(|v| v.ok()))
+                .map(|i| (i as usize + rot) as u32 % planes.len() as u32)
+                .collect();
+            match &reference {
+                None => reference = Some(verts),
+                Some(r) => assert_eq!(&verts, r, "rotation {rot}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_prefix_sizes_are_monotone() {
+        let planes = pseudo_planes(64, 5);
+        let mut h = LowerHull::new(&planes);
+        let mut last_faces = 0;
+        for c in [4usize, 8, 16, 32, 64] {
+            h.insert_until(c);
+            let snap = h.snapshot();
+            assert!(!snap.is_empty());
+            // Conflicts only mention uninserted planes.
+            for f in &snap {
+                for &q in &f.conflicts {
+                    assert!((q as usize) >= c);
+                }
+            }
+            // Face count grows at most linearly with the sample.
+            assert!(snap.len() <= 2 * (c + 4) * 3);
+            last_faces = snap.len();
+        }
+        assert!(last_faces > 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Non-vertical lines `y = m·x + b` with exact integer predicates.
+
+use std::cmp::Ordering;
+
+use crate::rational::Rat;
+
+/// A non-vertical line `y = m·x + b` with integer coefficients.
+///
+/// All predicates are exact (i128 cross-multiplication) within the
+/// [`crate::MAX_COORD_2D`] coordinate budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Line2 {
+    pub m: i64,
+    pub b: i64,
+}
+
+impl Line2 {
+    pub fn new(m: i64, b: i64) -> Line2 {
+        Line2 { m, b }
+    }
+
+    /// `y` value at integer `x` (exact, widened).
+    pub fn eval(&self, x: i64) -> i128 {
+        self.m as i128 * x as i128 + self.b as i128
+    }
+
+    /// Is this line strictly below the point `(px, py)`?
+    pub fn strictly_below_point(&self, px: i64, py: i64) -> bool {
+        self.eval(px) < py as i128
+    }
+
+    /// Is this line on or below the point `(px, py)`?
+    pub fn below_point(&self, px: i64, py: i64) -> bool {
+        self.eval(px) <= py as i128
+    }
+
+    /// Abscissa where `self` and `other` cross; `None` for parallel lines.
+    pub fn crossing_x(&self, other: &Line2) -> Option<Rat> {
+        if self.m == other.m {
+            return None;
+        }
+        // m1 x + b1 = m2 x + b2  =>  x = (b2 - b1) / (m1 - m2)
+        Some(Rat::new(
+            other.b as i128 - self.b as i128,
+            self.m as i128 - other.m as i128,
+        ))
+    }
+
+    /// Compare the `y` values of `self` and `other` at abscissa `x`
+    /// (±∞ compare by slope: at `-∞` the larger slope is lower).
+    pub fn cmp_at(&self, other: &Line2, x: Rat) -> Ordering {
+        match x {
+            Rat::NegInf => other.m.cmp(&self.m).then(self.b.cmp(&other.b)),
+            Rat::PosInf => self.m.cmp(&other.m).then(self.b.cmp(&other.b)),
+            Rat::Fin { num, den } => {
+                // y_i * den = m_i * num + b_i * den; den > 0.
+                let l = self.m as i128 * num + self.b as i128 * den;
+                let r = other.m as i128 * num + other.b as i128 * den;
+                l.cmp(&r)
+            }
+        }
+    }
+
+    /// Compare `y` values *just right of* `x` — the symbolic `x + ε`
+    /// evaluation used to break ties at arrangement vertices: compare values
+    /// at `x`, then slopes.
+    pub fn cmp_at_plus(&self, other: &Line2, x: Rat) -> Ordering {
+        match x {
+            Rat::NegInf | Rat::PosInf => self.cmp_at(other, x),
+            Rat::Fin { .. } => self.cmp_at(other, x).then(self.m.cmp(&other.m)),
+        }
+    }
+
+    /// The reflected line `-y = -m·x - b`, mapping upper envelopes to lower
+    /// envelopes.
+    pub fn negated(&self) -> Line2 {
+        Line2 { m: -self.m, b: -self.b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_of_simple_lines() {
+        let a = Line2::new(1, 0);
+        let b = Line2::new(-1, 4);
+        assert_eq!(a.crossing_x(&b), Some(Rat::int(2)));
+        assert_eq!(a.crossing_x(&Line2::new(1, 5)), None);
+    }
+
+    #[test]
+    fn cmp_at_finite() {
+        let a = Line2::new(1, 0);
+        let b = Line2::new(-1, 4);
+        assert_eq!(a.cmp_at(&b, Rat::int(0)), Ordering::Less);
+        assert_eq!(a.cmp_at(&b, Rat::int(2)), Ordering::Equal);
+        assert_eq!(a.cmp_at(&b, Rat::int(3)), Ordering::Greater);
+    }
+
+    #[test]
+    fn cmp_at_infinity_orders_by_slope() {
+        let steep = Line2::new(10, 0);
+        let flat = Line2::new(1, 0);
+        // At -inf the steeper line is lower.
+        assert_eq!(steep.cmp_at(&flat, Rat::NegInf), Ordering::Less);
+        assert_eq!(steep.cmp_at(&flat, Rat::PosInf), Ordering::Greater);
+        // Parallel: intercept decides at both ends.
+        let lo = Line2::new(3, -5);
+        let hi = Line2::new(3, 5);
+        assert_eq!(lo.cmp_at(&hi, Rat::NegInf), Ordering::Less);
+        assert_eq!(lo.cmp_at(&hi, Rat::PosInf), Ordering::Less);
+    }
+
+    #[test]
+    fn eps_comparison_breaks_ties_by_slope() {
+        let a = Line2::new(1, 0);
+        let b = Line2::new(-1, 0); // cross at x=0
+        assert_eq!(a.cmp_at(&b, Rat::int(0)), Ordering::Equal);
+        assert_eq!(a.cmp_at_plus(&b, Rat::int(0)), Ordering::Greater);
+        assert_eq!(b.cmp_at_plus(&a, Rat::int(0)), Ordering::Less);
+    }
+
+    #[test]
+    fn point_side_tests() {
+        let l = Line2::new(2, 1);
+        assert!(l.strictly_below_point(3, 8)); // l(3)=7 < 8
+        assert!(!l.strictly_below_point(3, 7));
+        assert!(l.below_point(3, 7));
+        assert!(!l.below_point(3, 6));
+    }
+
+    #[test]
+    fn negation_flips_order() {
+        let a = Line2::new(2, 3);
+        let b = Line2::new(-1, 7);
+        let x = Rat::new(5, 3);
+        assert_eq!(a.cmp_at(&b, x), b.negated().cmp_at(&a.negated(), x));
+    }
+}

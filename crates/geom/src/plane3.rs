@@ -1,0 +1,64 @@
+//! Non-vertical planes `z = a·x + b·y + c` in R³.
+
+use std::cmp::Ordering;
+
+/// A non-vertical plane `z = a·x + b·y + c` with integer coefficients.
+///
+/// Exactness budget (see crate docs): `|a|,|b| <= 2^20`, `|c| <= 2^47`
+/// internally (sentinel planes use large intercepts); user-supplied planes
+/// should satisfy `|a|,|b| <= 2^20`, `|c| <= 2^21`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Plane3 {
+    pub a: i64,
+    pub b: i64,
+    pub c: i64,
+}
+
+impl Plane3 {
+    pub fn new(a: i64, b: i64, c: i64) -> Plane3 {
+        Plane3 { a, b, c }
+    }
+
+    /// `z` value over `(x, y)` (exact, widened).
+    pub fn eval(&self, x: i64, y: i64) -> i128 {
+        self.a as i128 * x as i128 + self.b as i128 * y as i128 + self.c as i128
+    }
+
+    /// Is this plane strictly below the point `(px, py, pz)`?
+    pub fn strictly_below_point(&self, px: i64, py: i64, pz: i64) -> bool {
+        self.eval(px, py) < pz as i128
+    }
+
+    /// Compare `z` values of two planes over `(x, y)`.
+    pub fn cmp_at(&self, other: &Plane3, x: i64, y: i64) -> Ordering {
+        self.eval(x, y).cmp(&other.eval(x, y))
+    }
+
+    /// The dual point `(a, b, c)` of this plane — the representation the
+    /// lower-hull machinery of [`crate::hull3`] works on.
+    pub fn dual_point(&self) -> [i64; 3] {
+        [self.a, self.b, self.c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_side() {
+        let p = Plane3::new(1, 2, 3);
+        assert_eq!(p.eval(10, -1), 10 - 2 + 3);
+        assert!(p.strictly_below_point(10, -1, 12));
+        assert!(!p.strictly_below_point(10, -1, 11));
+    }
+
+    #[test]
+    fn cmp_at_orders_planes() {
+        let lo = Plane3::new(0, 0, 0);
+        let hi = Plane3::new(1, 1, 0);
+        assert_eq!(lo.cmp_at(&hi, 5, 5), Ordering::Less);
+        assert_eq!(lo.cmp_at(&hi, 0, 0), Ordering::Equal);
+        assert_eq!(lo.cmp_at(&hi, -3, 0), Ordering::Greater);
+    }
+}

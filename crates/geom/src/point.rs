@@ -1,0 +1,298 @@
+//! d-dimensional integer points, hyperplanes, boxes, and simplices — the
+//! primal-space vocabulary of the partition trees (Section 5).
+
+/// A point in R^D with integer coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PointD<const D: usize> {
+    pub c: [i64; D],
+}
+
+impl<const D: usize> PointD<D> {
+    pub fn new(c: [i64; D]) -> Self {
+        PointD { c }
+    }
+}
+
+/// A query hyperplane `x_{D-1} = a_0 + a_1·x_0 + … + a_{D-1}·x_{D-2}` — the
+/// linear constraint of the paper's problem statement. A point *satisfies*
+/// the constraint when it lies strictly below the hyperplane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HyperplaneD<const D: usize> {
+    /// `coef[0]` is the constant `a_0`; `coef[i]` multiplies `x_{i-1}`.
+    pub coef: [i64; D],
+}
+
+impl<const D: usize> HyperplaneD<D> {
+    pub fn new(coef: [i64; D]) -> Self {
+        HyperplaneD { coef }
+    }
+
+    /// Signed slack `rhs(p) - p_{D-1}`: positive iff `p` is strictly below.
+    pub fn slack(&self, p: &PointD<D>) -> i128 {
+        let mut s = self.coef[0] as i128;
+        for i in 0..D - 1 {
+            s += self.coef[i + 1] as i128 * p.c[i] as i128;
+        }
+        s - p.c[D - 1] as i128
+    }
+
+    /// Does `p` satisfy the linear constraint (lie strictly below)?
+    pub fn strictly_below(&self, p: &PointD<D>) -> bool {
+        self.slack(p) > 0
+    }
+
+    /// Minimum and maximum of the slack over the box (attained at corners,
+    /// computed coordinate-wise).
+    fn slack_range(&self, b: &Aabb<D>) -> (i128, i128) {
+        let mut lo = self.coef[0] as i128;
+        let mut hi = lo;
+        for i in 0..D {
+            // Coefficient of coordinate i in the slack.
+            // x_{D-1} enters the slack with coefficient -1.
+            let a: i128 = if i == D - 1 { -1 } else { self.coef[i + 1] as i128 };
+            let (l, h) = (b.lo[i] as i128, b.hi[i] as i128);
+            if a >= 0 {
+                lo += a * l;
+                hi += a * h;
+            } else {
+                lo += a * h;
+                hi += a * l;
+            }
+        }
+        // Careful: when D == 1 the slack is coef[0] - x_0 and the loop above
+        // already handled i == D-1 == 0 with a = -1.
+        (lo, hi)
+    }
+
+    /// Classify a box against the constraint.
+    pub fn classify_box(&self, b: &Aabb<D>) -> BoxSide {
+        let (lo, hi) = self.slack_range(b);
+        if lo > 0 {
+            BoxSide::FullyBelow
+        } else if hi <= 0 {
+            BoxSide::FullyAbove
+        } else {
+            BoxSide::Crossing
+        }
+    }
+}
+
+/// Position of a box relative to a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoxSide {
+    /// Every point of the box satisfies the constraint.
+    FullyBelow,
+    /// No point of the box satisfies it.
+    FullyAbove,
+    /// The boundary hyperplane crosses the box.
+    Crossing,
+}
+
+/// An axis-aligned box with inclusive integer bounds (the cell shape our
+/// partitioners produce; see DESIGN.md §3.4 for the simplex substitution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aabb<const D: usize> {
+    pub lo: [i64; D],
+    pub hi: [i64; D],
+}
+
+impl<const D: usize> Aabb<D> {
+    /// Smallest box containing `pts`; `None` for an empty set.
+    pub fn bounding(pts: &[PointD<D>]) -> Option<Aabb<D>> {
+        let first = pts.first()?;
+        let mut lo = first.c;
+        let mut hi = first.c;
+        for p in &pts[1..] {
+            for i in 0..D {
+                lo[i] = lo[i].min(p.c[i]);
+                hi[i] = hi[i].max(p.c[i]);
+            }
+        }
+        Some(Aabb { lo, hi })
+    }
+
+    /// The whole coordinate budget.
+    pub fn universe() -> Aabb<D> {
+        Aabb { lo: [-crate::MAX_COORD_2D; D], hi: [crate::MAX_COORD_2D; D] }
+    }
+
+    pub fn contains(&self, p: &PointD<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= p.c[i] && p.c[i] <= self.hi[i])
+    }
+}
+
+/// A convex query region given as an intersection of halfspaces
+/// `Σ coef_i · x_i <= rhs` — a simplex when there are `D+1` of them, but any
+/// number is accepted (the paper's Remark (i): polyhedra are triangulated
+/// into simplices; we support the general convex form directly).
+#[derive(Debug, Clone)]
+pub struct Simplex<const D: usize> {
+    pub facets: Vec<([i64; D], i64)>,
+}
+
+/// Position of a box relative to a simplex (conservative for `Maybe`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimplexSide {
+    /// Box entirely inside the region.
+    Inside,
+    /// Box provably disjoint from the region.
+    Outside,
+    /// Undetermined — recurse.
+    Maybe,
+}
+
+impl<const D: usize> Simplex<D> {
+    pub fn new(facets: Vec<([i64; D], i64)>) -> Self {
+        Simplex { facets }
+    }
+
+    pub fn contains_point(&self, p: &PointD<D>) -> bool {
+        self.facets.iter().all(|(c, r)| {
+            let mut s = 0i128;
+            for i in 0..D {
+                s += c[i] as i128 * p.c[i] as i128;
+            }
+            s <= *r as i128
+        })
+    }
+
+    /// Conservative box classification: exact `Inside`/facet-separated
+    /// `Outside`, otherwise `Maybe`. (A separating-axis test over the
+    /// simplex facets only: sufficient for correctness of the query
+    /// procedure — `Maybe` boxes are recursed into — and exact whenever a
+    /// facet hyperplane separates; see DESIGN.md §3.4.)
+    pub fn classify_box(&self, b: &Aabb<D>) -> SimplexSide {
+        let mut all_inside = true;
+        for (c, r) in &self.facets {
+            let mut min = 0i128;
+            let mut max = 0i128;
+            for i in 0..D {
+                let a = c[i] as i128;
+                let (l, h) = (b.lo[i] as i128, b.hi[i] as i128);
+                if a >= 0 {
+                    min += a * l;
+                    max += a * h;
+                } else {
+                    min += a * h;
+                    max += a * l;
+                }
+            }
+            if min > *r as i128 {
+                return SimplexSide::Outside;
+            }
+            if max > *r as i128 {
+                all_inside = false;
+            }
+        }
+        if all_inside {
+            SimplexSide::Inside
+        } else {
+            SimplexSide::Maybe
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperplane_below_matches_direct_eval() {
+        // y = 2 + 3x in 2D.
+        let h: HyperplaneD<2> = HyperplaneD::new([2, 3]);
+        assert!(h.strictly_below(&PointD::new([1, 4]))); // 4 < 5
+        assert!(!h.strictly_below(&PointD::new([1, 5])));
+        assert!(!h.strictly_below(&PointD::new([1, 6])));
+    }
+
+    #[test]
+    fn classify_box_2d() {
+        let h: HyperplaneD<2> = HyperplaneD::new([0, 1]); // y = x
+        let below = Aabb { lo: [5, -10], hi: [10, 4] }; // y <= 4 < x >= 5
+        let above = Aabb { lo: [-10, 5], hi: [4, 10] };
+        let cross = Aabb { lo: [-1, -1], hi: [1, 1] };
+        assert_eq!(h.classify_box(&below), BoxSide::FullyBelow);
+        assert_eq!(h.classify_box(&above), BoxSide::FullyAbove);
+        assert_eq!(h.classify_box(&cross), BoxSide::Crossing);
+    }
+
+    #[test]
+    fn classify_box_boundary_touch_is_not_fully_below() {
+        let h: HyperplaneD<2> = HyperplaneD::new([0, 0]); // y = 0
+        // Box touching y = 0: its y=0 corners are NOT strictly below.
+        let touch = Aabb { lo: [0, -5], hi: [1, 0] };
+        assert_eq!(h.classify_box(&touch), BoxSide::Crossing);
+        // Entirely on/above: prune.
+        let on_above = Aabb { lo: [0, 0], hi: [1, 5] };
+        assert_eq!(h.classify_box(&on_above), BoxSide::FullyAbove);
+    }
+
+    #[test]
+    fn classify_matches_corner_enumeration_randomly() {
+        let mut s = 5u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(11);
+            ((s >> 33) as i64 % 41) - 20
+        };
+        for _ in 0..300 {
+            let h: HyperplaneD<3> = HyperplaneD::new([next(), next(), next()]);
+            let mut lo = [next(), next(), next()];
+            let mut hi = [next(), next(), next()];
+            for i in 0..3 {
+                if lo[i] > hi[i] {
+                    std::mem::swap(&mut lo[i], &mut hi[i]);
+                }
+            }
+            let b = Aabb { lo, hi };
+            // Enumerate corners.
+            let mut any_below = false;
+            let mut all_below = true;
+            for mask in 0..8 {
+                let p = PointD::new([
+                    if mask & 1 == 0 { lo[0] } else { hi[0] },
+                    if mask & 2 == 0 { lo[1] } else { hi[1] },
+                    if mask & 4 == 0 { lo[2] } else { hi[2] },
+                ]);
+                if h.strictly_below(&p) {
+                    any_below = true;
+                } else {
+                    all_below = false;
+                }
+            }
+            let got = h.classify_box(&b);
+            // Classification must agree exactly with corner enumeration
+            // (the slack is linear, so extremes are attained at corners).
+            let want = if all_below {
+                BoxSide::FullyBelow
+            } else if !any_below {
+                BoxSide::FullyAbove
+            } else {
+                BoxSide::Crossing
+            };
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts = vec![PointD::new([1, 5]), PointD::new([-3, 2]), PointD::new([4, -1])];
+        let b = Aabb::bounding(&pts).unwrap();
+        assert_eq!(b.lo, [-3, -1]);
+        assert_eq!(b.hi, [4, 5]);
+        assert!(Aabb::<2>::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn simplex_triangle_classification() {
+        // Triangle x >= 0, y >= 0, x + y <= 10 (as <=-facets).
+        let t: Simplex<2> = Simplex::new(vec![([-1, 0], 0), ([0, -1], 0), ([1, 1], 10)]);
+        assert!(t.contains_point(&PointD::new([2, 3])));
+        assert!(!t.contains_point(&PointD::new([8, 8])));
+        let inside = Aabb { lo: [1, 1], hi: [3, 3] };
+        let outside = Aabb { lo: [20, 20], hi: [30, 30] };
+        let cross = Aabb { lo: [-5, -5], hi: [5, 5] };
+        assert_eq!(t.classify_box(&inside), SimplexSide::Inside);
+        assert_eq!(t.classify_box(&outside), SimplexSide::Outside);
+        assert_eq!(t.classify_box(&cross), SimplexSide::Maybe);
+    }
+}

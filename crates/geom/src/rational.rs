@@ -1,0 +1,125 @@
+//! Exact rational numbers for arrangement coordinates.
+//!
+//! A [`Rat`] is `num/den` with `den > 0`, stored in `i128` and *not* reduced:
+//! values are only ever constructed from bounded integer inputs (crossings of
+//! two integer lines), so magnitudes stay far below overflow, and all
+//! comparisons cross-multiply exactly. `Rat` also models `-∞`/`+∞` so that
+//! level walks and clusterings can carry their unbounded boundary abscissae.
+
+use std::cmp::Ordering;
+
+/// An exact rational with ±∞, totally ordered.
+#[derive(Debug, Clone, Copy)]
+pub enum Rat {
+    NegInf,
+    Fin { num: i128, den: i128 },
+    PosInf,
+}
+
+impl Rat {
+    /// `num/den`; `den` must be nonzero (sign is normalized).
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "zero denominator");
+        if den < 0 {
+            Rat::Fin { num: -num, den: -den }
+        } else {
+            Rat::Fin { num, den }
+        }
+    }
+
+    pub fn int(v: i64) -> Rat {
+        Rat::Fin { num: v as i128, den: 1 }
+    }
+
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Rat::Fin { .. })
+    }
+
+    /// Numerator/denominator of a finite value.
+    pub fn parts(&self) -> (i128, i128) {
+        match self {
+            Rat::Fin { num, den } => (*num, *den),
+            _ => panic!("parts() of infinite Rat"),
+        }
+    }
+
+    /// Approximate f64 value (for printing only; never used in predicates).
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Rat::NegInf => f64::NEG_INFINITY,
+            Rat::PosInf => f64::INFINITY,
+            Rat::Fin { num, den } => *num as f64 / *den as f64,
+        }
+    }
+
+    /// Compare against an integer.
+    pub fn cmp_int(&self, v: i64) -> Ordering {
+        match self {
+            Rat::NegInf => Ordering::Less,
+            Rat::PosInf => Ordering::Greater,
+            Rat::Fin { num, den } => num.cmp(&(v as i128 * den)),
+        }
+    }
+}
+
+impl PartialEq for Rat {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Rat {}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Rat::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (PosInf, _) | (_, NegInf) => Ordering::Greater,
+            (Fin { num: n1, den: d1 }, Fin { num: n2, den: d2 }) => (n1 * d2).cmp(&(n2 * d1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_with_infinities() {
+        assert!(Rat::NegInf < Rat::int(-1_000_000));
+        assert!(Rat::int(5) < Rat::PosInf);
+        assert!(Rat::NegInf < Rat::PosInf);
+        assert_eq!(Rat::NegInf, Rat::NegInf);
+    }
+
+    #[test]
+    fn cross_multiplied_compare() {
+        assert_eq!(Rat::new(1, 3).cmp(&Rat::new(2, 6)), Ordering::Equal);
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 3) > Rat::new(-1, 2));
+        // Negative denominators are normalized.
+        assert_eq!(Rat::new(1, -2), Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn cmp_int_matches_cmp() {
+        assert_eq!(Rat::new(7, 2).cmp_int(3), Ordering::Greater);
+        assert_eq!(Rat::new(6, 2).cmp_int(3), Ordering::Equal);
+        assert_eq!(Rat::new(5, 2).cmp_int(3), Ordering::Less);
+        assert_eq!(Rat::NegInf.cmp_int(i64::MIN), Ordering::Less);
+        assert_eq!(Rat::PosInf.cmp_int(i64::MAX), Ordering::Greater);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+}

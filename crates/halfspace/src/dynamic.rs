@@ -1,0 +1,285 @@
+//! Dynamization by partial reconstruction (the paper's Remark (iii) and
+//! Open Problem 1).
+//!
+//! The standard logarithmic method [Bentley–Saxe; Mehlhorn, ref. 39 in the
+//! paper's references]: maintain static Theorem 3.5 structures over subsets
+//! of sizes that follow the binary representation of N. An insertion goes
+//! into a buffer; when the buffer fills, it is merged with the smallest
+//! structures and rebuilt — O((log₂ n)·amortized-build/N) amortized IOs per
+//! insertion. Deletions use a tombstone set and trigger global rebuilding
+//! when half the elements are dead, preserving the query bound at
+//! O(log₂ n · (log_B n + t)) worst case (each of the O(log n) static parts
+//! pays its own O(log_B n) search).
+
+use std::collections::HashSet;
+
+use lcrs_extmem::Device;
+
+use crate::hs2d::{HalfspaceRS2, Hs2dConfig, QueryStats};
+
+/// A dynamic halfspace-reporting structure over 2D points.
+///
+/// Point identity: values are `(x, y)` pairs plus a caller-supplied `u64`
+/// tag (stable across rebuilds; duplicates allowed).
+pub struct DynamicHalfspace2 {
+    dev: Device,
+    cfg: Hs2dConfig,
+    /// Static parts, geometrically increasing; `parts[i]` holds its build
+    /// input so rebuilds can merge (kept on the host side like any
+    /// database catalog would).
+    parts: Vec<Part>,
+    buffer: Vec<(i64, i64, u64)>,
+    buffer_cap: usize,
+    dead: HashSet<u64>,
+    live: usize,
+    total_slots: usize,
+}
+
+struct Part {
+    structure: HalfspaceRS2,
+    points: Vec<(i64, i64, u64)>,
+}
+
+impl DynamicHalfspace2 {
+    pub fn new(dev: &Device, cfg: Hs2dConfig) -> DynamicHalfspace2 {
+        let b = dev.records_per_page(20).max(8);
+        DynamicHalfspace2 {
+            dev: dev.clone(),
+            cfg,
+            parts: Vec::new(),
+            buffer: Vec::new(),
+            buffer_cap: b,
+            dead: HashSet::new(),
+            live: 0,
+            total_slots: 0,
+        }
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of static parts currently maintained (O(log n)).
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Insert a point with a caller-chosen tag (must be unique among live
+    /// points if deletion by tag is used).
+    pub fn insert(&mut self, x: i64, y: i64, tag: u64) {
+        self.buffer.push((x, y, tag));
+        self.live += 1;
+        self.total_slots += 1;
+        if self.buffer.len() >= self.buffer_cap {
+            self.flush_buffer();
+        }
+    }
+
+    /// Delete by tag; `true` if a live point was removed (lazy tombstone).
+    pub fn remove(&mut self, tag: u64) -> bool {
+        if let Some(i) = self.buffer.iter().position(|p| p.2 == tag) {
+            self.buffer.swap_remove(i);
+            self.live -= 1;
+            self.total_slots -= 1;
+            return true;
+        }
+        let exists = self
+            .parts
+            .iter()
+            .any(|p| p.points.iter().any(|q| q.2 == tag))
+            && !self.dead.contains(&tag);
+        if !exists {
+            return false;
+        }
+        self.dead.insert(tag);
+        self.live -= 1;
+        if self.live * 2 < self.total_slots {
+            self.rebuild_all();
+        }
+        true
+    }
+
+    fn flush_buffer(&mut self) {
+        // Logarithmic merge: gather the buffer plus every part not larger
+        // than the accumulated size, rebuild one structure from the union.
+        let mut batch: Vec<(i64, i64, u64)> = std::mem::take(&mut self.buffer);
+        loop {
+            let acc = batch.len();
+            match self.parts.iter().position(|p| p.points.len() <= acc) {
+                Some(i) => {
+                    let part = self.parts.swap_remove(i);
+                    batch.extend(part.points);
+                }
+                None => break,
+            }
+        }
+        batch.retain(|p| !self.dead.remove(&p.2));
+        self.total_slots = self.parts.iter().map(|p| p.points.len()).sum::<usize>()
+            + batch.len()
+            + self.buffer.len();
+        if batch.is_empty() {
+            return;
+        }
+        let coords: Vec<(i64, i64)> = batch.iter().map(|p| (p.0, p.1)).collect();
+        let structure = HalfspaceRS2::build(&self.dev, &coords, self.cfg);
+        self.parts.push(Part { structure, points: batch });
+        self.parts.sort_by_key(|p| std::cmp::Reverse(p.points.len()));
+    }
+
+    fn rebuild_all(&mut self) {
+        let mut all: Vec<(i64, i64, u64)> = std::mem::take(&mut self.buffer);
+        for p in std::mem::take(&mut self.parts) {
+            all.extend(p.points);
+        }
+        all.retain(|p| !self.dead.contains(&p.2));
+        self.dead.clear();
+        self.total_slots = all.len();
+        self.live = all.len();
+        if all.is_empty() {
+            return;
+        }
+        let coords: Vec<(i64, i64)> = all.iter().map(|p| (p.0, p.1)).collect();
+        let structure = HalfspaceRS2::build(&self.dev, &coords, self.cfg);
+        self.parts.push(Part { structure, points: all });
+    }
+
+    /// Report the tags of all live points strictly below `y = m·x + c`
+    /// (`inclusive` adds on-line points).
+    pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> Vec<u64> {
+        self.query_below_stats(m, c, inclusive).0
+    }
+
+    pub fn query_below_stats(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u64>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        for part in &self.parts {
+            let (ids, st) = part.structure.query_below_stats(m, c, inclusive);
+            stats.ios += st.ios;
+            stats.clusterings_visited += st.clusterings_visited;
+            stats.clusters_read += st.clusters_read;
+            for id in ids {
+                let p = part.points[id as usize];
+                if !self.dead.contains(&p.2) {
+                    out.push(p.2);
+                }
+            }
+        }
+        // The in-memory buffer is scanned for free (it models the one
+        // internal-memory block every external structure is allowed).
+        for &(x, y, tag) in &self.buffer {
+            let rhs = m as i128 * x as i128 + c as i128;
+            let hit = if inclusive { y as i128 <= rhs } else { (y as i128) < rhs };
+            if hit {
+                out.push(tag);
+            }
+        }
+        stats.reported = out.len();
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrs_extmem::DeviceConfig;
+    use std::collections::BTreeMap;
+
+    fn check(dynamic: &DynamicHalfspace2, model: &BTreeMap<u64, (i64, i64)>) {
+        for (m, c, inclusive) in [(3i64, 500i64, false), (-2, -100, true), (0, 0, false)] {
+            let mut got = dynamic.query_below(m, c, inclusive);
+            got.sort_unstable();
+            let mut want: Vec<u64> = model
+                .iter()
+                .filter(|(_, &(x, y))| {
+                    let rhs = m as i128 * x as i128 + c as i128;
+                    if inclusive {
+                        y as i128 <= rhs
+                    } else {
+                        (y as i128) < rhs
+                    }
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "m={m} c={c}");
+        }
+    }
+
+    #[test]
+    fn inserts_then_queries() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let mut d = DynamicHalfspace2::new(&dev, Hs2dConfig::default());
+        let mut model = BTreeMap::new();
+        let mut s = 77u64;
+        for tag in 0..600u64 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let (x, y) = (((s >> 33) as i64) % 2000 - 1000, ((s >> 13) as i64) % 2000 - 1000);
+            d.insert(x, y, tag);
+            model.insert(tag, (x, y));
+            if tag % 97 == 0 {
+                check(&d, &model);
+            }
+        }
+        assert!(d.num_parts() <= 12, "parts must stay logarithmic: {}", d.num_parts());
+        check(&d, &model);
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let mut d = DynamicHalfspace2::new(&dev, Hs2dConfig::default());
+        let mut model = BTreeMap::new();
+        let mut s = 5u64;
+        for round in 0..900u64 {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            if round % 3 == 2 && !model.is_empty() {
+                // Delete a pseudo-random live tag.
+                let k = *model.keys().nth((s as usize) % model.len()).unwrap();
+                assert!(d.remove(k));
+                model.remove(&k);
+            } else {
+                let (x, y) = (((s >> 33) as i64) % 500 - 250, ((s >> 11) as i64) % 500 - 250);
+                d.insert(x, y, round);
+                model.insert(round, (x, y));
+            }
+            if round % 131 == 0 {
+                check(&d, &model);
+                assert_eq!(d.len(), model.len());
+            }
+        }
+        check(&d, &model);
+    }
+
+    #[test]
+    fn removing_absent_tag_is_noop() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let mut d = DynamicHalfspace2::new(&dev, Hs2dConfig::default());
+        d.insert(1, 1, 10);
+        assert!(!d.remove(99));
+        assert!(d.remove(10));
+        assert!(!d.remove(10));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn mass_deletion_triggers_compaction() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let mut d = DynamicHalfspace2::new(&dev, Hs2dConfig::default());
+        for t in 0..400u64 {
+            d.insert(t as i64, -(t as i64), t);
+        }
+        for t in 0..300u64 {
+            assert!(d.remove(t));
+        }
+        assert_eq!(d.len(), 100);
+        // After compaction the dead set must have been flushed.
+        assert!(d.dead.len() < 200);
+        let got = d.query_below(0, i64::MAX / 4, false);
+        assert_eq!(got.len(), 100);
+    }
+}

@@ -1,0 +1,607 @@
+//! The optimal two-dimensional structure (Section 3, Theorem 3.5).
+//!
+//! Points are dualized to lines (Lemma 2.1); the lines are partitioned into
+//! subsets L_1, L_2, …, L_m where L_i is the set of lines passing below a
+//! random level λ_i ∈ [β, 2β] (β = B·log_B n) of the arrangement of the
+//! remaining lines H_i, stored as a greedy 3λ-clustering (Lemma 3.2). A
+//! query visits clusterings in order: it locates the relevant cluster with a
+//! B-tree on the boundary abscissae, and either *halts* — fewer than λ_i
+//! lines of the cluster below the query point means, by Lemma 3.1, that the
+//! cluster contains every remaining line below the point — or reports L_i's
+//! lines below the point by scanning neighboring clusters until the
+//! stopping rule of Lemma 3.4 fires, then proceeds to L_{i+1}.
+//!
+//! Total: O(n) blocks and O(log_B n + t) IOs per query, worst case.
+
+pub mod cluster;
+
+use std::collections::HashSet;
+
+use lcrs_extmem::btree::BPlusTree;
+use lcrs_extmem::{Device, Record, VecFile};
+use lcrs_geom::dual::point2_to_line;
+use lcrs_geom::line2::Line2;
+use lcrs_geom::rational::Rat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cluster::greedy_clustering;
+
+/// A cluster-file record: (line id, slope, intercept). The id is the
+/// original point index when the input had no duplicate points, otherwise a
+/// dense unique-line index expanded through the duplicate tables.
+type LineRec = (u32, (i64, i64));
+
+/// Exact rational B-tree key (canonicalized so equal values are bitwise
+/// equal), ordered by value. Boundary abscissae are crossings of two dual
+/// lines, so numerator and denominator fit i64 within the 2D budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatKey {
+    num: i64,
+    den: i64,
+}
+
+impl RatKey {
+    pub fn new(num: i128, den: i128) -> RatKey {
+        assert!(den != 0);
+        let (mut num, mut den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = (gcd(num.unsigned_abs(), den.unsigned_abs()).max(1)) as i128;
+        num /= g;
+        den /= g;
+        assert!(
+            i64::try_from(num).is_ok() && i64::try_from(den).is_ok(),
+            "boundary abscissa exceeds the 2D coordinate budget"
+        );
+        RatKey { num: num as i64, den: den as i64 }
+    }
+
+    pub fn from_rat(r: Rat) -> RatKey {
+        let (n, d) = r.parts();
+        RatKey::new(n, d)
+    }
+
+    pub fn from_int(v: i64) -> RatKey {
+        RatKey { num: v, den: 1 }
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ord for RatKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.num as i128 * other.den as i128).cmp(&(other.num as i128 * self.den as i128))
+    }
+}
+impl PartialOrd for RatKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Record for RatKey {
+    const SIZE: usize = 16;
+    fn store(&self, buf: &mut [u8]) {
+        self.num.store(&mut buf[..8]);
+        self.den.store(&mut buf[8..]);
+    }
+    fn load(buf: &[u8]) -> Self {
+        RatKey { num: i64::load(&buf[..8]), den: i64::load(&buf[8..]) }
+    }
+}
+
+/// One clustering Γ_i on disk.
+struct ClusteringDisk {
+    lambda: usize,
+    n_clusters: usize,
+    /// Boundary abscissa → index of the cluster to its right.
+    boundaries: BPlusTree<RatKey, u32>,
+    /// Cluster index → (offset, length) into `lines`.
+    dir: VecFile<(u64, u32)>,
+    /// Concatenated clusters, each sorted by line id.
+    lines: VecFile<LineRec>,
+}
+
+/// Construction parameters (paper defaults; EXP-ABL varies them).
+#[derive(Debug, Clone, Copy)]
+pub struct Hs2dConfig {
+    /// Cluster size factor (the paper's 3 in "3k-clustering").
+    pub cluster_factor: usize,
+    /// Multiplier on β for the final-subset cutoff (paper analysis: any
+    /// constant > factor·2 works; we use 6).
+    pub final_cutoff_factor: usize,
+    /// Override β (0 = the paper's B·⌈log_B n⌉).
+    pub beta_override: usize,
+    /// RNG seed for the random level choices.
+    pub seed: u64,
+}
+
+impl Default for Hs2dConfig {
+    fn default() -> Self {
+        Hs2dConfig { cluster_factor: 3, final_cutoff_factor: 6, beta_override: 0, seed: 0x1cbe991a14 }
+    }
+}
+
+/// Statistics of one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    pub ios: u64,
+    pub clusterings_visited: usize,
+    pub clusters_read: usize,
+    pub reported: usize,
+}
+
+/// The Theorem 3.5 structure.
+pub struct HalfspaceRS2 {
+    dev: Device,
+    clusterings: Vec<ClusteringDisk>,
+    n_points: usize,
+    n_lines: usize,
+    beta: usize,
+    /// Duplicate-point expansion: line id → (offset, len) into `group_pts`;
+    /// `None` when the input points were distinct (ids are point indices).
+    group_dir: Option<VecFile<(u64, u32)>>,
+    group_pts: Option<VecFile<u32>>,
+    pages_at_build_end: u64,
+}
+
+impl HalfspaceRS2 {
+    /// Preprocess `points` (pairs `(x, y)`, |coord| ≤ 2^30) for
+    /// linear-constraint queries on the given device.
+    pub fn build(dev: &Device, points: &[(i64, i64)], cfg: Hs2dConfig) -> HalfspaceRS2 {
+        for &(x, y) in points {
+            assert!(
+                x.abs() <= lcrs_geom::MAX_COORD_2D && y.abs() <= lcrs_geom::MAX_COORD_2D,
+                "point ({x},{y}) outside the 2D coordinate budget"
+            );
+        }
+        // Dualize and group duplicates.
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        order.sort_by_key(|&i| points[i as usize]);
+        let mut lines: Vec<Line2> = Vec::new();
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        for &i in &order {
+            let l = point2_to_line(points[i as usize].0, points[i as usize].1);
+            if lines.last() == Some(&l) {
+                groups.last_mut().unwrap().push(i);
+            } else {
+                lines.push(l);
+                groups.push(vec![i]);
+            }
+        }
+        let has_dups = groups.iter().any(|g| g.len() > 1);
+        let n_lines = lines.len();
+
+        // Line ids used inside cluster files.
+        let ids: Vec<u32> = if has_dups {
+            (0..n_lines as u32).collect()
+        } else {
+            groups.iter().map(|g| g[0]).collect()
+        };
+        let id_of = |li: usize| ids[li];
+        // Geometry lookup by public id (dense enough either way).
+        let mut geom_by_id: Vec<Line2> = vec![Line2::new(0, 0); points.len().max(n_lines)];
+        for (li, &id) in ids.iter().enumerate() {
+            geom_by_id[id as usize] = lines[li];
+        }
+
+        let per_page = dev.records_per_page(<LineRec as Record>::SIZE);
+        let n_blocks = n_lines.div_ceil(per_page).max(1);
+        let beta = if cfg.beta_override > 0 {
+            cfg.beta_override
+        } else {
+            let logb = if n_blocks <= 1 {
+                1.0
+            } else {
+                (n_blocks as f64).ln() / (per_page.max(2) as f64).ln()
+            };
+            (per_page as f64 * logb.max(1.0)).ceil() as usize
+        };
+        let beta = beta.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Iteratively peel clusterings off the remaining set H.
+        let mut h: Vec<u32> = (0..n_lines as u32).collect(); // dense line indices
+        let mut clusterings = Vec::new();
+        while !h.is_empty() {
+            if h.len() <= cfg.final_cutoff_factor * beta {
+                // Final subset: one cluster holding everything; λ chosen so
+                // the halting test always fires here.
+                let mut all: Vec<u32> = h.iter().map(|&li| id_of(li as usize)).collect();
+                all.sort_unstable();
+                let built = vec![all];
+                clusterings.push(Self::write_clustering(dev, h.len() + 1, &[], &built, &geom_by_id));
+                break;
+            }
+            let lambda = rng.gen_range(beta..=2 * beta);
+            debug_assert!(lambda < h.len());
+            let built = greedy_clustering(&lines, &h, lambda, cfg.cluster_factor);
+            // Translate dense indices to public ids when writing.
+            let clusters_pub: Vec<Vec<u32>> = built
+                .clusters
+                .iter()
+                .map(|c| {
+                    let mut v: Vec<u32> = c.iter().map(|&li| id_of(li as usize)).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            clusterings.push(Self::write_clustering(
+                dev,
+                lambda,
+                &built.boundaries,
+                &clusters_pub,
+                &geom_by_id,
+            ));
+            // H ← H \ L_i (both sorted ascending).
+            let mut next = Vec::with_capacity(h.len() - built.covered.len());
+            let mut ci = 0;
+            for &li in &h {
+                if ci < built.covered.len() && built.covered[ci] == li {
+                    ci += 1;
+                } else {
+                    next.push(li);
+                }
+            }
+            assert!(next.len() < h.len(), "construction must make progress");
+            h = next;
+        }
+
+        // Duplicate expansion tables.
+        let (group_dir, group_pts) = if has_dups {
+            let mut dir = Vec::with_capacity(n_lines);
+            let mut pts = Vec::new();
+            for g in &groups {
+                dir.push((pts.len() as u64, g.len() as u32));
+                pts.extend_from_slice(g);
+            }
+            (Some(VecFile::from_slice(dev, &dir)), Some(VecFile::from_slice(dev, &pts)))
+        } else {
+            (None, None)
+        };
+
+        HalfspaceRS2 {
+            dev: dev.clone(),
+            clusterings,
+            n_points: points.len(),
+            n_lines,
+            beta,
+            group_dir,
+            group_pts,
+            pages_at_build_end: dev.pages_allocated(),
+        }
+    }
+
+    fn write_clustering(
+        dev: &Device,
+        lambda: usize,
+        boundaries: &[Rat],
+        clusters: &[Vec<u32>],
+        geom_by_id: &[Line2],
+    ) -> ClusteringDisk {
+        let mut dir: Vec<(u64, u32)> = Vec::with_capacity(clusters.len());
+        let mut recs: Vec<LineRec> = Vec::new();
+        for c in clusters {
+            dir.push((recs.len() as u64, c.len() as u32));
+            for &id in c {
+                let l = geom_by_id[id as usize];
+                recs.push((id, (l.m, l.b)));
+            }
+        }
+        // Boundary B-tree: key = abscissa, value = cluster index to the
+        // right. Duplicate abscissae (degenerate concurrences) keep the
+        // rightmost cluster.
+        let mut pairs: Vec<(RatKey, u32)> = boundaries
+            .iter()
+            .enumerate()
+            .map(|(k, w)| (RatKey::from_rat(*w), k as u32 + 1))
+            .collect();
+        pairs.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 = a.1.max(b.1);
+                true
+            } else {
+                false
+            }
+        });
+        let btree = BPlusTree::bulk_load(dev, &pairs);
+        ClusteringDisk {
+            lambda,
+            n_clusters: clusters.len(),
+            boundaries: btree,
+            dir: VecFile::from_slice(dev, &dir),
+            lines: VecFile::from_slice(dev, &recs),
+        }
+    }
+
+    /// Number of input points.
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Distinct dual lines.
+    pub fn unique_points(&self) -> usize {
+        self.n_lines
+    }
+
+    /// The β = B·⌈log_B n⌉ used at construction.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// Number of clusterings (the paper's m ≤ n / log_B n).
+    pub fn num_clusterings(&self) -> usize {
+        self.clusterings.len()
+    }
+
+    /// Disk pages this structure occupies (its linear-space footprint).
+    pub fn pages(&self) -> u64 {
+        self.pages_at_build_end
+    }
+
+    /// Report all points strictly below the line `y = m·x + c`
+    /// (`inclusive` additionally reports points exactly on it). Returns
+    /// original point indices, unordered.
+    pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> Vec<u32> {
+        self.query_below_stats(m, c, inclusive).0
+    }
+
+    /// [`Self::query_below`] with measured IO statistics.
+    pub fn query_below_stats(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u32>, QueryStats) {
+        let before = self.dev.stats();
+        // Dual point of the query line.
+        let (px, py) = (m, c);
+        let below = |lm: i64, lb: i64| -> bool {
+            let v = lm as i128 * px as i128 + lb as i128;
+            if inclusive {
+                v <= py as i128
+            } else {
+                v < py as i128
+            }
+        };
+
+        let mut reported_ids: HashSet<u32> = HashSet::new();
+        let mut out: Vec<u32> = Vec::new();
+        let mut stats = QueryStats::default();
+        let mut report = |id: u32, out: &mut Vec<u32>| {
+            if reported_ids.insert(id) {
+                out.push(id);
+            }
+        };
+
+        'clusterings: for g in &self.clusterings {
+            stats.clusterings_visited += 1;
+            // Relevant cluster.
+            let j = g
+                .boundaries
+                .floor(&RatKey::from_int(px))
+                .map(|(_, v)| v as usize)
+                .unwrap_or(0);
+            let mut buf: Vec<LineRec> = Vec::new();
+            let read_cluster = |idx: usize, buf: &mut Vec<LineRec>| {
+                buf.clear();
+                let (off, len) = g.dir.get(idx);
+                g.lines.read_range(off as usize..off as usize + len as usize, buf);
+            };
+            read_cluster(j, &mut buf);
+            stats.clusters_read += 1;
+            let below_j: Vec<u32> =
+                buf.iter().filter(|r| below(r.1 .0, r.1 .1)).map(|r| r.0).collect();
+            if below_j.len() < g.lambda {
+                // Lemma 3.1: the relevant cluster contains every remaining
+                // line below the query point — report and halt.
+                for id in below_j {
+                    report(id, &mut out);
+                }
+                break 'clusterings;
+            }
+            for id in below_j {
+                report(id, &mut out);
+            }
+            // Rightward scan (Lemma 3.4).
+            let mut above_right: HashSet<u32> = HashSet::new();
+            for k in j + 1..g.n_clusters {
+                read_cluster(k, &mut buf);
+                stats.clusters_read += 1;
+                for r in &buf {
+                    if below(r.1 .0, r.1 .1) {
+                        report(r.0, &mut out);
+                    } else {
+                        above_right.insert(r.0);
+                    }
+                }
+                if above_right.len() > g.lambda {
+                    break;
+                }
+            }
+            // Leftward scan.
+            let mut above_left: HashSet<u32> = HashSet::new();
+            for k in (0..j).rev() {
+                read_cluster(k, &mut buf);
+                stats.clusters_read += 1;
+                for r in &buf {
+                    if below(r.1 .0, r.1 .1) {
+                        report(r.0, &mut out);
+                    } else {
+                        above_left.insert(r.0);
+                    }
+                }
+                if above_left.len() > g.lambda {
+                    break;
+                }
+            }
+        }
+
+        // Expand duplicate groups with page-batched reads: directory
+        // entries in id order, then point slots in offset order, paying one
+        // IO per distinct page rather than one per reported line.
+        let result = if let (Some(dir), Some(pts)) = (&self.group_dir, &self.group_pts) {
+            let mut ids: Vec<usize> = out.iter().map(|&i| i as usize).collect();
+            ids.sort_unstable();
+            let mut entries: Vec<(u64, u32)> = Vec::with_capacity(ids.len());
+            dir.get_many(&ids, &mut entries);
+            let mut slots: Vec<usize> = entries
+                .iter()
+                .flat_map(|&(off, len)| off as usize..off as usize + len as usize)
+                .collect();
+            slots.sort_unstable();
+            let mut expanded = Vec::with_capacity(slots.len());
+            pts.get_many(&slots, &mut expanded);
+            expanded
+        } else {
+            out
+        };
+        stats.reported = result.len();
+        stats.ios = self.dev.stats().since(before).total();
+        (result, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrs_extmem::DeviceConfig;
+
+    fn pseudo_points(n: usize, seed: u64, range: i64) -> Vec<(i64, i64)> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i64).rem_euclid(2 * range) - range
+        };
+        (0..n).map(|_| (next(), next())).collect()
+    }
+
+    fn brute_force(points: &[(i64, i64)], m: i64, c: i64, inclusive: bool) -> Vec<u32> {
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| {
+                let rhs = m as i128 * x as i128 + c as i128;
+                if inclusive {
+                    (y as i128) <= rhs
+                } else {
+                    (y as i128) < rhs
+                }
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn check_queries(points: &[(i64, i64)], hs: &HalfspaceRS2, seed: u64, trials: usize) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 33) as i64).rem_euclid(4000) - 2000
+        };
+        for t in 0..trials {
+            let (m, c) = (next(), next() * 100);
+            let inclusive = t % 2 == 0;
+            let mut got = hs.query_below(m, c, inclusive);
+            got.sort_unstable();
+            let want = brute_force(points, m, c, inclusive);
+            assert_eq!(got, want, "query y <= {m}x+{c} (inclusive={inclusive})");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        for n in [0usize, 1, 2, 5] {
+            let pts = pseudo_points(n, 9 + n as u64, 1000);
+            let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+            check_queries(&pts, &hs, 1, 20);
+        }
+    }
+
+    #[test]
+    fn medium_random_matches_brute_force() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts = pseudo_points(500, 42, 100_000);
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        assert!(hs.num_clusterings() >= 1);
+        check_queries(&pts, &hs, 7, 60);
+    }
+
+    #[test]
+    fn multi_clustering_structure() {
+        // Force several clusterings with a small page size (small B ⇒ small β).
+        let dev = Device::new(DeviceConfig::new(128, 0));
+        let pts = pseudo_points(2000, 5, 1_000_000);
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        assert!(hs.num_clusterings() > 1, "expected a multi-level cascade");
+        check_queries(&pts, &hs, 3, 40);
+    }
+
+    #[test]
+    fn duplicate_points_are_all_reported() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let mut pts = pseudo_points(300, 8, 1000);
+        // Triple some points.
+        for i in 0..60 {
+            let p = pts[i * 3];
+            pts.push(p);
+            pts.push(p);
+        }
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        assert!(hs.unique_points() < pts.len());
+        check_queries(&pts, &hs, 11, 40);
+    }
+
+    #[test]
+    fn diagonal_adversarial_input() {
+        // The Section 1.2 worst case for heuristic indexes: points on a
+        // diagonal, query just above it. Correctness here; IO bounds in the
+        // bench harness.
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts: Vec<(i64, i64)> = (0..1500).map(|i| (i, i)).collect();
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        // y <= x + 0 inclusive: everything. strict: nothing.
+        let mut all = hs.query_below(1, 0, true);
+        all.sort_unstable();
+        assert_eq!(all, (0..1500u32).collect::<Vec<_>>());
+        assert!(hs.query_below(1, 0, false).is_empty());
+        // A slab query: y <= x - c strict picks nothing; y <= x + 1 all.
+        assert_eq!(hs.query_below(1, 1, false).len(), 1500);
+        check_queries(&pts, &hs, 13, 30);
+    }
+
+    #[test]
+    fn query_io_scales_with_output_not_n() {
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let pts = pseudo_points(4000, 21, 1 << 20);
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        // A query with tiny output must cost far fewer IOs than n blocks.
+        let (res, st) = hs.query_below_stats(0, -(1 << 20) + 1000, false);
+        let n_blocks = (hs.unique_points() as u64).div_ceil(512 / 20);
+        assert!(res.len() < 50, "output unexpectedly large: {}", res.len());
+        assert!(
+            st.ios < n_blocks / 2,
+            "small-output query cost {} IOs vs n = {} blocks",
+            st.ios,
+            n_blocks
+        );
+    }
+
+    #[test]
+    fn cluster_factor_ablation_still_correct() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts = pseudo_points(800, 31, 500_000);
+        for factor in [2usize, 4] {
+            let cfg = Hs2dConfig { cluster_factor: factor, ..Default::default() };
+            let hs = HalfspaceRS2::build(&dev, &pts, cfg);
+            check_queries(&pts, &hs, factor as u64, 25);
+        }
+    }
+}

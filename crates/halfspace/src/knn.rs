@@ -1,0 +1,188 @@
+//! Planar k-nearest-neighbor queries by lifting (Theorem 4.3).
+//!
+//! Each point `(a, b)` is lifted to the plane `z = a² + b² − 2a·x − 2b·y`;
+//! for a query `(x, y)` the plane values order the points by squared
+//! Euclidean distance, so the k nearest neighbors are exactly the k lowest
+//! planes along the vertical line at `(x, y)` — answered by the Section 4
+//! structure in O(log_B n + k/B) expected IOs.
+
+use lcrs_extmem::Device;
+use lcrs_geom::plane3::Plane3;
+
+use crate::hs3d::{HalfspaceRS3, Hs3dConfig, QueryStats3};
+
+/// Maximum |coordinate| of k-NN input points so the lift respects the 3D
+/// coordinate budget (`a² + b² ≤ 2^21`).
+pub const MAX_KNN_COORD: i64 = 1024;
+
+/// k-nearest-neighbor structure over 2D points.
+pub struct KnnStructure {
+    hs: HalfspaceRS3,
+    n: usize,
+}
+
+impl KnnStructure {
+    /// Preprocess `points` (|coordinate| ≤ [`MAX_KNN_COORD`]).
+    pub fn build(dev: &Device, points: &[(i64, i64)], cfg: Hs3dConfig) -> KnnStructure {
+        let planes: Vec<Plane3> = points
+            .iter()
+            .map(|&(a, b)| {
+                assert!(
+                    a.abs() <= MAX_KNN_COORD && b.abs() <= MAX_KNN_COORD,
+                    "k-NN point ({a},{b}) outside the lift coordinate budget"
+                );
+                Plane3::new(-2 * a, -2 * b, a * a + b * b)
+            })
+            .collect();
+        KnnStructure { hs: HalfspaceRS3::build_dual(dev, &planes, cfg), n: points.len() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Disk pages occupied.
+    pub fn pages(&self) -> u64 {
+        self.hs.pages()
+    }
+
+    /// Indices of the k nearest neighbors of `(x, y)`, closest first (ties
+    /// broken by index).
+    pub fn k_nearest(&self, x: i64, y: i64, k: usize) -> Vec<u32> {
+        self.k_nearest_stats(x, y, k).0
+    }
+
+    /// Report all points within Euclidean distance √`r2` of `(x, y)`
+    /// (circular range reporting — the lift turns the disk into a halfspace
+    /// below the point `(x, y, r² − x² − y²)`). `inclusive` keeps points at
+    /// exactly the radius.
+    pub fn within_radius(&self, x: i64, y: i64, r2: i64, inclusive: bool) -> Vec<u32> {
+        // Lifted plane value at (x,y) is |p-(x,y)|² − (x²+y²); the
+        // threshold for dist² ≤ r² is r² − x² − y².
+        let w = r2 - x * x - y * y;
+        self.hs.query_below(x, y, w, inclusive)
+    }
+
+    /// [`Self::k_nearest`] with measured statistics.
+    pub fn k_nearest_stats(&self, x: i64, y: i64, k: usize) -> (Vec<u32>, QueryStats3) {
+        let before = self.hs.device().stats();
+        let mut stats = QueryStats3::default();
+        let ids: Vec<u32> = self
+            .hs
+            .k_lowest(x, y, k, &mut stats)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        stats.reported = ids.len();
+        stats.ios = self.hs.device().stats().since(before).total();
+        (ids, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrs_extmem::DeviceConfig;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<(i64, i64)> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i64).rem_euclid(2 * MAX_KNN_COORD) - MAX_KNN_COORD
+        };
+        (0..n).map(|_| (next(), next())).collect()
+    }
+
+    fn brute_knn(points: &[(i64, i64)], x: i64, y: i64, k: usize) -> Vec<u32> {
+        let mut d: Vec<(i128, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                let dx = (x - a) as i128;
+                let dy = (y - b) as i128;
+                (dx * dx + dy * dy, i as u32)
+            })
+            .collect();
+        d.sort();
+        d.truncate(k);
+        d.into_iter().map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let pts = pseudo_points(400, 77);
+        let knn = KnnStructure::build(&dev, &pts, Hs3dConfig::default());
+        let mut s = 5u64;
+        let mut next = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 33) as i64).rem_euclid(2 * MAX_KNN_COORD) - MAX_KNN_COORD
+        };
+        for _ in 0..25 {
+            let (x, y) = (next(), next());
+            for k in [1usize, 3, 10, 50] {
+                let got = knn.k_nearest(x, y, k);
+                let want = brute_knn(&pts, x, y, k);
+                // Squared distances must agree position by position (indices
+                // may differ only between equidistant points; the lift
+                // breaks ties by plane id = input id, as does brute force).
+                assert_eq!(got, want, "k={k} at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let pts = pseudo_points(20, 3);
+        let knn = KnnStructure::build(&dev, &pts, Hs3dConfig::default());
+        let got = knn.k_nearest(0, 0, 100);
+        assert_eq!(got.len(), 20);
+        assert_eq!(got, brute_knn(&pts, 0, 0, 20));
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let pts = pseudo_points(300, 21);
+        let knn = KnnStructure::build(&dev, &pts, Hs3dConfig::default());
+        let mut s = 3u64;
+        let mut next = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 33) as i64).rem_euclid(2 * MAX_KNN_COORD) - MAX_KNN_COORD
+        };
+        for trial in 0..20 {
+            let (x, y) = (next(), next());
+            let r2 = (trial as i64 + 1) * 40_000;
+            for inclusive in [false, true] {
+                let mut got = knn.within_radius(x, y, r2, inclusive);
+                got.sort_unstable();
+                let want: Vec<u32> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(a, b))| {
+                        let d2 = (x - a).pow(2) + (y - b).pow(2);
+                        if inclusive {
+                            d2 <= r2
+                        } else {
+                            d2 < r2
+                        }
+                    })
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(got, want, "r2={r2} at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lift coordinate budget")]
+    fn rejects_out_of_budget_points() {
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let _ = KnnStructure::build(&dev, &[(5000, 0)], Hs3dConfig::default());
+    }
+}

@@ -1,0 +1,36 @@
+//! # lcrs-halfspace — external-memory halfspace range searching
+//!
+//! The data structures of Agarwal, Arge, Erickson, Franciosa and Vitter,
+//! *Efficient Searching with Linear Constraints* (PODS 1998), implemented on
+//! the simulated disk of [`lcrs_extmem`]:
+//!
+//! * [`hs2d`] — the optimal 2D structure (Theorem 3.5): O(n) blocks,
+//!   O(log_B n + t) IOs per query, via greedy 3k-clusterings of levels;
+//! * [`hs3d`] — the 3D structure (Theorem 4.4): O(n log₂ n) expected blocks,
+//!   O(log_B n + t) expected IOs, via lower envelopes of geometric samples
+//!   with conflict lists;
+//! * [`knn`] — planar k-nearest-neighbor queries by lifting (Theorem 4.3);
+//! * [`ptree`] — linear-size partition trees for d dimensions
+//!   (Theorem 5.2), answering halfspace and simplex queries;
+//! * [`tradeoff`] — the space/query trade-offs of Section 6 (hybrid
+//!   partition tree with 3D structures at the leaves, Theorem 6.1, and the
+//!   shallow-style tree of Theorem 6.3).
+//!
+//! All query methods report *exactly* the input points satisfying the
+//! constraint (verified against brute force in the test suites); IO costs
+//! are measured, not estimated, through the device the structure was built
+//! on.
+
+pub mod dynamic;
+pub mod hs2d;
+pub mod hs3d;
+pub mod knn;
+pub mod ptree;
+pub mod tradeoff;
+
+pub use dynamic::DynamicHalfspace2;
+pub use hs2d::HalfspaceRS2;
+pub use hs3d::HalfspaceRS3;
+pub use knn::KnnStructure;
+pub use ptree::PartitionTree;
+pub use tradeoff::{HybridTree3, ShallowTree3};

@@ -1,0 +1,164 @@
+//! Discrete ham-sandwich cuts for the Willard-style 2D partitioner.
+//!
+//! Given two point sets A and B separated by their lexicographic median, a
+//! ham-sandwich line simultaneously bisecting both exists and can be found
+//! as a crossing of the two *median levels* of the dual line arrangements
+//! (the dual of the cut is a point lying on both levels). Because a crossing
+//! of two x-monotone chains lies on one segment of each, the cut passes
+//! through one input point of A and one of B — so it has small integer
+//! coefficients and all classifications stay exact.
+//!
+//! The crossing is found by merging two [`LevelWalk`]s and watching the sign
+//! of the difference of their carrier lines; for lexicographically separated
+//! sets the sign at -∞ and +∞ differs (all of A's dual slopes exceed B's),
+//! so a crossing always exists in general position.
+
+use lcrs_geom::dual::point2_to_line;
+use lcrs_geom::level::LevelWalk;
+use lcrs_geom::line2::Line2;
+use lcrs_geom::rational::Rat;
+
+/// Find a ham-sandwich cut of `a` and `b` (disjoint point sets, all points
+/// distinct): returns indices `(ia, ib)` into `a`/`b` such that the line
+/// through `a[ia]` and `b[ib]` has exactly `⌊|a|/2⌋` points of `a` and
+/// `⌊|b|/2⌋` points of `b` strictly below it. `None` in degenerate cases
+/// (duplicate dual lines, no sign change) — callers fall back to a kd split.
+pub fn find_cut(a: &[(i64, i64)], b: &[(i64, i64)]) -> Option<(usize, usize)> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let lines: Vec<Line2> = a
+        .iter()
+        .chain(b.iter())
+        .map(|&(x, y)| point2_to_line(x, y))
+        .collect();
+    // Distinct-lines requirement of the walk.
+    {
+        let mut sorted: Vec<(i64, i64)> = lines.iter().map(|l| (l.m, l.b)).collect();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+    }
+    let ma: Vec<u32> = (0..a.len() as u32).collect();
+    let mb: Vec<u32> = (a.len() as u32..(a.len() + b.len()) as u32).collect();
+    let (ka, kb) = (a.len() / 2, b.len() / 2);
+
+    let mut wa = LevelWalk::new(&lines, &ma, ka);
+    let mut wb = LevelWalk::new(&lines, &mb, kb);
+    let mut ca = wa.current_line();
+    let mut cb = wb.current_line();
+    let mut na = wa.step();
+    let mut nb = wb.step();
+
+    use std::cmp::Ordering::*;
+    let mut s_prev = lines[ca as usize].cmp_at_plus(&lines[cb as usize], Rat::NegInf);
+    if s_prev == Equal {
+        return None; // degenerate
+    }
+    // Bound the merge by the total number of arrangement vertices.
+    let mut guard = (lines.len() * lines.len()) + 4;
+    loop {
+        guard = guard.checked_sub(1)?;
+        let xa = na.as_ref().map(|v| v.x);
+        let xb = nb.as_ref().map(|v| v.x);
+        let next_x = match (xa, xb) {
+            (None, None) => {
+                // Unbounded final interval: compare at +∞.
+                let s_inf = lines[ca as usize].cmp_at(&lines[cb as usize], Rat::PosInf);
+                if s_inf != s_prev {
+                    return Some((ca as usize, cb as usize - a.len()));
+                }
+                return None;
+            }
+            (Some(x), None) => x,
+            (None, Some(x)) => x,
+            (Some(x1), Some(x2)) => x1.min(x2),
+        };
+        let s_here = lines[ca as usize].cmp_at(&lines[cb as usize], next_x);
+        if s_here == Equal || s_here != s_prev {
+            // Crossing within the current interval (or exactly at its end).
+            return Some((ca as usize, cb as usize - a.len()));
+        }
+        s_prev = s_here;
+        if xa == Some(next_x) {
+            ca = na.unwrap().new_line;
+            na = wa.step();
+        }
+        if xb == Some(next_x) {
+            cb = nb.unwrap().new_line;
+            nb = wb.step();
+        }
+    }
+}
+
+/// Is `r` strictly below the (non-vertical) line through `p` and `q`?
+pub fn strictly_below_cut(p: (i64, i64), q: (i64, i64), r: (i64, i64)) -> bool {
+    debug_assert_ne!(p.0, q.0, "cut line must be non-vertical");
+    // r_y < m·r_x + c  with m = (q_y-p_y)/(q_x-p_x): multiply through.
+    let dx = q.0 as i128 - p.0 as i128;
+    let lhs = (r.1 as i128 - p.1 as i128) * dx;
+    let rhs = (q.1 as i128 - p.1 as i128) * (r.0 as i128 - p.0 as i128);
+    if dx > 0 {
+        lhs < rhs
+    } else {
+        lhs > rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<(i64, i64)> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i64).rem_euclid(200_001) - 100_000
+        };
+        let mut out: Vec<(i64, i64)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        while out.len() < n {
+            let p = (next(), next());
+            if seen.insert(p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cut_bisects_both_sets() {
+        for seed in [1u64, 9, 33, 77] {
+            let mut pts = pseudo(60, seed);
+            pts.sort();
+            let (a, b) = pts.split_at(30);
+            let (ia, ib) = find_cut(a, b).expect("general position cut");
+            let (p, q) = (a[ia], b[ib]);
+            let below_a = a.iter().filter(|&&r| strictly_below_cut(p, q, r)).count();
+            let below_b = b.iter().filter(|&&r| strictly_below_cut(p, q, r)).count();
+            assert_eq!(below_a, a.len() / 2, "seed {seed}");
+            assert_eq!(below_b, b.len() / 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn odd_sizes() {
+        let mut pts = pseudo(31, 5);
+        pts.sort();
+        let (a, b) = pts.split_at(15);
+        let (ia, ib) = find_cut(a, b).expect("cut");
+        let (p, q) = (a[ia], b[ib]);
+        assert_eq!(a.iter().filter(|&&r| strictly_below_cut(p, q, r)).count(), 7);
+        assert_eq!(b.iter().filter(|&&r| strictly_below_cut(p, q, r)).count(), 8);
+    }
+
+    #[test]
+    fn duplicate_duals_return_none() {
+        // Two points with equal coordinates across the sets make dual lines
+        // coincide after dedup check.
+        let a = vec![(0, 0), (1, 5)];
+        let b = vec![(0, 0), (7, 2)];
+        assert!(find_cut(&a, &b).is_none());
+    }
+}

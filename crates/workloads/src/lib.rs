@@ -1,0 +1,225 @@
+//! # lcrs-workloads — deterministic workload and query generators
+//!
+//! Point distributions and query generators used by the benchmark harness
+//! (DESIGN.md §5). Everything is seeded, so every experiment is exactly
+//! reproducible. The `diagonal` workload is the adversarial input of the
+//! paper's Section 1.2: N points on a line, with queries bounded by a slight
+//! perturbation of it, which drives quad-tree/kd-tree style indexes to
+//! Ω(n) IOs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 2D point distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dist2 {
+    /// Uniform in `[-range, range]²`.
+    Uniform,
+    /// Sum of three uniforms per coordinate (bell-shaped).
+    Gaussianish,
+    /// 32 uniform cluster centers with tight uniform clouds.
+    Clustered,
+    /// Points on the main diagonal (the §1.2 adversarial input).
+    Diagonal,
+    /// Points on a circle (convex position — every point is extreme).
+    Circle,
+}
+
+/// Generate `n` 2D points with |coordinate| ≤ `range`.
+pub fn points2(dist: Dist2, n: usize, range: i64, seed: u64) -> Vec<(i64, i64)> {
+    assert!(range > 4);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2d2d);
+    let mut u = |r: i64| rng.gen_range(-r..=r);
+    match dist {
+        Dist2::Uniform => (0..n).map(|_| (u(range), u(range))).collect(),
+        Dist2::Gaussianish => (0..n)
+            .map(|_| {
+                let mut g = || (u(range) + u(range) + u(range)) / 3;
+                let x = g();
+                let y = g();
+                (x, y)
+            })
+            .collect(),
+        Dist2::Clustered => {
+            let centers: Vec<(i64, i64)> =
+                (0..32).map(|_| (u(range * 9 / 10), u(range * 9 / 10))).collect();
+            (0..n)
+                .map(|i| {
+                    let c = centers[i % centers.len()];
+                    (c.0 + u(range / 50), c.1 + u(range / 50))
+                })
+                .collect()
+        }
+        Dist2::Diagonal => {
+            // Distinct points marching up the diagonal.
+            let step = ((2 * range) / (n.max(1) as i64 + 1)).max(1);
+            (0..n)
+                .map(|i| (-range + step * (i as i64 + 1), -range + step * (i as i64 + 1)))
+                .collect()
+        }
+        Dist2::Circle => (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                let x = (t.cos() * range as f64 * 0.9) as i64;
+                let y = (t.sin() * range as f64 * 0.9) as i64;
+                (x, y)
+            })
+            .collect(),
+    }
+}
+
+/// 3D point distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dist3 {
+    Uniform,
+    Clustered,
+    /// Points near the plane z = x + y (3D analogue of `Diagonal`).
+    Slab,
+}
+
+/// Generate `n` 3D points with |x|,|y| ≤ `range` (and |z| ≤ 2·range).
+pub fn points3(dist: Dist3, n: usize, range: i64, seed: u64) -> Vec<(i64, i64, i64)> {
+    assert!(range > 4);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3d3d);
+    let mut u = |r: i64| rng.gen_range(-r..=r);
+    match dist {
+        Dist3::Uniform => (0..n).map(|_| (u(range), u(range), u(range))).collect(),
+        Dist3::Clustered => {
+            let centers: Vec<(i64, i64, i64)> = (0..16)
+                .map(|_| (u(range * 9 / 10), u(range * 9 / 10), u(range * 9 / 10)))
+                .collect();
+            (0..n)
+                .map(|i| {
+                    let c = centers[i % centers.len()];
+                    (c.0 + u(range / 40), c.1 + u(range / 40), c.2 + u(range / 40))
+                })
+                .collect()
+        }
+        Dist3::Slab => (0..n)
+            .map(|_| {
+                let (x, y) = (u(range / 2), u(range / 2));
+                (x, y, x + y + u(8))
+            })
+            .collect(),
+    }
+}
+
+/// A halfplane query `y <= m·x + c` with exactly `t` points of `pts`
+/// strictly below it (exact when the t-th projected value is unique).
+/// Slope is drawn from `[-slope..slope]`.
+pub fn halfplane_with_selectivity(
+    pts: &[(i64, i64)],
+    t: usize,
+    slope: i64,
+    seed: u64,
+) -> (i64, i64) {
+    assert!(t <= pts.len() && !pts.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e11);
+    let m = rng.gen_range(-slope..=slope);
+    let mut vals: Vec<i128> =
+        pts.iter().map(|&(x, y)| y as i128 - m as i128 * x as i128).collect();
+    vals.sort_unstable();
+    let c = if t == 0 {
+        vals[0] - 1
+    } else if t == pts.len() {
+        vals[t - 1] + 1
+    } else {
+        vals[t]
+    };
+    (m, i64::try_from(c).expect("intercept fits i64"))
+}
+
+/// Number of points strictly below `y = m·x + c`.
+pub fn count_below2(pts: &[(i64, i64)], m: i64, c: i64) -> usize {
+    pts.iter()
+        .filter(|&&(x, y)| (y as i128) < m as i128 * x as i128 + c as i128)
+        .count()
+}
+
+/// A halfspace query `z <= u·x + v·y + w` with exactly-ish `t` points
+/// strictly below.
+pub fn halfspace3_with_selectivity(
+    pts: &[(i64, i64, i64)],
+    t: usize,
+    slope: i64,
+    seed: u64,
+) -> (i64, i64, i64) {
+    assert!(t <= pts.len() && !pts.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e33);
+    let (u, v) = (rng.gen_range(-slope..=slope), rng.gen_range(-slope..=slope));
+    let mut vals: Vec<i128> = pts
+        .iter()
+        .map(|&(x, y, z)| z as i128 - u as i128 * x as i128 - v as i128 * y as i128)
+        .collect();
+    vals.sort_unstable();
+    let w = if t == 0 {
+        vals[0] - 1
+    } else if t == pts.len() {
+        vals[t - 1] + 1
+    } else {
+        vals[t]
+    };
+    (u, v, i64::try_from(w).expect("offset fits i64"))
+}
+
+/// Number of points strictly below `z = u·x + v·y + w`.
+pub fn count_below3(pts: &[(i64, i64, i64)], u: i64, v: i64, w: i64) -> usize {
+    pts.iter()
+        .filter(|&&(x, y, z)| {
+            (z as i128) < u as i128 * x as i128 + v as i128 * y as i128 + w as i128
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_is_exact_2d() {
+        let pts = points2(Dist2::Uniform, 500, 100_000, 1);
+        for t in [0usize, 1, 10, 250, 499, 500] {
+            let (m, c) = halfplane_with_selectivity(&pts, t, 50, t as u64);
+            assert_eq!(count_below2(&pts, m, c), t, "t={t}");
+        }
+    }
+
+    #[test]
+    fn selectivity_is_exact_3d() {
+        let pts = points3(Dist3::Uniform, 400, 50_000, 2);
+        for t in [0usize, 5, 200, 400] {
+            let (u, v, w) = halfspace3_with_selectivity(&pts, t, 30, t as u64);
+            assert_eq!(count_below3(&pts, u, v, w), t, "t={t}");
+        }
+    }
+
+    #[test]
+    fn distributions_have_expected_shapes() {
+        let d = points2(Dist2::Diagonal, 100, 1 << 20, 3);
+        assert!(d.iter().all(|&(x, y)| x == y));
+        let mut dd = d.clone();
+        dd.dedup();
+        assert_eq!(dd.len(), 100, "diagonal points must be distinct");
+        let c = points2(Dist2::Circle, 64, 1 << 20, 4);
+        assert_eq!(c.len(), 64);
+        let s = points3(Dist3::Slab, 50, 10_000, 5);
+        assert!(s.iter().all(|&(x, y, z)| (z - x - y).abs() <= 8));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(points2(Dist2::Uniform, 50, 1000, 7), points2(Dist2::Uniform, 50, 1000, 7));
+        assert_eq!(
+            points3(Dist3::Clustered, 50, 1000, 7),
+            points3(Dist3::Clustered, 50, 1000, 7)
+        );
+    }
+
+    #[test]
+    fn coordinates_respect_range() {
+        for dist in [Dist2::Uniform, Dist2::Gaussianish, Dist2::Clustered, Dist2::Circle] {
+            let pts = points2(dist, 300, 1 << 20, 9);
+            assert!(pts.iter().all(|&(x, y)| x.abs() <= 1 << 20 && y.abs() <= 1 << 20));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # lcrs — external-memory searching with linear constraints
+//!
+//! Umbrella crate re-exporting the whole workspace: a from-scratch Rust
+//! reproduction of Agarwal, Arge, Erickson, Franciosa, Vitter,
+//! *Efficient Searching with Linear Constraints* (PODS 1998 / JCSS 2000).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use lcrs_baselines as baselines;
+pub use lcrs_extmem as extmem;
+pub use lcrs_geom as geom;
+pub use lcrs_halfspace as halfspace;
+pub use lcrs_workloads as workloads;

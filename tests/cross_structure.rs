@@ -1,0 +1,105 @@
+//! Cross-structure equivalence: every index in the workspace must report
+//! exactly the same point set for the same linear constraint, across
+//! distributions, on shared datasets — the strongest end-to-end oracle we
+//! have (any one structure being right makes all others checked).
+
+use lcrs::baselines::{ExternalKdTree, ExternalScan, StrRTree};
+use lcrs::extmem::{Device, DeviceConfig};
+use lcrs::geom::point::{HyperplaneD, PointD};
+use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs::halfspace::hs3d::{HalfspaceRS3, Hs3dConfig};
+use lcrs::halfspace::ptree::{PTreeConfig, PartitionTree, Partitioner};
+use lcrs::halfspace::tradeoff::{HybridConfig, HybridTree3, ShallowConfig, ShallowTree3};
+use lcrs::workloads::{halfplane_with_selectivity, points2, points3, Dist2, Dist3};
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn all_2d_structures_agree() {
+    for dist in [Dist2::Uniform, Dist2::Gaussianish, Dist2::Clustered, Dist2::Diagonal, Dist2::Circle] {
+        let pts = points2(dist, 1200, 1 << 20, 7);
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        let kd = ExternalKdTree::build(&dev, &pts);
+        let rt = StrRTree::build(&dev, &pts);
+        let sc = ExternalScan::build(&dev, &pts);
+        let ptpts: Vec<PointD<2>> = pts.iter().map(|&(x, y)| PointD::new([x, y])).collect();
+        let pt = PartitionTree::build(&dev, &ptpts, PTreeConfig::default());
+        let ph = PartitionTree::build(
+            &dev,
+            &ptpts,
+            PTreeConfig { partitioner: Partitioner::HamSandwich, ..Default::default() },
+        );
+        for q in 0..8u64 {
+            let t = [0usize, 5, 100, 600][q as usize % 4];
+            let (m, c) = halfplane_with_selectivity(&pts, t, 40, q);
+            for inclusive in [false, true] {
+                let want = sorted(sc.query_below(m, c, inclusive).0);
+                assert_eq!(sorted(hs.query_below(m, c, inclusive)), want, "{dist:?} hs2d");
+                assert_eq!(sorted(kd.query_below(m, c, inclusive).0), want, "{dist:?} kd");
+                assert_eq!(sorted(rt.query_below(m, c, inclusive).0), want, "{dist:?} rtree");
+                let h = HyperplaneD::new([c, m]);
+                assert_eq!(sorted(pt.query_halfspace(&h, inclusive)), want, "{dist:?} ptree");
+                assert_eq!(sorted(ph.query_halfspace(&h, inclusive)), want, "{dist:?} ptree-hs");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_3d_structures_agree() {
+    for dist in [Dist3::Uniform, Dist3::Clustered, Dist3::Slab] {
+        let pts = points3(dist, 900, 1 << 16, 11);
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let hs = HalfspaceRS3::build(&dev, &pts, Hs3dConfig::default());
+        let hy = HybridTree3::build(&dev, &pts, HybridConfig::default());
+        let sh = ShallowTree3::build(&dev, &pts, ShallowConfig::default());
+        let ptpts: Vec<PointD<3>> = pts.iter().map(|&(x, y, z)| PointD::new([x, y, z])).collect();
+        let pt = PartitionTree::build(&dev, &ptpts, PTreeConfig::default());
+        let brute = |u: i64, v: i64, w: i64, inc: bool| -> Vec<u32> {
+            sorted(
+                pts.iter()
+                    .enumerate()
+                    .filter(|(_, &(x, y, z))| {
+                        let rhs = u as i128 * x as i128 + v as i128 * y as i128 + w as i128;
+                        if inc {
+                            z as i128 <= rhs
+                        } else {
+                            (z as i128) < rhs
+                        }
+                    })
+                    .map(|(i, _)| i as u32)
+                    .collect(),
+            )
+        };
+        for q in 0..6u64 {
+            let t = [0usize, 30, 450][q as usize % 3];
+            let (u, v, w) = lcrs::workloads::halfspace3_with_selectivity(&pts, t, 24, q);
+            for inclusive in [false, true] {
+                let want = brute(u, v, w, inclusive);
+                assert_eq!(sorted(hs.query_below(u, v, w, inclusive)), want, "{dist:?} hs3d");
+                assert_eq!(sorted(hy.query_below(u, v, w, inclusive)), want, "{dist:?} hybrid");
+                assert_eq!(sorted(sh.query_below(u, v, w, inclusive)), want, "{dist:?} shallow");
+                let h = HyperplaneD::new([w, u, v]);
+                assert_eq!(sorted(pt.query_halfspace(&h, inclusive)), want, "{dist:?} ptree3");
+            }
+        }
+    }
+}
+
+#[test]
+fn structures_share_one_device_without_interference() {
+    // Multiple structures on one device: page ranges must not collide.
+    let dev = Device::new(DeviceConfig::new(256, 0));
+    let pts = points2(Dist2::Uniform, 600, 1 << 18, 3);
+    let hs1 = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    let pts_b = points2(Dist2::Clustered, 600, 1 << 18, 4);
+    let hs2 = HalfspaceRS2::build(&dev, &pts_b, Hs2dConfig::default());
+    let (m, c) = halfplane_with_selectivity(&pts, 37, 20, 9);
+    assert_eq!(hs1.query_below(m, c, false).len(), 37);
+    let (m2, c2) = halfplane_with_selectivity(&pts_b, 73, 20, 10);
+    assert_eq!(hs2.query_below(m2, c2, false).len(), 73);
+}

@@ -1,0 +1,84 @@
+//! Cost-model behaviour: the IO counts the harness reports must be
+//! deterministic, cache-sensitive in the right direction, and consistent
+//! with the space accounting.
+
+use lcrs::extmem::{Device, DeviceConfig, VecFile};
+use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs::workloads::{halfplane_with_selectivity, points2, Dist2};
+
+#[test]
+fn query_io_counts_are_deterministic() {
+    let pts = points2(Dist2::Uniform, 2000, 1 << 20, 1);
+    let dev = Device::new(DeviceConfig::new(512, 0));
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    let (m, c) = halfplane_with_selectivity(&pts, 100, 30, 2);
+    let (r1, s1) = hs.query_below_stats(m, c, false);
+    let (r2, s2) = hs.query_below_stats(m, c, false);
+    assert_eq!(r1.len(), r2.len());
+    assert_eq!(s1.ios, s2.ios, "uncached queries must cost the same every time");
+}
+
+#[test]
+fn cache_reduces_but_never_changes_answers() {
+    let pts = points2(Dist2::Uniform, 2000, 1 << 20, 3);
+    // Same build twice: without cache and with a generous cache.
+    let dev_cold = Device::new(DeviceConfig::new(512, 0));
+    let hs_cold = HalfspaceRS2::build(&dev_cold, &pts, Hs2dConfig::default());
+    let dev_warm = Device::new(DeviceConfig::new(512, 256));
+    let hs_warm = HalfspaceRS2::build(&dev_warm, &pts, Hs2dConfig::default());
+    let (m, c) = halfplane_with_selectivity(&pts, 150, 30, 4);
+    let (mut r_cold, s_cold) = hs_cold.query_below_stats(m, c, false);
+    // Warm the cache with one query, then measure the second.
+    let _ = hs_warm.query_below_stats(m, c, false);
+    let (mut r_warm, s_warm) = hs_warm.query_below_stats(m, c, false);
+    r_cold.sort_unstable();
+    r_warm.sort_unstable();
+    assert_eq!(r_cold, r_warm);
+    assert!(
+        s_warm.ios < s_cold.ios,
+        "a warm cache must absorb IOs: warm {} vs cold {}",
+        s_warm.ios,
+        s_cold.ios
+    );
+}
+
+#[test]
+fn space_accounting_matches_device_pages() {
+    let dev = Device::new(DeviceConfig::new(512, 0));
+    let before = dev.pages_allocated();
+    let pts = points2(Dist2::Uniform, 3000, 1 << 20, 5);
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    assert_eq!(hs.pages(), dev.pages_allocated());
+    assert!(hs.pages() > before);
+}
+
+#[test]
+fn get_many_pays_one_io_per_page() {
+    let dev = Device::new(DeviceConfig::new(64, 0)); // 8 i64 per page
+    let f = VecFile::from_slice(&dev, &(0..512i64).collect::<Vec<_>>());
+    dev.reset_stats();
+    // 16 indices spread over exactly 4 pages.
+    let idx: Vec<usize> = (0..16).map(|i| (i % 4) + (i / 4) * 8 * 1).map(|i| i * 8 + 3).collect();
+    let mut idx = idx;
+    idx.sort_unstable();
+    idx.dedup();
+    let pages: std::collections::HashSet<usize> = idx.iter().map(|i| i / 8).collect();
+    let mut out = Vec::new();
+    f.get_many(&idx, &mut out);
+    assert_eq!(out.len(), idx.len());
+    assert_eq!(dev.stats().reads as usize, pages.len());
+    for (k, &i) in idx.iter().enumerate() {
+        assert_eq!(out[k], i as i64);
+    }
+}
+
+#[test]
+fn all_duplicate_input_still_answers() {
+    let pts: Vec<(i64, i64)> = vec![(7, -3); 500];
+    let dev = Device::new(DeviceConfig::new(512, 0));
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    assert_eq!(hs.unique_points(), 1);
+    assert_eq!(hs.query_below(0, 0, false).len(), 500); // -3 < 0
+    assert_eq!(hs.query_below(0, -3, false).len(), 0);
+    assert_eq!(hs.query_below(0, -3, true).len(), 500);
+}

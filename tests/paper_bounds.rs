@@ -1,0 +1,90 @@
+//! Quantitative smoke checks of the paper's bounds (loose constants so the
+//! suite stays deterministic and robust — the full curves live in the
+//! benchmark harness and EXPERIMENTS.md).
+
+use lcrs::baselines::ExternalKdTree;
+use lcrs::extmem::{Device, DeviceConfig};
+use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs::workloads::{halfplane_with_selectivity, points2, Dist2};
+
+/// Theorem 3.5 space: O(n) blocks.
+#[test]
+fn hs2d_space_is_linear() {
+    let page = 1024usize;
+    let b = page / 20;
+    for e in [12usize, 14] {
+        let n_pts = 1usize << e;
+        let pts = points2(Dist2::Uniform, n_pts, 1 << 29, e as u64);
+        let dev = Device::new(DeviceConfig::new(page, 0));
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        let blocks = (n_pts.div_ceil(b)) as u64;
+        assert!(
+            hs.pages() <= 4 * blocks,
+            "space {} pages vs n = {} blocks at N = {n_pts}",
+            hs.pages(),
+            blocks
+        );
+    }
+}
+
+/// Theorem 3.5 query: small-output queries must not scale with n.
+#[test]
+fn hs2d_small_queries_do_not_scale_with_n() {
+    let page = 1024usize;
+    let b = page / 20;
+    let mut ios = Vec::new();
+    for e in [12usize, 14] {
+        let n_pts = 1usize << e;
+        let pts = points2(Dist2::Uniform, n_pts, 1 << 29, 3);
+        let dev = Device::new(DeviceConfig::new(page, 0));
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        let mut worst = 0u64;
+        for q in 0..8u64 {
+            let (m, c) = halfplane_with_selectivity(&pts, b, 40, q);
+            let (res, st) = hs.query_below_stats(m, c, false);
+            assert_eq!(res.len(), b);
+            worst = worst.max(st.ios);
+        }
+        ios.push(worst);
+    }
+    // 4x the points must not even double the worst small-query cost.
+    assert!(
+        ios[1] <= 2 * ios[0] + 8,
+        "IOs grew with n: {:?} (expected O(log_B n + 1))",
+        ios
+    );
+}
+
+/// Section 1.2: the adversarial separation between Theorem 3.5 and a
+/// kd-tree must be at least an order of magnitude at modest sizes.
+#[test]
+fn adversarial_separation_holds() {
+    let page = 1024usize;
+    let n_pts = 1usize << 14;
+    let pts = points2(Dist2::Diagonal, n_pts, 1 << 29, 5);
+    let dev = Device::new(DeviceConfig::new(page, 0));
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    let dev_kd = Device::new(DeviceConfig::new(page, 0));
+    let kd = ExternalKdTree::build(&dev_kd, &pts);
+    let (r1, s1) = hs.query_below_stats(1, -1, false);
+    let (r2, s2) = kd.query_below(1, -1, false);
+    assert!(r1.is_empty() && r2.is_empty());
+    assert!(
+        s1.ios * 10 <= s2.ios,
+        "expected ≥10x separation, got hs2d {} vs kd {}",
+        s1.ios,
+        s2.ios
+    );
+}
+
+/// The inclusive/strict boundary semantics: points exactly on the line.
+#[test]
+fn boundary_points_are_handled_exactly() {
+    let pts: Vec<(i64, i64)> = (0..200).map(|i| (i, 2 * i)).collect(); // on y = 2x
+    let dev = Device::new(DeviceConfig::new(512, 0));
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    assert_eq!(hs.query_below(2, 0, false).len(), 0);
+    assert_eq!(hs.query_below(2, 0, true).len(), 200);
+    assert_eq!(hs.query_below(2, 1, false).len(), 200);
+    assert_eq!(hs.query_below(2, -1, true).len(), 0);
+}

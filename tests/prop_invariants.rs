@@ -1,0 +1,158 @@
+//! Property-based tests (proptest) on the core invariants:
+//! * the 2D and 3D structures agree with brute force on arbitrary inputs,
+//!   including duplicates and collinear/degenerate layouts;
+//! * the B+-tree behaves like `BTreeMap` under arbitrary operation
+//!   sequences;
+//! * the greedy clustering respects the Lemma 3.2 bounds for arbitrary k;
+//! * box classification agrees with corner enumeration in any dimension.
+
+use lcrs::extmem::btree::BPlusTree;
+use lcrs::extmem::{Device, DeviceConfig};
+use lcrs::geom::point::{BoxSide, HyperplaneD, PointD};
+use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs::halfspace::hs3d::{HalfspaceRS3, Hs3dConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hs2d_matches_brute_force(
+        pts in prop::collection::vec((-5000i64..5000, -5000i64..5000), 1..120),
+        queries in prop::collection::vec((-50i64..50, -10_000i64..10_000, any::<bool>()), 1..8),
+    ) {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        for (m, c, inclusive) in queries {
+            let mut got = hs.query_below(m, c, inclusive);
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts.iter().enumerate().filter(|(_, &(x, y))| {
+                let rhs = m as i128 * x as i128 + c as i128;
+                if inclusive { y as i128 <= rhs } else { (y as i128) < rhs }
+            }).map(|(i, _)| i as u32).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn hs3d_matches_brute_force(
+        pts in prop::collection::vec((-2000i64..2000, -2000i64..2000, -2000i64..2000), 1..80),
+        queries in prop::collection::vec((-30i64..30, -30i64..30, -5_000i64..5_000, any::<bool>()), 1..6),
+    ) {
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let hs = HalfspaceRS3::build(&dev, &pts, Hs3dConfig { copies: 1, ..Default::default() });
+        for (u, v, w, inclusive) in queries {
+            let mut got = hs.query_below(u, v, w, inclusive);
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts.iter().enumerate().filter(|(_, &(x, y, z))| {
+                let rhs = u as i128 * x as i128 + v as i128 * y as i128 + w as i128;
+                if inclusive { z as i128 <= rhs } else { (z as i128) < rhs }
+            }).map(|(i, _)| i as u32).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn btree_matches_btreemap(
+        ops in prop::collection::vec((any::<bool>(), -500i64..500, any::<i64>()), 1..300),
+    ) {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let mut tree: BPlusTree<i64, i64> = BPlusTree::new(&dev);
+        let mut model = std::collections::BTreeMap::new();
+        for (is_insert, k, v) in ops {
+            if is_insert {
+                tree.insert(k, v);
+                model.insert(k, v);
+            } else {
+                prop_assert_eq!(tree.get(&k), model.get(&k).copied());
+                let floor = model.range(..=k).next_back().map(|(a, b)| (*a, *b));
+                prop_assert_eq!(tree.floor(&k), floor);
+            }
+        }
+        let mut scanned = Vec::new();
+        tree.range(&i64::MIN, &i64::MAX, |k, v| scanned.push((*k, *v)));
+        prop_assert_eq!(scanned, model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clustering_respects_lemma_3_2(
+        seed in any::<u64>(),
+        n in 8usize..80,
+        k in 1usize..8,
+    ) {
+        use lcrs::geom::line2::Line2;
+        use lcrs::halfspace::hs2d::cluster::greedy_clustering;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as i64
+        };
+        let mut lines: Vec<Line2> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        while lines.len() < n {
+            let l = Line2::new(next() % 512 - 256, next() % 65536 - 32768);
+            if seen.insert((l.m, l.b)) {
+                lines.push(l);
+            }
+        }
+        prop_assume!(k < lines.len());
+        let ids: Vec<u32> = (0..lines.len() as u32).collect();
+        let c = greedy_clustering(&lines, &ids, k, 3);
+        for cl in &c.clusters {
+            prop_assert!(cl.len() <= 3 * k);
+        }
+        if c.clusters.len() > 1 {
+            prop_assert!(c.clusters.len() <= n.div_ceil(k));
+        }
+    }
+
+    #[test]
+    fn box_classification_matches_corners_4d(
+        coef in prop::array::uniform4(-20i64..20),
+        lo in prop::array::uniform4(-50i64..50),
+        ext in prop::array::uniform4(0i64..40),
+    ) {
+        let h: HyperplaneD<4> = HyperplaneD::new(coef);
+        let hi: [i64; 4] = std::array::from_fn(|i| lo[i] + ext[i]);
+        let b = lcrs::geom::point::Aabb { lo, hi };
+        let mut any_below = false;
+        let mut all_below = true;
+        for mask in 0..16u32 {
+            let p = PointD::new(std::array::from_fn(|i| {
+                if mask & (1 << i) == 0 { lo[i] } else { hi[i] }
+            }));
+            if h.strictly_below(&p) { any_below = true; } else { all_below = false; }
+        }
+        let want = if all_below {
+            BoxSide::FullyBelow
+        } else if !any_below {
+            BoxSide::FullyAbove
+        } else {
+            BoxSide::Crossing
+        };
+        prop_assert_eq!(h.classify_box(&b), want);
+    }
+
+    #[test]
+    fn knn_matches_brute_force(
+        pts in prop::collection::vec((-1000i64..1000, -1000i64..1000), 1..60),
+        q in (-1000i64..1000, -1000i64..1000),
+        k in 1usize..20,
+    ) {
+        use lcrs::halfspace::knn::KnnStructure;
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let knn = KnnStructure::build(&dev, &pts, Hs3dConfig { copies: 1, ..Default::default() });
+        let got = knn.k_nearest(q.0, q.1, k);
+        let mut d: Vec<(i128, u32)> = pts.iter().enumerate().map(|(i, &(a, b))| {
+            let dx = (q.0 - a) as i128;
+            let dy = (q.1 - b) as i128;
+            (dx * dx + dy * dy, i as u32)
+        }).collect();
+        d.sort();
+        d.truncate(k);
+        let want: Vec<u32> = d.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(got, want);
+    }
+}
