@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. The tier-1 gate is
+# `cargo build --release && cargo test -q`; `cargo test --workspace -q`
+# is a strict superset of `cargo test -q` (root package included), so
+# tier-1 failure detection is covered without running the root suites
+# twice. The rest extends coverage to every bench/example target and a
+# zero-warning clippy sweep.
+set -euxo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test --workspace -q
+cargo build --release --benches --examples --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -11,7 +11,7 @@ use lcrs_extmem::{Device, Record, VecFile};
 
 use crate::BaselineStats;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct KdNode {
     lo: [i64; 2],
     hi: [i64; 2],
@@ -205,12 +205,6 @@ impl ExternalKdTree {
         // subtree; we keep the classic behavior for a faithful baseline)
         self.visit(node.left as usize, m, c, inclusive, stats, out);
         self.visit(node.right as usize, m, c, inclusive, stats, out);
-    }
-}
-
-impl Default for KdNode {
-    fn default() -> Self {
-        KdNode { lo: [0; 2], hi: [0; 2], left: 0, right: 0, pts_off: 0, pts_len: 0 }
     }
 }
 

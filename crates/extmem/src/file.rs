@@ -318,7 +318,7 @@ mod tests {
     #[test]
     fn tuple_records_roundtrip() {
         let d = Device::new(DeviceConfig::new(256, 0));
-        let data: Vec<(i64, i32, u16)> = (0..50).map(|i| (i as i64, -(i as i32), i as u16)).collect();
+        let data: Vec<(i64, i32, u16)> = (0..50i32).map(|i| (i as i64, -i, i as u16)).collect();
         let f = VecFile::from_slice(&d, &data);
         assert_eq!(f.read_all(), data);
     }

@@ -98,7 +98,7 @@ impl DynEnvelope {
     pub fn insert(&mut self, id: u32) {
         assert_eq!(self.loc[id as usize], NONE, "insert of present line {id}");
         // Append to the last group; spill into a fresh group at 2×cap.
-        if self.groups.last().map_or(true, |g| g.members.len() >= 2 * self.cap) {
+        if self.groups.last().is_none_or(|g| g.members.len() >= 2 * self.cap) {
             self.groups.push(Group { members: Vec::new(), env: LowerEnvelope::build(&self.lines, &[]) });
         }
         let gi = self.groups.len() - 1;

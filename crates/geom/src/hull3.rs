@@ -117,9 +117,7 @@ impl LowerHull {
         facets.push(Facet { v: [1, 2, APEX], nbr: [0, 4, 2], conflicts: vec![] });
         facets.push(Facet { v: [2, 3, APEX], nbr: [1, 5, 3], conflicts: vec![] });
         facets.push(Facet { v: [3, 0, APEX], nbr: [1, 2, 4], conflicts: vec![] });
-        for _ in 0..6 {
-            alive.push(true);
-        }
+        alive.extend([true; 6]);
         let mut hull = LowerHull {
             pts,
             facets,

@@ -211,10 +211,8 @@ impl HalfspaceRS3 {
             let mut incident: std::collections::HashMap<u32, Vec<usize>> =
                 std::collections::HashMap::new();
             for (fi, f) in snap.iter().enumerate() {
-                for v in f.verts.iter() {
-                    if let Ok(r) = v {
-                        incident.entry(*r).or_default().push(fi);
-                    }
+                for r in f.verts.iter().flatten() {
+                    incident.entry(*r).or_default().push(fi);
                 }
             }
             let mut face_planes: Vec<u32> = incident.keys().copied().collect();
@@ -338,7 +336,7 @@ impl HalfspaceRS3 {
         level.faces.scan_while(|i, rec| {
             let (a, b, c) = rec.0;
             let v = Plane3::new(a, b, c).eval(x, y);
-            if best.as_ref().map_or(true, |(bv, _, _)| v < *bv) {
+            if best.as_ref().is_none_or(|(bv, _, _)| v < *bv) {
                 best = Some((v, i as u32, rec));
             }
             true

@@ -489,6 +489,23 @@ enum Visit {
     Recurse,
 }
 
+/// Stable two-way partition: moves elements satisfying `pred` to the front,
+/// returning the split index.
+fn partition_in_place<T: Copy>(items: &mut [T], mut pred: impl FnMut(&T) -> bool) -> usize {
+    let mut buf: Vec<T> = Vec::with_capacity(items.len());
+    let mut k = 0;
+    for i in 0..items.len() {
+        if pred(&items[i]) {
+            items[k] = items[i];
+            k += 1;
+        } else {
+            buf.push(items[i]);
+        }
+    }
+    items[k..].copy_from_slice(&buf);
+    k
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -664,21 +681,4 @@ mod tests {
         let pt_blocks = 8000u64.div_ceil(512 / 20);
         assert!(st.ios <= pt_blocks + 8, "reporting everything cost {} IOs", st.ios);
     }
-}
-
-/// Stable two-way partition: moves elements satisfying `pred` to the front,
-/// returning the split index.
-fn partition_in_place<T: Copy>(items: &mut [T], mut pred: impl FnMut(&T) -> bool) -> usize {
-    let mut buf: Vec<T> = Vec::with_capacity(items.len());
-    let mut k = 0;
-    for i in 0..items.len() {
-        if pred(&items[i]) {
-            items[k] = items[i];
-            k += 1;
-        } else {
-            buf.push(items[i]);
-        }
-    }
-    items[k..].copy_from_slice(&buf);
-    k
 }

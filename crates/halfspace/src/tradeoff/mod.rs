@@ -257,6 +257,10 @@ impl HybridTree3 {
         self.n
     }
 
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
     pub fn pages(&self) -> u64 {
         self.pages_at_build_end
     }
@@ -499,6 +503,10 @@ impl ShallowTree3 {
 
     pub fn len(&self) -> usize {
         self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
     }
 
     pub fn pages(&self) -> u64 {

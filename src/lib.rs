@@ -4,8 +4,8 @@
 //! reproduction of Agarwal, Arge, Erickson, Franciosa, Vitter,
 //! *Efficient Searching with Linear Constraints* (PODS 1998 / JCSS 2000).
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for a tour (crate map, tier-1 commands, experiment
+//! binaries) and `DESIGN.md` for the system inventory.
 
 pub use lcrs_baselines as baselines;
 pub use lcrs_extmem as extmem;

@@ -58,7 +58,7 @@ fn get_many_pays_one_io_per_page() {
     let f = VecFile::from_slice(&dev, &(0..512i64).collect::<Vec<_>>());
     dev.reset_stats();
     // 16 indices spread over exactly 4 pages.
-    let idx: Vec<usize> = (0..16).map(|i| (i % 4) + (i / 4) * 8 * 1).map(|i| i * 8 + 3).collect();
+    let idx: Vec<usize> = (0..16).map(|i| (i % 4) + (i / 4) * 8).map(|i| i * 8 + 3).collect();
     let mut idx = idx;
     idx.sort_unstable();
     idx.dedup();

@@ -54,7 +54,7 @@ proptest! {
         let mut d = DynEnvelope::new(&lines, &ids, Side::Lower);
         let mut live: Vec<u32> = ids.clone();
         for (i, &rm) in remove_mask.iter().enumerate() {
-            if rm && live.len() > 1 && (i as usize) < lines.len() {
+            if rm && live.len() > 1 && i < lines.len() {
                 let id = i as u32;
                 if live.contains(&id) {
                     d.remove(id);

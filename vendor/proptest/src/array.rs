@@ -1,0 +1,30 @@
+//! Fixed-size array strategies: `uniformN(element)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.sample(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident $n:literal)*) => {$(
+        /// An `[T; N]` with every element drawn from the same strategy.
+        pub fn $name<S: Strategy>(elem: S) -> UniformArray<S, $n> {
+            UniformArray(elem)
+        }
+    )*};
+}
+
+uniform_fns! {
+    uniform2 2
+    uniform3 3
+    uniform4 4
+    uniform5 5
+    uniform8 8
+}

@@ -1,0 +1,24 @@
+//! Collection strategies: `vec(element, len_range)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct VecStrategy<S> {
+    elem: S,
+    len: std::ops::Range<usize>,
+}
+
+/// A `Vec` whose length is drawn from `len` and whose elements are drawn
+/// from `elem`.
+pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.clone().sample(rng);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}

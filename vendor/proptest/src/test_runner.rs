@@ -1,0 +1,66 @@
+//! Config, per-case RNG, and the error type threaded out of test bodies.
+
+/// How a sampled case failed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject(&'static str),
+    /// A `prop_assert*` failed; abort the test with this message.
+    Fail(String),
+}
+
+/// Subset of proptest's config: only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 over (test-name hash, case number): deterministic, and
+/// distinct tests get distinct streams.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(name_hash: u64, case_seed: u64) -> Self {
+        TestRng {
+            state: name_hash ^ case_seed.wrapping_mul(0x9e3779b97f4a7c15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased draw from `[0, span)`, `span >= 1`.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span >= 1);
+        if span == 1 {
+            return 0;
+        }
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let v = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Sequence helpers: in-place Fisher–Yates shuffle.
+
+use crate::{Rng, RngCore};
+
+pub trait SliceRandom {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        v.shuffle(&mut rng);
+        let mut w = v.clone();
+        w.sort_unstable();
+        assert_eq!(w, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, w, "shuffle of 100 elements left them sorted");
+    }
+}
