@@ -11,4 +11,10 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test --workspace -q
 cargo build --release --benches --examples --workspace
+# Smoke-run the batch engine experiment end to end: it asserts per-query
+# attribution sums to batch totals and batched reads beat cold on every cell.
+cargo bench -q -p lcrs-bench --bench exp_batched -- --smoke
 cargo clippy --workspace --all-targets -- -D warnings
+# Redundant with the workspace sweep, but pinned separately so the engine
+# crate never regresses to warnings even if the workspace list changes.
+cargo clippy -p lcrs-engine --all-targets -- -D warnings

@@ -155,6 +155,11 @@ impl StrRTree {
         self.pages_at_build_end
     }
 
+    /// The device this structure lives on (for scoped IO measurement).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
     pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u32>, BaselineStats) {
         let before = self.dev.stats();
         let mut stats = BaselineStats::default();

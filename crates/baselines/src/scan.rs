@@ -34,6 +34,11 @@ impl ExternalScan {
         self.pages_at_build_end
     }
 
+    /// The device this structure lives on (for scoped IO measurement).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
     /// Report points strictly below `y = m·x + c` (`inclusive` adds
     /// on-line points).
     pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u32>, BaselineStats) {

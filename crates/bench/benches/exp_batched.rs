@@ -1,0 +1,162 @@
+//! EXP-BATCHED — the query engine's batch mode (DESIGN.md §7): total read
+//! IOs of a query batch executed one-at-a-time cold versus through the
+//! [`BatchExecutor`] (locality-ordered, shared warm LRU), per structure and
+//! per batch shape.
+//!
+//! The paper's bounds are per-query; this experiment measures what they
+//! leave on the table under production-style traffic: repeat-heavy
+//! (Zipf-popularity) and sorted-sweep batches both reuse pages heavily, so
+//! the batched cost must come in strictly below the cold cost on every
+//! structure, while answers and per-query attribution stay exact.
+//!
+//! Run with `--smoke` for the CI-sized variant.
+
+use lcrs_bench::print_table;
+use lcrs_engine::{BatchExecutor, Query, RangeIndex};
+use lcrs_extmem::{Device, DeviceConfig};
+use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs_halfspace::tradeoff::{HybridConfig, HybridTree3, ShallowConfig, ShallowTree3};
+use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
+use lcrs_workloads::{
+    halfplane_batch, halfspace3_batch, points2, points3, BatchShape, Dist2, Dist3,
+};
+
+const PAGE: usize = 4096;
+const CACHE_PAGES: usize = 1024;
+
+struct Row {
+    structure: &'static str,
+    dist: String,
+    shape: &'static str,
+    queries: usize,
+    cold_reads: u64,
+    batched_reads: u64,
+    batched_hits: u64,
+}
+
+fn shape_name(s: &BatchShape) -> &'static str {
+    match s {
+        BatchShape::ZipfRepeat { .. } => "zipf",
+        BatchShape::SortedSweep => "sweep",
+    }
+}
+
+/// Run one (structure, batch) cell: cold then batched, with the attribution
+/// and savings invariants asserted.
+fn run_cell(index: &dyn RangeIndex, queries: &[Query]) -> (u64, u64, u64) {
+    let ex = BatchExecutor::new(index);
+    let cold = ex.run_cold(queries);
+    let batched = ex.run_batched(queries);
+    for report in [&cold, &batched] {
+        assert_eq!(
+            report.attributed_total(),
+            report.total,
+            "{}: per-query deltas must sum to the batch total",
+            index.name()
+        );
+    }
+    assert!(
+        batched.reads() < cold.reads(),
+        "{}: batched {} reads must beat cold {}",
+        index.name(),
+        batched.reads(),
+        cold.reads()
+    );
+    (cold.reads(), batched.reads(), batched.total.cache_hits)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n2, n3, batch_len) = if smoke { (4096, 1024, 200) } else { (32768, 8192, 1000) };
+    let shapes =
+        [BatchShape::ZipfRepeat { distinct: 16, s: 1.1 }, BatchShape::SortedSweep];
+    println!(
+        "# EXP-BATCHED: cold vs batched total read IOs, page={PAGE}B, \
+         cache={CACHE_PAGES} pages, {batch_len}-query batches{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // 2D: the optimal structure vs all three baselines.
+    for dist in [Dist2::Uniform, Dist2::Clustered] {
+        let pts = points2(dist, n2, 1 << 29, 42);
+        let dev = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+        let hs2d = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        let scan = ExternalScan::build(&dev, &pts);
+        let kd = ExternalKdTree::build(&dev, &pts);
+        let rt = StrRTree::build(&dev, &pts);
+        let indexes: Vec<&dyn RangeIndex> = vec![&hs2d, &kd, &rt, &scan];
+        for shape in shapes {
+            let qs: Vec<Query> = halfplane_batch(&pts, shape, batch_len, 48, 7)
+                .into_iter()
+                .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
+                .collect();
+            for idx in &indexes {
+                let (cold, batched, hits) = run_cell(*idx, &qs);
+                rows.push(Row {
+                    structure: idx.name(),
+                    dist: format!("{dist:?}"),
+                    shape: shape_name(&shape),
+                    queries: qs.len(),
+                    cold_reads: cold,
+                    batched_reads: batched,
+                    batched_hits: hits,
+                });
+            }
+        }
+    }
+
+    // 3D: both Section 6 trade-off structures.
+    for dist in [Dist3::Uniform, Dist3::Slab] {
+        let pts = points3(dist, n3, 1 << 18, 43);
+        let dev = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+        let hybrid = HybridTree3::build(&dev, &pts, HybridConfig::default());
+        let shallow = ShallowTree3::build(&dev, &pts, ShallowConfig::default());
+        let indexes: Vec<&dyn RangeIndex> = vec![&hybrid, &shallow];
+        for shape in shapes {
+            let qs: Vec<Query> = halfspace3_batch(&pts, shape, batch_len, 32, 8)
+                .into_iter()
+                .map(|(u, v, w)| Query::Halfspace { u, v, w, inclusive: false })
+                .collect();
+            for idx in &indexes {
+                let (cold, batched, hits) = run_cell(*idx, &qs);
+                rows.push(Row {
+                    structure: idx.name(),
+                    dist: format!("{dist:?}"),
+                    shape: shape_name(&shape),
+                    queries: qs.len(),
+                    cold_reads: cold,
+                    batched_reads: batched,
+                    batched_hits: hits,
+                });
+            }
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.structure.to_string(),
+                r.dist.clone(),
+                r.shape.to_string(),
+                format!("{}", r.queries),
+                format!("{}", r.cold_reads),
+                format!("{}", r.batched_reads),
+                format!("{}", r.batched_hits),
+                format!("{:.1}%", 100.0 * (1.0 - r.batched_reads as f64 / r.cold_reads as f64)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Cold vs batched total read IOs per structure and batch shape",
+        &["structure", "dist", "shape", "queries", "cold", "batched", "hits", "saved"],
+        &table,
+    );
+    println!(
+        "\nAll {} cells: per-query attribution sums to the batch total; \
+         batched reads strictly below cold.",
+        rows.len()
+    );
+}

@@ -1,0 +1,147 @@
+//! The batch executor: locality ordering + shared warm cache + per-query
+//! IO attribution.
+
+use lcrs_extmem::IoDelta;
+
+use crate::query::{Query, RangeIndex};
+
+/// How a [`BatchReport`] was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One-at-a-time: the cache is dropped before every query, so each one
+    /// pays its full cold cost — the per-query model of the paper.
+    Cold,
+    /// The whole batch shares one LRU cache (dropped once up front),
+    /// after reordering the queries for page locality.
+    Batched,
+}
+
+/// Outcome of one query within a batch, in submission order.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOutcome {
+    /// Index of the query in the submitted batch.
+    pub query: usize,
+    /// Number of ids reported.
+    pub reported: usize,
+    /// IOs attributed to exactly this query (stats-snapshot bracketing).
+    pub io: IoDelta,
+}
+
+/// Result of executing a batch of queries.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    pub mode: ExecMode,
+    /// Per-query outcomes, in *submission* order regardless of the
+    /// execution order the executor chose.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Aggregate IOs of the whole batch, measured independently of the
+    /// per-query deltas (one snapshot pair around the entire run).
+    pub total: IoDelta,
+    /// The answers, in submission order (kept only when requested).
+    pub answers: Option<Vec<Vec<u64>>>,
+}
+
+impl BatchReport {
+    /// Sum of the per-query deltas. The executor runs queries back to back
+    /// with no other device activity, so this equals [`Self::total`]
+    /// exactly — asserted in the test suites.
+    pub fn attributed_total(&self) -> IoDelta {
+        let mut sum = IoDelta::default();
+        for o in &self.outcomes {
+            sum.reads += o.io.reads;
+            sum.writes += o.io.writes;
+            sum.cache_hits += o.io.cache_hits;
+        }
+        sum
+    }
+
+    /// Total read IOs (the cost the batch engine optimizes).
+    pub fn reads(&self) -> u64 {
+        self.total.reads
+    }
+}
+
+/// Executes batches of queries against one [`RangeIndex`].
+///
+/// The executor never changes answers — only the order queries run in and
+/// the cache state they observe. For savings, build the index on a device
+/// with `cache_pages > 0`; with a cache-less device, batched and cold
+/// costs coincide.
+pub struct BatchExecutor<'a> {
+    index: &'a dyn RangeIndex,
+    keep_answers: bool,
+}
+
+impl<'a> BatchExecutor<'a> {
+    pub fn new(index: &'a dyn RangeIndex) -> Self {
+        BatchExecutor { index, keep_answers: false }
+    }
+
+    /// Also collect every query's answer into the report (off by default:
+    /// a 1k-query batch over a hot region can report millions of ids).
+    pub fn keep_answers(mut self, keep: bool) -> Self {
+        self.keep_answers = keep;
+        self
+    }
+
+    /// The execution order for `queries`: indices sorted by locality key,
+    /// ties broken by submission order (a stable schedule).
+    pub fn schedule(&self, queries: &[Query]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_by_key(|&i| (queries[i].locality_key(), i));
+        order
+    }
+
+    /// Run the batch with a shared warm cache, in locality order.
+    pub fn run_batched(&self, queries: &[Query]) -> BatchReport {
+        self.run(queries, ExecMode::Batched)
+    }
+
+    /// Run the batch one-at-a-time cold (cache dropped before each query),
+    /// in submission order — the baseline batching is measured against.
+    pub fn run_cold(&self, queries: &[Query]) -> BatchReport {
+        self.run(queries, ExecMode::Cold)
+    }
+
+    fn run(&self, queries: &[Query], mode: ExecMode) -> BatchReport {
+        for q in queries {
+            assert!(
+                self.index.supports(q),
+                "{} does not support {q:?}",
+                self.index.name()
+            );
+        }
+        let order: Vec<usize> = match mode {
+            ExecMode::Batched => self.schedule(queries),
+            ExecMode::Cold => (0..queries.len()).collect(),
+        };
+        let dev = self.index.device();
+        // Both modes start cold; Batched then lets the cache warm up
+        // across the whole batch, Cold drops it again before every query.
+        dev.clear_cache();
+        let batch_before = dev.stats();
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
+        let mut answers: Vec<Vec<u64>> = if self.keep_answers {
+            vec![Vec::new(); queries.len()]
+        } else {
+            Vec::new()
+        };
+        for &qi in &order {
+            if mode == ExecMode::Cold {
+                dev.clear_cache();
+            }
+            let (ids, io) = self.index.execute_measured(&queries[qi]);
+            outcomes[qi] = Some(QueryOutcome { query: qi, reported: ids.len(), io });
+            if self.keep_answers {
+                answers[qi] = ids;
+            }
+        }
+        let total = dev.stats().since(batch_before);
+        BatchReport {
+            mode,
+            outcomes: outcomes.into_iter().map(|o| o.expect("every query ran")).collect(),
+            total,
+            answers: self.keep_answers.then_some(answers),
+        }
+    }
+}

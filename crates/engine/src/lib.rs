@@ -1,0 +1,27 @@
+//! # lcrs-engine — batched multi-query execution
+//!
+//! The paper's bounds are per-query (O(log_B n + t) IOs), but a system
+//! serving heavy traffic answers *batches* of queries, where page reuse
+//! across queries is the dominant cost saving. This crate is the front door
+//! for that mode of operation (DESIGN.md §7):
+//!
+//! * [`Query`] — a structure-agnostic query value (halfplane, halfspace,
+//!   k-NN report);
+//! * [`RangeIndex`] — the unified query interface, implemented by every
+//!   structure of `lcrs_halfspace` and every baseline of `lcrs_baselines`,
+//!   with per-query [`IoDelta`](lcrs_extmem::IoDelta) attribution measured
+//!   through the device the structure was built on;
+//! * [`BatchExecutor`] — accepts a batch, reorders it for page locality
+//!   (by the query's dual point / region), executes it against a warm
+//!   shared LRU cache, and reports per-query and aggregate IO against the
+//!   one-at-a-time cold baseline.
+//!
+//! Answers are never affected by batching: the executor only changes
+//! *when* pages happen to be resident, which the test suites pin by
+//! comparing cold and batched answers element-wise.
+
+pub mod batch;
+pub mod query;
+
+pub use batch::{BatchExecutor, BatchReport, ExecMode, QueryOutcome};
+pub use query::{Query, RangeIndex};

@@ -1,0 +1,290 @@
+//! The unified query interface: [`Query`] values and the [`RangeIndex`]
+//! trait implemented by every structure in the workspace.
+
+use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
+use lcrs_extmem::{Device, IoDelta};
+use lcrs_geom::point::HyperplaneD;
+use lcrs_halfspace::{
+    DynamicHalfspace2, HalfspaceRS2, HalfspaceRS3, HybridTree3, KnnStructure, PartitionTree,
+    ShallowTree3,
+};
+
+/// A structure-agnostic report query.
+///
+/// Coordinates follow the conventions of the underlying structures: 2D
+/// halfplanes are `y <= m·x + c`, 3D halfspaces are `z <= u·x + v·y + w`
+/// (strict unless `inclusive`), and k-NN reports the `k` points closest to
+/// `(x, y)` in Euclidean distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Points below the line `y = m·x + c` (2D structures).
+    Halfplane { m: i64, c: i64, inclusive: bool },
+    /// Points below the plane `z = u·x + v·y + w` (3D structures).
+    Halfspace { u: i64, v: i64, w: i64, inclusive: bool },
+    /// The `k` nearest neighbors of `(x, y)` ([`KnnStructure`] only).
+    Knn { x: i64, y: i64, k: usize },
+}
+
+impl Query {
+    /// Sort key for page locality: nearby keys tend to touch the same
+    /// pages. Halfplanes map to their dual point `(m, c)` — queries with
+    /// close duals cross the same levels of the 2D structure; halfspaces
+    /// and k-NN queries sort by their region of interest.
+    pub fn locality_key(&self) -> [i64; 3] {
+        match *self {
+            Query::Halfplane { m, c, .. } => [m, c, 0],
+            Query::Halfspace { u, v, w, .. } => [u, v, w],
+            Query::Knn { x, y, k } => [x, y, k as i64],
+        }
+    }
+}
+
+/// A queryable index living on a [`Device`].
+///
+/// `execute` answers one [`Query`] and returns the reported ids (input
+/// indices, or caller tags for [`DynamicHalfspace2`]), widened to `u64`.
+/// `execute_measured` brackets the call with device-stats snapshots so
+/// each query gets exact [`IoDelta`] attribution — the primitive the
+/// [`crate::BatchExecutor`] builds on.
+pub trait RangeIndex {
+    /// Short structure name for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// The device the structure was built on (all IOs flow through it).
+    fn device(&self) -> &Device;
+
+    /// Can this index answer `q` at all?
+    fn supports(&self, q: &Query) -> bool;
+
+    /// Answer `q`, returning reported ids. Panics if `!self.supports(q)`.
+    fn execute(&self, q: &Query) -> Vec<u64>;
+
+    /// [`Self::execute`] with exact IO attribution via stats snapshots.
+    fn execute_measured(&self, q: &Query) -> (Vec<u64>, IoDelta) {
+        let before = self.device().stats();
+        let out = self.execute(q);
+        (out, self.device().stats().since(before))
+    }
+}
+
+fn widen(v: Vec<u32>) -> Vec<u64> {
+    v.into_iter().map(u64::from).collect()
+}
+
+fn unsupported(name: &str, q: &Query) -> ! {
+    panic!("{name} does not support {q:?} (check RangeIndex::supports first)")
+}
+
+impl RangeIndex for HalfspaceRS2 {
+    fn name(&self) -> &'static str {
+        "hs2d"
+    }
+
+    fn device(&self) -> &Device {
+        HalfspaceRS2::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfplane { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Halfplane { m, c, inclusive } => widen(self.query_below(m, c, inclusive)),
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}
+
+impl RangeIndex for DynamicHalfspace2 {
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn device(&self) -> &Device {
+        DynamicHalfspace2::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfplane { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Halfplane { m, c, inclusive } => self.query_below(m, c, inclusive),
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}
+
+impl RangeIndex for PartitionTree<2> {
+    fn name(&self) -> &'static str {
+        "ptree"
+    }
+
+    fn device(&self) -> &Device {
+        PartitionTree::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfplane { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Halfplane { m, c, inclusive } => {
+                // y <= m·x + c as the 2D hyperplane [a0, a1] = [c, m].
+                let h: HyperplaneD<2> = HyperplaneD::new([c, m]);
+                widen(self.query_halfspace(&h, inclusive))
+            }
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}
+
+impl RangeIndex for HalfspaceRS3 {
+    fn name(&self) -> &'static str {
+        "hs3d"
+    }
+
+    fn device(&self) -> &Device {
+        HalfspaceRS3::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfspace { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Halfspace { u, v, w, inclusive } => widen(self.query_below(u, v, w, inclusive)),
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}
+
+impl RangeIndex for HybridTree3 {
+    fn name(&self) -> &'static str {
+        "tradeoff-hybrid"
+    }
+
+    fn device(&self) -> &Device {
+        HybridTree3::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfspace { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Halfspace { u, v, w, inclusive } => widen(self.query_below(u, v, w, inclusive)),
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}
+
+impl RangeIndex for ShallowTree3 {
+    fn name(&self) -> &'static str {
+        "tradeoff-shallow"
+    }
+
+    fn device(&self) -> &Device {
+        ShallowTree3::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfspace { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Halfspace { u, v, w, inclusive } => widen(self.query_below(u, v, w, inclusive)),
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}
+
+impl RangeIndex for KnnStructure {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn device(&self) -> &Device {
+        KnnStructure::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Knn { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Knn { x, y, k } => widen(self.k_nearest(x, y, k)),
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}
+
+impl RangeIndex for ExternalScan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn device(&self) -> &Device {
+        ExternalScan::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfplane { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Halfplane { m, c, inclusive } => widen(self.query_below(m, c, inclusive).0),
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}
+
+impl RangeIndex for ExternalKdTree {
+    fn name(&self) -> &'static str {
+        "kdtree"
+    }
+
+    fn device(&self) -> &Device {
+        ExternalKdTree::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfplane { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Halfplane { m, c, inclusive } => widen(self.query_below(m, c, inclusive).0),
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}
+
+impl RangeIndex for StrRTree {
+    fn name(&self) -> &'static str {
+        "rtree"
+    }
+
+    fn device(&self) -> &Device {
+        StrRTree::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfplane { .. })
+    }
+
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        match *q {
+            Query::Halfplane { m, c, inclusive } => widen(self.query_below(m, c, inclusive).0),
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Engine-level contracts: every RangeIndex impl answers exactly, batching
+//! never changes answers, per-query attribution sums to the batch total,
+//! and a repeat-heavy batch over a warm shared cache costs strictly fewer
+//! read IOs than the cold one-at-a-time baseline.
+
+use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
+use lcrs_engine::{BatchExecutor, ExecMode, Query, RangeIndex};
+use lcrs_extmem::{Device, DeviceConfig};
+use lcrs_geom::point::PointD;
+use lcrs_halfspace::hs2d::Hs2dConfig;
+use lcrs_halfspace::hs3d::Hs3dConfig;
+use lcrs_halfspace::ptree::PTreeConfig;
+use lcrs_halfspace::tradeoff::{HybridConfig, ShallowConfig};
+use lcrs_halfspace::{
+    DynamicHalfspace2, HalfspaceRS2, HalfspaceRS3, HybridTree3, KnnStructure, PartitionTree,
+    ShallowTree3,
+};
+use lcrs_workloads::{
+    count_below2, count_below3, halfplane_with_selectivity, halfspace3_with_selectivity, points2,
+    points3, Dist2, Dist3,
+};
+
+fn warm_device() -> Device {
+    Device::new(DeviceConfig::new(512, 128))
+}
+
+#[test]
+fn every_2d_impl_answers_exactly() {
+    let pts = points2(Dist2::Uniform, 800, 1 << 20, 11);
+    let dev = warm_device();
+    let hs2d = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    let scan = ExternalScan::build(&dev, &pts);
+    let kd = ExternalKdTree::build(&dev, &pts);
+    let rt = StrRTree::build(&dev, &pts);
+    let pd: Vec<PointD<2>> = pts.iter().map(|&(x, y)| PointD::new([x, y])).collect();
+    let pt = PartitionTree::<2>::build(&dev, &pd, PTreeConfig::default());
+    let mut dynm = DynamicHalfspace2::new(&dev, Hs2dConfig::default());
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        dynm.insert(x, y, i as u64);
+    }
+    let indexes: Vec<&dyn RangeIndex> = vec![&hs2d, &scan, &kd, &rt, &pt, &dynm];
+    for t in [0usize, 40, 400] {
+        let (m, c) = halfplane_with_selectivity(&pts, t, 40, t as u64 + 1);
+        let q = Query::Halfplane { m, c, inclusive: false };
+        let want = count_below2(&pts, m, c);
+        for idx in &indexes {
+            assert!(idx.supports(&q));
+            assert!(!idx.supports(&Query::Knn { x: 0, y: 0, k: 1 }));
+            let (ids, io) = idx.execute_measured(&q);
+            assert_eq!(ids.len(), want, "{} at t={t}", idx.name());
+            assert_eq!(io.writes, 0, "{}: queries must not write", idx.name());
+        }
+    }
+}
+
+#[test]
+fn every_3d_impl_answers_exactly() {
+    let pts = points3(Dist3::Uniform, 600, 1 << 18, 12);
+    let dev = warm_device();
+    let hs3d = HalfspaceRS3::build(&dev, &pts, Hs3dConfig::default());
+    let hybrid = HybridTree3::build(&dev, &pts, HybridConfig::default());
+    let shallow = ShallowTree3::build(&dev, &pts, ShallowConfig::default());
+    let indexes: Vec<&dyn RangeIndex> = vec![&hs3d, &hybrid, &shallow];
+    for t in [0usize, 30, 300] {
+        let (u, v, w) = halfspace3_with_selectivity(&pts, t, 30, t as u64 + 5);
+        let q = Query::Halfspace { u, v, w, inclusive: false };
+        let want = count_below3(&pts, u, v, w);
+        for idx in &indexes {
+            assert!(idx.supports(&q));
+            let ids = idx.execute(&q);
+            assert_eq!(ids.len(), want, "{} at t={t}", idx.name());
+        }
+    }
+}
+
+#[test]
+fn knn_impl_answers_exactly() {
+    // Stay inside the lift coordinate budget (|coord| <= 1024).
+    let pts = points2(Dist2::Uniform, 300, 1000, 13);
+    let dev = warm_device();
+    let knn = KnnStructure::build(&dev, &pts, Hs3dConfig::default());
+    let q = Query::Knn { x: 7, y: -3, k: 12 };
+    assert!(knn.supports(&q));
+    assert!(!knn.supports(&Query::Halfplane { m: 0, c: 0, inclusive: false }));
+    let ids = knn.execute(&q);
+    let mut by_dist: Vec<(i128, u64)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| {
+            let (dx, dy) = ((7 - a) as i128, (-3 - b) as i128);
+            (dx * dx + dy * dy, i as u64)
+        })
+        .collect();
+    by_dist.sort();
+    let want: Vec<u64> = by_dist.iter().take(12).map(|&(_, i)| i).collect();
+    assert_eq!(ids, want);
+}
+
+#[test]
+fn attribution_sums_to_batch_total_and_order_is_submission() {
+    let pts = points2(Dist2::Clustered, 2000, 1 << 20, 14);
+    let dev = warm_device();
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    let queries: Vec<Query> = (0..40)
+        .map(|i| {
+            let (m, c) = halfplane_with_selectivity(&pts, 25 * (i % 8), 40, 900 + i as u64);
+            Query::Halfplane { m, c, inclusive: false }
+        })
+        .collect();
+    let ex = BatchExecutor::new(&hs);
+    for report in [ex.run_cold(&queries), ex.run_batched(&queries)] {
+        assert_eq!(report.outcomes.len(), queries.len());
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.query, i, "outcomes must be in submission order");
+        }
+        let attr = report.attributed_total();
+        assert_eq!(attr, report.total, "per-query deltas must sum to the batch total");
+    }
+}
+
+#[test]
+fn schedule_is_a_locality_sorted_permutation() {
+    let queries = vec![
+        Query::Halfplane { m: 5, c: 0, inclusive: false },
+        Query::Halfplane { m: -3, c: 10, inclusive: false },
+        Query::Halfplane { m: 5, c: -2, inclusive: false },
+        Query::Halfplane { m: -3, c: 10, inclusive: true },
+    ];
+    let pts = points2(Dist2::Uniform, 50, 1 << 20, 15);
+    let dev = warm_device();
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    let ex = BatchExecutor::new(&hs);
+    let order = ex.schedule(&queries);
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![0, 1, 2, 3], "schedule must be a permutation");
+    // Duals: (-3,10) twice (submission order 1 then 3), then (5,-2), (5,0).
+    assert_eq!(order, vec![1, 3, 2, 0]);
+}
+
+#[test]
+fn batched_saves_reads_and_preserves_answers() {
+    let pts = points2(Dist2::Uniform, 3000, 1 << 20, 16);
+    let dev = Device::new(DeviceConfig::new(512, 256));
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    // A repeat-heavy batch: 8 distinct queries, 120 occurrences.
+    let base: Vec<(i64, i64)> = (0..8)
+        .map(|i| halfplane_with_selectivity(&pts, 60 + 10 * i, 40, 300 + i as u64))
+        .collect();
+    let queries: Vec<Query> = (0..120)
+        .map(|i| {
+            let (m, c) = base[i * 7 % base.len()];
+            Query::Halfplane { m, c, inclusive: false }
+        })
+        .collect();
+    let ex = BatchExecutor::new(&hs).keep_answers(true);
+    let cold = ex.run_cold(&queries);
+    let batched = ex.run_batched(&queries);
+    assert_eq!(cold.mode, ExecMode::Cold);
+    assert_eq!(batched.mode, ExecMode::Batched);
+    assert!(
+        batched.reads() < cold.reads(),
+        "warm shared cache must save reads: batched {} vs cold {}",
+        batched.reads(),
+        cold.reads()
+    );
+    assert_eq!(batched.total.writes, 0, "report queries never write");
+    // Batching must not change any answer.
+    let (ca, ba) = (cold.answers.unwrap(), batched.answers.unwrap());
+    assert_eq!(ca, ba);
+    for (o, a) in batched.outcomes.iter().zip(&ba) {
+        assert_eq!(o.reported, a.len());
+    }
+}
+
+#[test]
+fn cacheless_device_makes_batching_a_no_op() {
+    let pts = points2(Dist2::Uniform, 1000, 1 << 20, 17);
+    let dev = Device::new(DeviceConfig::new(512, 0));
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    let queries: Vec<Query> = (0..20)
+        .map(|i| {
+            let (m, c) = halfplane_with_selectivity(&pts, 50, 40, i);
+            Query::Halfplane { m, c, inclusive: false }
+        })
+        .collect();
+    let ex = BatchExecutor::new(&hs);
+    let cold = ex.run_cold(&queries);
+    let batched = ex.run_batched(&queries);
+    assert_eq!(cold.reads(), batched.reads(), "no cache, no savings");
+    assert_eq!(cold.total.cache_hits, 0);
+}
+
+#[test]
+#[should_panic(expected = "does not support")]
+fn executor_rejects_unsupported_queries() {
+    let pts = points2(Dist2::Uniform, 100, 1 << 20, 18);
+    let dev = warm_device();
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    BatchExecutor::new(&hs).run_batched(&[Query::Knn { x: 0, y: 0, k: 3 }]);
+}

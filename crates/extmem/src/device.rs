@@ -1,7 +1,7 @@
 //! The simulated disk.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use crate::stats::IoStats;
@@ -34,17 +34,18 @@ impl DeviceConfig {
     }
 }
 
-struct CacheEntry {
-    /// Tick of last use, for LRU eviction.
-    last_used: u64,
-}
-
 struct DeviceInner {
     cfg: DeviceConfig,
     pages: Vec<Box<[u8]>>,
     stats: IoStats,
     /// Clean LRU cache: pages are write-through, so eviction never writes.
-    cache: HashMap<PageId, CacheEntry>,
+    /// `cache` maps a resident page to its last-use tick; `by_tick` is the
+    /// exact inverse (ticks are unique), kept ordered so the LRU victim is
+    /// always the first entry. Promotion and eviction are O(log cache) —
+    /// the batch engine runs with caches of thousands of pages, where a
+    /// per-access linear scan would distort wall-clock measurements.
+    cache: HashMap<PageId, u64>,
+    by_tick: BTreeMap<u64, PageId>,
     tick: u64,
 }
 
@@ -55,19 +56,22 @@ impl DeviceInner {
         if self.cfg.cache_pages == 0 {
             return;
         }
-        if let Some(e) = self.cache.get_mut(&id) {
-            e.last_used = tick;
+        if let Some(t) = self.cache.get_mut(&id) {
+            self.by_tick.remove(t);
+            *t = tick;
+            self.by_tick.insert(tick, id);
             return;
         }
         if self.cache.len() >= self.cfg.cache_pages {
-            // Evict the least recently used page. Linear scan is fine: the
-            // cache is internal memory, not part of the IO cost model, and
-            // cache sizes in the experiments are small.
-            if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, e)| e.last_used) {
+            // Evict the least recently used page: the smallest tick. This
+            // picks the same victim the old full scan did (ticks are
+            // unique), so IO counts are bit-identical.
+            if let Some((_, victim)) = self.by_tick.pop_first() {
                 self.cache.remove(&victim);
             }
         }
-        self.cache.insert(id, CacheEntry { last_used: tick });
+        self.cache.insert(id, tick);
+        self.by_tick.insert(tick, id);
     }
 
     fn account_read(&mut self, id: PageId) {
@@ -102,6 +106,7 @@ impl Device {
                 pages: Vec::new(),
                 stats: IoStats::default(),
                 cache: HashMap::new(),
+                by_tick: BTreeMap::new(),
                 tick: 0,
             })),
         }
@@ -123,7 +128,11 @@ impl Device {
 
     /// Records of `size` bytes that fit in one page (the model's `B`).
     pub fn records_per_page(&self, size: usize) -> usize {
-        assert!(size > 0 && size <= self.page_bytes(), "record size {size} vs page");
+        assert!(
+            size > 0 && size <= self.page_bytes(),
+            "record size {size} must be in 1..={} (the page size in bytes)",
+            self.page_bytes()
+        );
         self.page_bytes() / size
     }
 
@@ -180,7 +189,14 @@ impl Device {
     /// Drop all cached pages (so the next accesses pay IOs) without touching
     /// the counters. Used to measure cold-cache queries.
     pub fn clear_cache(&self) {
-        self.inner.borrow_mut().cache.clear();
+        let mut inner = self.inner.borrow_mut();
+        inner.cache.clear();
+        inner.by_tick.clear();
+    }
+
+    /// Number of pages currently resident in the cache.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.borrow().cache.len()
     }
 }
 
@@ -250,5 +266,91 @@ mod tests {
     fn read_unallocated_panics() {
         let dev = Device::default_device();
         dev.read_page(PageId(0), |_| ());
+    }
+
+    #[test]
+    fn write_counts_as_use_in_lru() {
+        // Pinned semantics: a write-through write promotes the page, so a
+        // recently *written* page survives eviction over a less recently
+        // *read* one.
+        let dev = Device::new(DeviceConfig::new(128, 2));
+        let p = dev.alloc_pages(3);
+        let ids = [PageId(p.0), PageId(p.0 + 1), PageId(p.0 + 2)];
+        dev.read_page(ids[0], |_| ()); // cache: {0}
+        dev.read_page(ids[1], |_| ()); // cache: {0, 1}
+        dev.write_page(ids[0], |b| b[0] = 1); // promotes 0; LRU is now 1
+        dev.reset_stats();
+        dev.read_page(ids[2], |_| ()); // evicts 1, not 0
+        dev.read_page(ids[0], |_| ()); // must be a hit
+        let s = dev.stats();
+        assert_eq!((s.reads, s.cache_hits), (1, 1), "written page must stay resident");
+        dev.reset_stats();
+        dev.read_page(ids[1], |_| ()); // was evicted: pays an IO
+        assert_eq!(dev.stats().reads, 1);
+    }
+
+    #[test]
+    fn write_caches_an_uncached_page() {
+        // A write also *inserts* into the cache: the next read of that page
+        // is free, even though the write itself always pays a write IO.
+        let dev = Device::new(DeviceConfig::new(128, 4));
+        let p = dev.alloc_pages(1);
+        dev.write_page(p, |b| b[0] = 9);
+        dev.read_page(p, |_| ());
+        let s = dev.stats();
+        assert_eq!((s.reads, s.writes, s.cache_hits), (0, 1, 1));
+    }
+
+    #[test]
+    fn mixed_read_write_traffic_accounting() {
+        // update_page = read (hit if resident) + unconditional write.
+        let dev = Device::new(DeviceConfig::new(128, 2));
+        let p = dev.alloc_pages(1);
+        dev.update_page(p, |b| b[0] = 1); // cold: 1 read, 1 write
+        dev.update_page(p, |b| b[0] = 2); // warm: hit + 1 write
+        let s = dev.stats();
+        assert_eq!((s.reads, s.writes, s.cache_hits), (1, 2, 1));
+    }
+
+    #[test]
+    fn clear_cache_then_since_scopes_cold_queries() {
+        // The per-query attribution pattern of the batch engine: snapshot,
+        // access, snapshot — with clear_cache() marking query boundaries.
+        let dev = Device::new(DeviceConfig::new(128, 8));
+        let p = dev.alloc_pages(2);
+        let ids = [PageId(p.0), PageId(p.0 + 1)];
+        dev.read_page(ids[0], |_| ());
+        // Cold scope: cache dropped, both accesses pay IOs.
+        dev.clear_cache();
+        let before = dev.stats();
+        dev.read_page(ids[0], |_| ());
+        dev.read_page(ids[1], |_| ());
+        let cold = dev.stats().since(before);
+        assert_eq!((cold.reads, cold.cache_hits), (2, 0));
+        // Warm scope right after: same accesses, all absorbed.
+        let before = dev.stats();
+        dev.read_page(ids[0], |_| ());
+        dev.read_page(ids[1], |_| ());
+        let warm = dev.stats().since(before);
+        assert_eq!((warm.reads, warm.cache_hits), (0, 2));
+        // Deltas bracket a reset without underflow (saturating since).
+        let before = dev.stats();
+        dev.reset_stats();
+        dev.read_page(ids[0], |_| ());
+        let d = dev.stats().since(before);
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn cached_pages_never_exceeds_capacity() {
+        let dev = Device::new(DeviceConfig::new(128, 3));
+        let p = dev.alloc_pages(10);
+        for i in 0..10 {
+            dev.read_page(PageId(p.0 + i), |_| ());
+            assert!(dev.cached_pages() <= 3);
+        }
+        assert_eq!(dev.cached_pages(), 3);
+        dev.clear_cache();
+        assert_eq!(dev.cached_pages(), 0);
     }
 }

@@ -19,11 +19,16 @@ impl IoStats {
     }
 
     /// Counter difference `self - earlier`, for scoped measurement.
+    ///
+    /// Saturating: if a counter went *backwards* between the snapshots
+    /// (only possible when [`crate::Device::reset_stats`] ran in between),
+    /// that component clamps to 0 instead of panicking in debug builds or
+    /// wrapping to ~2^64 in release builds.
     pub fn since(&self, earlier: IoStats) -> IoDelta {
         IoDelta {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            cache_hits: self.cache_hits - earlier.cache_hits,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
         }
     }
 }
@@ -54,5 +59,17 @@ mod tests {
         assert_eq!(d, IoDelta { reads: 15, writes: 5, cache_hits: 0 });
         assert_eq!(d.total(), 20);
         assert_eq!(b.total(), 34);
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        // Regression: a reset_stats() between the two snapshots makes the
+        // later counters smaller than the earlier ones; the delta must
+        // clamp to zero, not underflow.
+        let before = IoStats { reads: 100, writes: 40, cache_hits: 9 };
+        let after_reset = IoStats { reads: 3, writes: 0, cache_hits: 12 };
+        let d = after_reset.since(before);
+        assert_eq!(d, IoDelta { reads: 0, writes: 0, cache_hits: 3 });
+        assert_eq!(d.total(), 0);
     }
 }

@@ -69,6 +69,11 @@ impl DynamicHalfspace2 {
         self.parts.len()
     }
 
+    /// The device this structure lives on (for scoped IO measurement).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
     /// Insert a point with a caller-chosen tag (must be unique among live
     /// points if deletion by tag is used).
     pub fn insert(&mut self, x: i64, y: i64, tag: u64) {

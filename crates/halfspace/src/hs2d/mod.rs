@@ -329,6 +329,11 @@ impl HalfspaceRS2 {
         self.n_points == 0
     }
 
+    /// The device this structure lives on (for scoped IO measurement).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
     /// Distinct dual lines.
     pub fn unique_points(&self) -> usize {
         self.n_lines

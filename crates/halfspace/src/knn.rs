@@ -50,6 +50,11 @@ impl KnnStructure {
         self.hs.pages()
     }
 
+    /// The device this structure lives on (for scoped IO measurement).
+    pub fn device(&self) -> &Device {
+        self.hs.device()
+    }
+
     /// Indices of the k nearest neighbors of `(x, y)`, closest first (ties
     /// broken by index).
     pub fn k_nearest(&self, x: i64, y: i64, k: usize) -> Vec<u32> {

@@ -314,6 +314,11 @@ impl<const D: usize> PartitionTree<D> {
         self.pages_at_build_end
     }
 
+    /// The device this structure lives on (for scoped IO measurement).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }

@@ -265,6 +265,11 @@ impl HybridTree3 {
         self.pages_at_build_end
     }
 
+    /// The device this structure lives on (for scoped IO measurement).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
     /// Report points strictly below `z = u·x + v·y + w` (`inclusive` adds
     /// points on it).
     pub fn query_below(&self, u: i64, v: i64, w: i64, inclusive: bool) -> Vec<u32> {
@@ -511,6 +516,11 @@ impl ShallowTree3 {
 
     pub fn pages(&self) -> u64 {
         self.pages_at_build_end
+    }
+
+    /// The device this structure lives on (for scoped IO measurement).
+    pub fn device(&self) -> &Device {
+        &self.dev
     }
 
     pub fn query_below(&self, u: i64, v: i64, w: i64, inclusive: bool) -> Vec<u32> {

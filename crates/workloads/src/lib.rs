@@ -171,6 +171,131 @@ pub fn count_below3(pts: &[(i64, i64, i64)], u: i64, v: i64, w: i64) -> usize {
         .count()
 }
 
+/// Shape of a multi-query batch (DESIGN.md §7). Batches model production
+/// traffic, where the interesting axis is how much page locality
+/// consecutive queries share — the two shapes bracket it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchShape {
+    /// `distinct` base queries sampled under a Zipf-like popularity law
+    /// with exponent `s` (weight of the i-th base query ∝ 1/(i+1)^s):
+    /// heavy repetition of a few hot queries, the cache-friendliest
+    /// traffic a real workload produces.
+    ZipfRepeat { distinct: usize, s: f64 },
+    /// All-distinct parallel halfplanes with selectivities sweeping
+    /// 0..=n in submission order — a sorted scan across the point set
+    /// where consecutive queries share most of their output pages.
+    SortedSweep,
+}
+
+/// Thresholds of a sorted-sweep batch over projected values: entry `j`
+/// admits exactly `t = j·n/(len-1)` of the values strictly below it
+/// (`vals` need not be sorted; endpoints over/undershoot by 1 like the
+/// single-query selectivity generators).
+fn sweep_thresholds(mut vals: Vec<i128>, len: usize) -> Vec<i128> {
+    let n = vals.len();
+    vals.sort_unstable();
+    (0..len)
+        .map(|j| {
+            let t = if len <= 1 { 0 } else { j * n / (len - 1) };
+            if t == 0 {
+                vals[0] - 1
+            } else if t == n {
+                vals[t - 1] + 1
+            } else {
+                vals[t]
+            }
+        })
+        .collect()
+}
+
+/// Sample `len` indices into `distinct` items under the Zipf(s) law.
+fn zipf_indices(rng: &mut StdRng, distinct: usize, s: f64, len: usize) -> Vec<usize> {
+    assert!(distinct > 0);
+    let cum: Vec<f64> = (0..distinct)
+        .scan(0.0f64, |acc, i| {
+            *acc += 1.0 / ((i + 1) as f64).powf(s);
+            Some(*acc)
+        })
+        .collect();
+    let total = *cum.last().unwrap();
+    (0..len)
+        .map(|_| {
+            let r = rng.gen_range(0.0..total);
+            cum.partition_point(|&c| c <= r).min(distinct - 1)
+        })
+        .collect()
+}
+
+/// A batch of `len` halfplane queries `(m, c)` over `pts`, shaped by
+/// `shape`. Deterministic in `(pts, shape, len, slope, seed)`.
+pub fn halfplane_batch(
+    pts: &[(i64, i64)],
+    shape: BatchShape,
+    len: usize,
+    slope: i64,
+    seed: u64,
+) -> Vec<(i64, i64)> {
+    assert!(!pts.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c2);
+    match shape {
+        BatchShape::ZipfRepeat { distinct, s } => {
+            let base: Vec<(i64, i64)> = (0..distinct)
+                .map(|i| {
+                    let t = (i + 1) * pts.len() / (distinct + 1);
+                    halfplane_with_selectivity(pts, t, slope, seed ^ ((i as u64) << 8))
+                })
+                .collect();
+            zipf_indices(&mut rng, distinct, s, len).into_iter().map(|i| base[i]).collect()
+        }
+        BatchShape::SortedSweep => {
+            // One shared slope; intercepts at evenly spaced selectivities,
+            // emitted in ascending order.
+            let m = rng.gen_range(-slope..=slope);
+            let vals: Vec<i128> =
+                pts.iter().map(|&(x, y)| y as i128 - m as i128 * x as i128).collect();
+            sweep_thresholds(vals, len)
+                .into_iter()
+                .map(|c| (m, i64::try_from(c).expect("intercept fits i64")))
+                .collect()
+        }
+    }
+}
+
+/// A batch of `len` halfspace queries `(u, v, w)` over 3D `pts`, shaped by
+/// `shape`. Deterministic in `(pts, shape, len, slope, seed)`.
+pub fn halfspace3_batch(
+    pts: &[(i64, i64, i64)],
+    shape: BatchShape,
+    len: usize,
+    slope: i64,
+    seed: u64,
+) -> Vec<(i64, i64, i64)> {
+    assert!(!pts.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c3);
+    match shape {
+        BatchShape::ZipfRepeat { distinct, s } => {
+            let base: Vec<(i64, i64, i64)> = (0..distinct)
+                .map(|i| {
+                    let t = (i + 1) * pts.len() / (distinct + 1);
+                    halfspace3_with_selectivity(pts, t, slope, seed ^ ((i as u64) << 8))
+                })
+                .collect();
+            zipf_indices(&mut rng, distinct, s, len).into_iter().map(|i| base[i]).collect()
+        }
+        BatchShape::SortedSweep => {
+            let (u, v) = (rng.gen_range(-slope..=slope), rng.gen_range(-slope..=slope));
+            let vals: Vec<i128> = pts
+                .iter()
+                .map(|&(x, y, z)| z as i128 - u as i128 * x as i128 - v as i128 * y as i128)
+                .collect();
+            sweep_thresholds(vals, len)
+                .into_iter()
+                .map(|w| (u, v, i64::try_from(w).expect("offset fits i64")))
+                .collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +337,75 @@ mod tests {
         assert_eq!(
             points3(Dist3::Clustered, 50, 1000, 7),
             points3(Dist3::Clustered, 50, 1000, 7)
+        );
+    }
+
+    #[test]
+    fn zipf_batch_repeats_hot_queries() {
+        let pts = points2(Dist2::Uniform, 400, 100_000, 6);
+        let shape = BatchShape::ZipfRepeat { distinct: 8, s: 1.1 };
+        let batch = halfplane_batch(&pts, shape, 200, 40, 99);
+        assert_eq!(batch.len(), 200);
+        let mut uniq = batch.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() <= 8, "at most `distinct` distinct queries");
+        assert!(uniq.len() >= 2, "zipf must not degenerate to one query");
+        // The hottest query dominates: it appears more often than 200/8.
+        let top = uniq
+            .iter()
+            .map(|u| batch.iter().filter(|&&q| q == *u).count())
+            .max()
+            .unwrap();
+        assert!(top > 25, "hot query should repeat heavily, saw {top}");
+    }
+
+    #[test]
+    fn sweep_batch_is_sorted_and_spans_selectivities() {
+        let pts = points2(Dist2::Uniform, 300, 100_000, 7);
+        let batch = halfplane_batch(&pts, BatchShape::SortedSweep, 50, 40, 5);
+        assert_eq!(batch.len(), 50);
+        let m = batch[0].0;
+        assert!(batch.iter().all(|&(bm, _)| bm == m), "sweep shares one slope");
+        assert!(batch.windows(2).all(|w| w[0].1 <= w[1].1), "intercepts ascend");
+        assert_eq!(count_below2(&pts, m, batch[0].1), 0);
+        assert_eq!(count_below2(&pts, m, batch[49].1), pts.len());
+    }
+
+    #[test]
+    fn batch3_generators_match_2d_contracts() {
+        let pts = points3(Dist3::Uniform, 300, 50_000, 8);
+        let zipf = halfspace3_batch(
+            &pts,
+            BatchShape::ZipfRepeat { distinct: 6, s: 1.0 },
+            120,
+            30,
+            11,
+        );
+        assert_eq!(zipf.len(), 120);
+        let mut uniq = zipf.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() <= 6 && uniq.len() >= 2);
+        let sweep = halfspace3_batch(&pts, BatchShape::SortedSweep, 40, 30, 12);
+        assert!(sweep.windows(2).all(|w| w[0].2 <= w[1].2), "offsets ascend");
+        let (u, v) = (sweep[0].0, sweep[0].1);
+        assert_eq!(count_below3(&pts, u, v, sweep[0].2), 0);
+        assert_eq!(count_below3(&pts, u, v, sweep[39].2), pts.len());
+    }
+
+    #[test]
+    fn batch_generators_are_deterministic() {
+        let pts = points2(Dist2::Clustered, 200, 100_000, 9);
+        let shape = BatchShape::ZipfRepeat { distinct: 5, s: 0.9 };
+        assert_eq!(
+            halfplane_batch(&pts, shape, 64, 40, 13),
+            halfplane_batch(&pts, shape, 64, 40, 13)
+        );
+        let pts3 = points3(Dist3::Slab, 200, 50_000, 10);
+        assert_eq!(
+            halfspace3_batch(&pts3, BatchShape::SortedSweep, 32, 30, 14),
+            halfspace3_batch(&pts3, BatchShape::SortedSweep, 32, 30, 14)
         );
     }
 

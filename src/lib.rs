@@ -8,6 +8,7 @@
 //! binaries) and `DESIGN.md` for the system inventory.
 
 pub use lcrs_baselines as baselines;
+pub use lcrs_engine as engine;
 pub use lcrs_extmem as extmem;
 pub use lcrs_geom as geom;
 pub use lcrs_halfspace as halfspace;

@@ -72,6 +72,105 @@ fn get_many_pays_one_io_per_page() {
     }
 }
 
+/// Reference LRU with the pre-optimization linear-scan eviction, driven in
+/// lockstep with the device to pin that the O(log) BTreeMap eviction picks
+/// bit-identical victims (ticks are unique, so "min last-used tick" is a
+/// deterministic choice either way).
+struct ModelLru {
+    cap: usize,
+    entries: Vec<(u64, u64)>, // (page, last-used tick)
+    tick: u64,
+    reads: u64,
+    writes: u64,
+    hits: u64,
+}
+
+impl ModelLru {
+    fn new(cap: usize) -> ModelLru {
+        ModelLru { cap, entries: Vec::new(), tick: 0, reads: 0, writes: 0, hits: 0 }
+    }
+
+    fn touch(&mut self, page: u64) {
+        self.tick += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
+            e.1 = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .unwrap();
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((page, self.tick));
+    }
+
+    fn read(&mut self, page: u64) {
+        if self.cap > 0 && self.entries.iter().any(|e| e.0 == page) {
+            self.hits += 1;
+        } else {
+            self.reads += 1;
+        }
+        self.touch(page);
+    }
+
+    fn write(&mut self, page: u64) {
+        self.writes += 1;
+        self.touch(page);
+    }
+}
+
+#[test]
+fn btreemap_lru_matches_linear_scan_reference_exactly() {
+    for cache_pages in [0usize, 1, 3, 17] {
+        let dev = Device::new(DeviceConfig::new(64, cache_pages));
+        let universe = 50u64;
+        dev.alloc_pages(universe as usize);
+        let mut model = ModelLru::new(cache_pages);
+        let mut s = 0xfeed_0000 + cache_pages as u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        for step in 0..4000 {
+            let p = next() % universe;
+            match next() % 10 {
+                0..=5 => {
+                    dev.read_page(lcrs::extmem::PageId(p), |_| ());
+                    model.read(p);
+                }
+                6..=7 => {
+                    dev.write_page(lcrs::extmem::PageId(p), |b| b[0] = step as u8);
+                    model.write(p);
+                }
+                8 => {
+                    // update = read + write, two ticks in both worlds.
+                    dev.update_page(lcrs::extmem::PageId(p), |b| b[0] ^= 1);
+                    model.read(p);
+                    model.write(p);
+                }
+                _ => {
+                    dev.clear_cache();
+                    model.entries.clear();
+                }
+            }
+            let st = dev.stats();
+            assert_eq!(
+                (st.reads, st.writes, st.cache_hits),
+                (model.reads, model.writes, model.hits),
+                "divergence at step {step} with cache={cache_pages}"
+            );
+        }
+    }
+}
+
 #[test]
 fn all_duplicate_input_still_answers() {
     let pts: Vec<(i64, i64)> = vec![(7, -3); 500];

@@ -1,0 +1,99 @@
+//! Acceptance test for the batch engine (ISSUE 2): a 1k-query batch
+//! through the BatchExecutor with a warm shared cache costs strictly fewer
+//! total read IOs than the same queries issued one-at-a-time cold — for
+//! hs2d, a Section 6 trade-off structure, and a baseline, on two
+//! distributions each — with per-query IoDelta attribution summing to the
+//! batch total and answers unchanged.
+
+use lcrs::baselines::ExternalKdTree;
+use lcrs::engine::{BatchExecutor, Query, RangeIndex};
+use lcrs::extmem::{Device, DeviceConfig};
+use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs::halfspace::tradeoff::{HybridConfig, HybridTree3};
+use lcrs::workloads::{
+    halfplane_batch, halfspace3_batch, points2, points3, BatchShape, Dist2, Dist3,
+};
+
+const BATCH: usize = 1000;
+
+fn cached_device() -> Device {
+    Device::new(DeviceConfig::new(2048, 512))
+}
+
+/// Cold vs batched on one index; returns (cold reads, batched reads).
+fn check(index: &dyn RangeIndex, queries: &[Query], label: &str) -> (u64, u64) {
+    assert_eq!(queries.len(), BATCH);
+    let ex = BatchExecutor::new(index).keep_answers(true);
+    let cold = ex.run_cold(queries);
+    let batched = ex.run_batched(queries);
+    for report in [&cold, &batched] {
+        assert_eq!(
+            report.attributed_total(),
+            report.total,
+            "{label}: attribution must sum to the batch total"
+        );
+        assert_eq!(report.total.writes, 0, "{label}: report queries never write");
+    }
+    assert_eq!(cold.answers, batched.answers, "{label}: batching must not change answers");
+    assert!(
+        batched.reads() < cold.reads(),
+        "{label}: batched reads {} must be strictly below cold {}",
+        batched.reads(),
+        cold.reads()
+    );
+    (cold.reads(), batched.reads())
+}
+
+#[test]
+fn batched_beats_cold_hs2d_two_distributions() {
+    for (dist, seed) in [(Dist2::Uniform, 1u64), (Dist2::Clustered, 2)] {
+        let pts = points2(dist, 6000, 1 << 20, seed);
+        let dev = cached_device();
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        let qs: Vec<Query> = halfplane_batch(
+            &pts,
+            BatchShape::ZipfRepeat { distinct: 24, s: 1.1 },
+            BATCH,
+            40,
+            seed,
+        )
+        .into_iter()
+        .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
+        .collect();
+        check(&hs, &qs, &format!("hs2d/{dist:?}"));
+    }
+}
+
+#[test]
+fn batched_beats_cold_tradeoff_two_distributions() {
+    for (dist, seed) in [(Dist3::Uniform, 3u64), (Dist3::Slab, 4)] {
+        let pts = points3(dist, 2000, 1 << 18, seed);
+        let dev = cached_device();
+        let hy = HybridTree3::build(&dev, &pts, HybridConfig::default());
+        let qs: Vec<Query> = halfspace3_batch(&pts, BatchShape::SortedSweep, BATCH, 30, seed)
+            .into_iter()
+            .map(|(u, v, w)| Query::Halfspace { u, v, w, inclusive: false })
+            .collect();
+        check(&hy, &qs, &format!("tradeoff-hybrid/{dist:?}"));
+    }
+}
+
+#[test]
+fn batched_beats_cold_baseline_two_distributions() {
+    for (dist, seed) in [(Dist2::Uniform, 5u64), (Dist2::Diagonal, 6)] {
+        let pts = points2(dist, 6000, 1 << 20, seed);
+        let dev = cached_device();
+        let kd = ExternalKdTree::build(&dev, &pts);
+        let qs: Vec<Query> = halfplane_batch(
+            &pts,
+            BatchShape::ZipfRepeat { distinct: 16, s: 1.2 },
+            BATCH,
+            40,
+            seed,
+        )
+        .into_iter()
+        .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
+        .collect();
+        check(&kd, &qs, &format!("kdtree/{dist:?}"));
+    }
+}
