@@ -3,18 +3,30 @@
 # `cargo build --release && cargo test -q`; `cargo test --workspace -q`
 # is a strict superset of `cargo test -q` (root package included), so
 # tier-1 failure detection is covered without running the root suites
-# twice. The rest extends coverage to every bench/example target and a
-# zero-warning clippy sweep.
+# twice. The rest extends coverage to every bench/example target, the
+# engine smoke experiments, a formatting gate, and a zero-warning
+# clippy sweep.
 set -euxo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test --workspace -q
 cargo build --release --benches --examples --workspace
-# Smoke-run the batch engine experiment end to end: it asserts per-query
-# attribution sums to batch totals and batched reads beat cold on every cell.
+# Smoke-run the engine experiments end to end. exp_batched asserts
+# per-query attribution sums to batch totals and batched reads beat cold
+# on every cell; exp_parallel asserts per-worker deltas sum exactly and
+# parallel outcomes match the sequential executor on every cell.
 cargo bench -q -p lcrs-bench --bench exp_batched -- --smoke
+cargo bench -q -p lcrs-bench --bench exp_parallel -- --smoke
+# Formatting gate (style pinned by rustfmt.toml). Skipped gracefully when
+# the container lacks rustfmt.
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "rustfmt not installed; skipping the formatting gate"
+fi
 cargo clippy --workspace --all-targets -- -D warnings
-# Redundant with the workspace sweep, but pinned separately so the engine
-# crate never regresses to warnings even if the workspace list changes.
-cargo clippy -p lcrs-engine --all-targets -- -D warnings
+# Redundant with the workspace sweep, but pinned separately so the crates
+# the engine stack depends on never regress to warnings even if the
+# workspace list changes.
+cargo clippy -p lcrs-extmem -p lcrs-engine --all-targets -- -D warnings

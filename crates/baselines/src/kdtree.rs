@@ -7,7 +7,7 @@
 //! every leaf box straddles a near-diagonal query line, so queries take
 //! Ω(n) IOs no matter how small the output — the motivation for Section 3.
 
-use lcrs_extmem::{Device, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, Record, VecFile};
 
 use crate::BaselineStats;
 
@@ -49,7 +49,7 @@ type PtRec = ([i64; 2], u32);
 
 /// Bulk-loaded external kd-tree over 2D points.
 pub struct ExternalKdTree {
-    dev: Device,
+    dev: DeviceHandle,
     nodes: VecFile<KdNode>,
     points: VecFile<PtRec>,
     n: usize,
@@ -57,7 +57,7 @@ pub struct ExternalKdTree {
 }
 
 impl ExternalKdTree {
-    pub fn build(dev: &Device, points: &[(i64, i64)]) -> ExternalKdTree {
+    pub fn build(dev: &DeviceHandle, points: &[(i64, i64)]) -> ExternalKdTree {
         let leaf_cap = dev.records_per_page(<PtRec as Record>::SIZE).max(1);
         let mut items: Vec<PtRec> =
             points.iter().enumerate().map(|(i, &(x, y))| ([x, y], i as u32)).collect();
@@ -105,14 +105,8 @@ impl ExternalKdTree {
             let (l, r) = items.split_at_mut(mid);
             rec(l, li, (axis + 1) % 2, nodes, dfs, leaf_cap);
             rec(r, li + 1, (axis + 1) % 2, nodes, dfs, leaf_cap);
-            nodes[ni] = KdNode {
-                lo,
-                hi,
-                left: li as u32,
-                right: li as u32 + 1,
-                pts_off: 0,
-                pts_len: 0,
-            };
+            nodes[ni] =
+                KdNode { lo, hi, left: li as u32, right: li as u32 + 1, pts_off: 0, pts_len: 0 };
         }
 
         if !items.is_empty() {
@@ -141,8 +135,25 @@ impl ExternalKdTree {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> ExternalKdTree {
+        ExternalKdTree {
+            dev: h.clone(),
+            nodes: self.nodes.with_handle(h),
+            points: self.points.with_handle(h),
+            n: self.n,
+            pages_at_build_end: self.pages_at_build_end,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> ExternalKdTree {
+        self.with_handle(&self.dev.fork())
     }
 
     /// Report points strictly below `y = m·x + c` (`inclusive` adds
@@ -194,8 +205,10 @@ impl ExternalKdTree {
         if node.left == 0 && node.right == 0 {
             // Leaf: scan the block.
             let mut buf: Vec<PtRec> = Vec::with_capacity(node.pts_len as usize);
-            self.points
-                .read_range(node.pts_off as usize..(node.pts_off + node.pts_len) as usize, &mut buf);
+            self.points.read_range(
+                node.pts_off as usize..(node.pts_off + node.pts_len) as usize,
+                &mut buf,
+            );
             for ([x, y], id) in buf {
                 let s = y as i128 - m as i128 * x as i128 - c as i128;
                 let hit = if inclusive { s <= 0 } else { s < 0 };
@@ -206,8 +219,8 @@ impl ExternalKdTree {
             return;
         }
         let _ = all_below; // kd-trees lack DFS-contiguous subtree ranges...
-        // (this implementation has them, but the classic index walks the
-        // subtree; we keep the classic behavior for a faithful baseline)
+                           // (this implementation has them, but the classic index walks the
+                           // subtree; we keep the classic behavior for a faithful baseline)
         self.visit(node.left as usize, m, c, inclusive, stats, out);
         self.visit(node.right as usize, m, c, inclusive, stats, out);
     }
@@ -216,7 +229,7 @@ impl ExternalKdTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcrs_extmem::DeviceConfig;
+    use lcrs_extmem::{Device, DeviceConfig};
 
     fn pseudo(n: usize, seed: u64) -> Vec<(i64, i64)> {
         let mut s = seed;

@@ -6,7 +6,7 @@
 //! rectangles are recursed into. Like the kd-tree, it degrades to Ω(n) IOs
 //! on the diagonal adversarial input of Section 1.2.
 
-use lcrs_extmem::{Device, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, Record, VecFile};
 
 use crate::BaselineStats;
 
@@ -46,7 +46,7 @@ type PtRec = ([i64; 2], u32);
 
 /// STR bulk-loaded R-tree over 2D points.
 pub struct StrRTree {
-    dev: Device,
+    dev: DeviceHandle,
     nodes: VecFile<RNode>,
     points: VecFile<PtRec>,
     root: usize,
@@ -55,7 +55,7 @@ pub struct StrRTree {
 }
 
 impl StrRTree {
-    pub fn build(dev: &Device, points: &[(i64, i64)]) -> StrRTree {
+    pub fn build(dev: &DeviceHandle, points: &[(i64, i64)]) -> StrRTree {
         let leaf_cap = dev.records_per_page(<PtRec as Record>::SIZE).max(2);
         let fanout = dev.records_per_page(<RNode as Record>::SIZE).max(2);
         let mut items: Vec<PtRec> =
@@ -119,13 +119,7 @@ impl StrRTree {
                             nodes.push(c);
                         }
                         let id = nodes.len();
-                        nodes.push(RNode {
-                            lo,
-                            hi,
-                            start,
-                            count: group.len() as u32,
-                            leaf: 0,
-                        });
+                        nodes.push(RNode { lo, hi, start, count: group.len() as u32, leaf: 0 });
                         next_level.push(id);
                     }
                 }
@@ -156,8 +150,26 @@ impl StrRTree {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> StrRTree {
+        StrRTree {
+            dev: h.clone(),
+            nodes: self.nodes.with_handle(h),
+            points: self.points.with_handle(h),
+            root: self.root,
+            n: self.n,
+            pages_at_build_end: self.pages_at_build_end,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> StrRTree {
+        self.with_handle(&self.dev.fork())
     }
 
     pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u32>, BaselineStats) {
@@ -196,8 +208,10 @@ impl StrRTree {
         }
         if node.leaf == 1 {
             let mut buf: Vec<PtRec> = Vec::with_capacity(node.count as usize);
-            self.points
-                .read_range(node.start as usize..(node.start as usize + node.count as usize), &mut buf);
+            self.points.read_range(
+                node.start as usize..(node.start as usize + node.count as usize),
+                &mut buf,
+            );
             for ([x, y], id) in buf {
                 let s = y as i128 - m as i128 * x as i128 - c as i128;
                 let hit = if inclusive { s <= 0 } else { s < 0 };
@@ -228,7 +242,7 @@ fn mbr_points(pts: &[PtRec]) -> ([i64; 2], [i64; 2]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcrs_extmem::DeviceConfig;
+    use lcrs_extmem::{Device, DeviceConfig};
 
     fn pseudo(n: usize, seed: u64) -> Vec<(i64, i64)> {
         let mut s = seed;

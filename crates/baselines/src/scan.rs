@@ -1,18 +1,18 @@
 //! The trivial baseline: points in a flat file, every query scans it.
 
-use lcrs_extmem::{Device, VecFile};
+use lcrs_extmem::{DeviceHandle, VecFile};
 
 use crate::BaselineStats;
 
 /// Linear scan baseline: optimal space, Θ(n) IOs per query.
 pub struct ExternalScan {
-    dev: Device,
+    dev: DeviceHandle,
     points: VecFile<(i64, i64, u32)>,
     pages_at_build_end: u64,
 }
 
 impl ExternalScan {
-    pub fn build(dev: &Device, points: &[(i64, i64)]) -> ExternalScan {
+    pub fn build(dev: &DeviceHandle, points: &[(i64, i64)]) -> ExternalScan {
         let recs: Vec<(i64, i64, u32)> =
             points.iter().enumerate().map(|(i, &(x, y))| (x, y, i as u32)).collect();
         ExternalScan {
@@ -35,8 +35,23 @@ impl ExternalScan {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> ExternalScan {
+        ExternalScan {
+            dev: h.clone(),
+            points: self.points.with_handle(h),
+            pages_at_build_end: self.pages_at_build_end,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> ExternalScan {
+        self.with_handle(&self.dev.fork())
     }
 
     /// Report points strictly below `y = m·x + c` (`inclusive` adds
@@ -64,7 +79,7 @@ impl ExternalScan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcrs_extmem::DeviceConfig;
+    use lcrs_extmem::{Device, DeviceConfig};
 
     #[test]
     fn scan_reports_exactly_and_costs_n() {
@@ -72,12 +87,8 @@ mod tests {
         let pts: Vec<(i64, i64)> = (0..500).map(|i| (i, (i * 7) % 500)).collect();
         let s = ExternalScan::build(&dev, &pts);
         let (got, st) = s.query_below(1, 0, false);
-        let want: Vec<u32> = pts
-            .iter()
-            .enumerate()
-            .filter(|(_, &(x, y))| y < x)
-            .map(|(i, _)| i as u32)
-            .collect();
+        let want: Vec<u32> =
+            pts.iter().enumerate().filter(|(_, &(x, y))| y < x).map(|(i, _)| i as u32).collect();
         assert_eq!(got, want);
         assert_eq!(st.ios as usize, s.points.pages());
     }

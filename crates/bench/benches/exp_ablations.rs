@@ -10,7 +10,9 @@ use lcrs_geom::point::PointD;
 use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
 use lcrs_halfspace::hs3d::{HalfspaceRS3, Hs3dConfig};
 use lcrs_halfspace::ptree::{PTreeConfig, PartitionTree};
-use lcrs_workloads::{halfplane_with_selectivity, halfspace3_with_selectivity, points2, points3, Dist2, Dist3};
+use lcrs_workloads::{
+    halfplane_with_selectivity, halfspace3_with_selectivity, points2, points3, Dist2, Dist3,
+};
 
 fn main() {
     let page = 4096usize;
@@ -23,7 +25,11 @@ fn main() {
     let mut rows = Vec::new();
     for factor in [2usize, 3, 4] {
         let dev = Device::new(DeviceConfig::new(page, 0));
-        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig { cluster_factor: factor, ..Default::default() });
+        let hs = HalfspaceRS2::build(
+            &dev,
+            &pts,
+            Hs2dConfig { cluster_factor: factor, ..Default::default() },
+        );
         let mut ios = Vec::new();
         for q in 0..12u64 {
             let (m, c) = halfplane_with_selectivity(&pts, b2, 64, q);
@@ -36,7 +42,11 @@ fn main() {
             format!("{:.1}", mean(&ios)),
         ]);
     }
-    print_table("(i) cluster size factor (paper: 3k)", &["factor", "space pages", "m", "avg IOs (T=B)"], &rows);
+    print_table(
+        "(i) cluster size factor (paper: 3k)",
+        &["factor", "space pages", "m", "avg IOs (T=B)"],
+        &rows,
+    );
 
     // (ii) copies: 1 vs 3.
     let b3 = page / 28;
@@ -72,9 +82,15 @@ fn main() {
     let blocks = n_pts.div_ceil(b2);
     let logb = (blocks as f64).ln() / (b2 as f64).ln();
     let beta_paper = (b2 as f64 * logb.max(1.0)).ceil() as usize;
-    for (label, beta) in [("B", b2), ("B·log_B n (paper)", beta_paper), ("2·B·log_B n", 2 * beta_paper)] {
+    for (label, beta) in
+        [("B", b2), ("B·log_B n (paper)", beta_paper), ("2·B·log_B n", 2 * beta_paper)]
+    {
         let dev = Device::new(DeviceConfig::new(page, 0));
-        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig { beta_override: beta, ..Default::default() });
+        let hs = HalfspaceRS2::build(
+            &dev,
+            &pts,
+            Hs2dConfig { beta_override: beta, ..Default::default() },
+        );
         let mut ios = Vec::new();
         for q in 0..12u64 {
             let (m, c) = halfplane_with_selectivity(&pts, b2, 64, 100 + q);
@@ -88,7 +104,11 @@ fn main() {
             format!("{:.1}", mean(&ios)),
         ]);
     }
-    print_table("(iii) β choice (paper: B·log_B n)", &["β", "value", "m", "space pages", "avg IOs"], &rows);
+    print_table(
+        "(iii) β choice (paper: B·log_B n)",
+        &["β", "value", "m", "space pages", "avg IOs"],
+        &rows,
+    );
 
     // (iv) partition-tree fanout.
     let ptpts: Vec<PointD<2>> = pts.iter().map(|&(x, y)| PointD::new([x, y])).collect();

@@ -3,8 +3,8 @@
 //! a slight perturbation of it, while the Theorem 3.5 structure stays at
 //! O(log_B n + t).
 
-use lcrs_bench::{mean, print_table};
 use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
+use lcrs_bench::{mean, print_table};
 use lcrs_extmem::{Device, DeviceConfig};
 use lcrs_geom::point::{HyperplaneD, PointD};
 use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};

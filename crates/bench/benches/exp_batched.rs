@@ -1,7 +1,8 @@
 //! EXP-BATCHED — the query engine's batch mode (DESIGN.md §7): total read
 //! IOs of a query batch executed one-at-a-time cold versus through the
 //! [`BatchExecutor`] (locality-ordered, shared warm LRU), per structure and
-//! per batch shape.
+//! per batch shape — all six halfspace structures (hs2d, hs3d, knn, ptree,
+//! and both Section 6 trade-off trees) plus the three baselines.
 //!
 //! The paper's bounds are per-query; this experiment measures what they
 //! leave on the table under production-style traffic: repeat-heavy
@@ -11,14 +12,18 @@
 //!
 //! Run with `--smoke` for the CI-sized variant.
 
+use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
 use lcrs_bench::print_table;
 use lcrs_engine::{BatchExecutor, Query, RangeIndex};
 use lcrs_extmem::{Device, DeviceConfig};
+use lcrs_geom::point::PointD;
 use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs_halfspace::hs3d::{HalfspaceRS3, Hs3dConfig};
+use lcrs_halfspace::ptree::{PTreeConfig, PartitionTree};
 use lcrs_halfspace::tradeoff::{HybridConfig, HybridTree3, ShallowConfig, ShallowTree3};
-use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
+use lcrs_halfspace::KnnStructure;
 use lcrs_workloads::{
-    halfplane_batch, halfspace3_batch, points2, points3, BatchShape, Dist2, Dist3,
+    halfplane_batch, halfspace3_batch, knn_batch, points2, points3, BatchShape, Dist2, Dist3,
 };
 
 const PAGE: usize = 4096;
@@ -68,8 +73,7 @@ fn run_cell(index: &dyn RangeIndex, queries: &[Query]) -> (u64, u64, u64) {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (n2, n3, batch_len) = if smoke { (4096, 1024, 200) } else { (32768, 8192, 1000) };
-    let shapes =
-        [BatchShape::ZipfRepeat { distinct: 16, s: 1.1 }, BatchShape::SortedSweep];
+    let shapes = [BatchShape::ZipfRepeat { distinct: 16, s: 1.1 }, BatchShape::SortedSweep];
     println!(
         "# EXP-BATCHED: cold vs batched total read IOs, page={PAGE}B, \
          cache={CACHE_PAGES} pages, {batch_len}-query batches{}",
@@ -86,7 +90,9 @@ fn main() {
         let scan = ExternalScan::build(&dev, &pts);
         let kd = ExternalKdTree::build(&dev, &pts);
         let rt = StrRTree::build(&dev, &pts);
-        let indexes: Vec<&dyn RangeIndex> = vec![&hs2d, &kd, &rt, &scan];
+        let pd: Vec<PointD<2>> = pts.iter().map(|&(x, y)| PointD::new([x, y])).collect();
+        let pt = PartitionTree::<2>::build(&dev, &pd, PTreeConfig::default());
+        let indexes: Vec<&dyn RangeIndex> = vec![&hs2d, &pt, &kd, &rt, &scan];
         for shape in shapes {
             let qs: Vec<Query> = halfplane_batch(&pts, shape, batch_len, 48, 7)
                 .into_iter()
@@ -111,9 +117,10 @@ fn main() {
     for dist in [Dist3::Uniform, Dist3::Slab] {
         let pts = points3(dist, n3, 1 << 18, 43);
         let dev = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+        let hs3d = HalfspaceRS3::build(&dev, &pts, Hs3dConfig::default());
         let hybrid = HybridTree3::build(&dev, &pts, HybridConfig::default());
         let shallow = ShallowTree3::build(&dev, &pts, ShallowConfig::default());
-        let indexes: Vec<&dyn RangeIndex> = vec![&hybrid, &shallow];
+        let indexes: Vec<&dyn RangeIndex> = vec![&hs3d, &hybrid, &shallow];
         for shape in shapes {
             let qs: Vec<Query> = halfspace3_batch(&pts, shape, batch_len, 32, 8)
                 .into_iter()
@@ -131,6 +138,30 @@ fn main() {
                     batched_hits: hits,
                 });
             }
+        }
+    }
+
+    // k-NN: the Theorem 4.3 structure (centers stay inside the lift
+    // coordinate budget, so the point range is +-1000).
+    for dist in [Dist2::Uniform, Dist2::Clustered] {
+        let pts = points2(dist, n3, 1000, 44);
+        let dev = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+        let knn = KnnStructure::build(&dev, &pts, Hs3dConfig::default());
+        for shape in shapes {
+            let qs: Vec<Query> = knn_batch(&pts, shape, batch_len, 16, 9)
+                .into_iter()
+                .map(|(x, y, k)| Query::Knn { x, y, k })
+                .collect();
+            let (cold, batched, hits) = run_cell(&knn, &qs);
+            rows.push(Row {
+                structure: RangeIndex::name(&knn),
+                dist: format!("{dist:?}"),
+                shape: shape_name(&shape),
+                queries: qs.len(),
+                cold_reads: cold,
+                batched_reads: batched,
+                batched_hits: hits,
+            });
         }
     }
 

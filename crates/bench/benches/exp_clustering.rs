@@ -44,7 +44,17 @@ fn main() {
     }
     print_table(
         "clusterings of the k-level (paper: ≤ N/k clusters of ≤ 3k lines; duplication O(1))",
-        &["dist", "N", "k", "clusters", "N/k bound", "max |C|", "3k bound", "dup factor", "level vtx"],
+        &[
+            "dist",
+            "N",
+            "k",
+            "clusters",
+            "N/k bound",
+            "max |C|",
+            "3k bound",
+            "dup factor",
+            "level vtx",
+        ],
         &rows,
     );
 }

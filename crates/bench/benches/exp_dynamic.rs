@@ -52,7 +52,14 @@ fn main() {
     }
     print_table(
         "amortized insertion and query overhead (paper: O(log2 n · log_B n) amortized updates)",
-        &["N inserts", "µs/insert", "write IOs/insert", "parts", "dyn query IOs", "static query IOs"],
+        &[
+            "N inserts",
+            "µs/insert",
+            "write IOs/insert",
+            "parts",
+            "dyn query IOs",
+            "static query IOs",
+        ],
         &rows,
     );
 

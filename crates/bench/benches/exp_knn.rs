@@ -11,7 +11,12 @@ use rand::{Rng, SeedableRng};
 fn pseudo(n: usize, seed: u64) -> Vec<(i64, i64)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| (rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD), rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD)))
+        .map(|_| {
+            (
+                rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD),
+                rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD),
+            )
+        })
         .collect()
 }
 
@@ -30,17 +35,15 @@ fn main() {
     for k in [1usize, 8, 64, b, 4 * b, 16 * b] {
         let mut ios = Vec::new();
         for _ in 0..10 {
-            let (x, y) =
-                (rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD), rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD));
+            let (x, y) = (
+                rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD),
+                rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD),
+            );
             let (res, st) = knn.k_nearest_stats(x, y, k);
             assert_eq!(res.len(), k.min(n_pts));
             ios.push(st.ios as f64);
         }
-        rows.push(vec![
-            format!("{k}"),
-            format!("{}", k.div_ceil(b)),
-            format!("{:.1}", mean(&ios)),
-        ]);
+        rows.push(vec![format!("{k}"), format!("{}", k.div_ceil(b)), format!("{:.1}", mean(&ios))]);
     }
     print_table(
         &format!("query IOs vs k at N = {n_pts} (paper: O(log_B n + k/B) expected)"),
@@ -58,8 +61,10 @@ fn main() {
         let mut ios = Vec::new();
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..10 {
-            let (x, y) =
-                (rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD), rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD));
+            let (x, y) = (
+                rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD),
+                rng.gen_range(-MAX_KNN_COORD..=MAX_KNN_COORD),
+            );
             ios.push(knn.k_nearest_stats(x, y, 32).1.ios as f64);
         }
         rows.push(vec![

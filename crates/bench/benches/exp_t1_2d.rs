@@ -103,7 +103,9 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("query IOs vs output at N = {n_pts} (paper: O(log_B n + t) — slope ≈ 1, IOs/t = O(1))"),
+        &format!(
+            "query IOs vs output at N = {n_pts} (paper: O(log_B n + t) — slope ≈ 1, IOs/t = O(1))"
+        ),
         &["dist", "T", "t=T/B", "avg IOs", "IOs per t"],
         &rows,
     );

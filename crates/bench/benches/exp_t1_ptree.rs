@@ -107,11 +107,7 @@ fn main() {
     let t = PartitionTree::build(&dev, &pts, PTreeConfig::default());
     let mut rows = Vec::new();
     for (label, half) in [("small", 1 << 16), ("medium", 1 << 18), ("large", 1 << 20)] {
-        let tri: Simplex<2> = Simplex::new(vec![
-            ([-1, 0], half),
-            ([0, -1], half),
-            ([1, 1], half),
-        ]);
+        let tri: Simplex<2> = Simplex::new(vec![([-1, 0], half), ([0, -1], half), ([1, 1], half)]);
         let (res, st) = t.query_simplex_stats(&tri);
         rows.push(vec![
             label.into(),

@@ -29,9 +29,7 @@ fn main() {
     }
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut run = |name: &str,
-                   pages: u64,
-                   mut q: Box<dyn FnMut(i64, i64, i64) -> (usize, u64)>| {
+    let mut run = |name: &str, pages: u64, mut q: Box<dyn FnMut(i64, i64, i64) -> (usize, u64)>| {
         for &t in &[0usize, b, 8 * b, 64 * b] {
             let mut ios = Vec::new();
             for &(u, v, w, qt) in queries.iter().filter(|x| x.3 == t) {

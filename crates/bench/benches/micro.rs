@@ -47,9 +47,7 @@ fn bench_envelope(c: &mut Criterion) {
 fn bench_level_walk(c: &mut Criterion) {
     let ls = lines(512, 3);
     let ids: Vec<u32> = (0..ls.len() as u32).collect();
-    c.bench_function("level_walk_512_k64", |bch| {
-        bch.iter(|| level_vertices(&ls, &ids, 64).len())
-    });
+    c.bench_function("level_walk_512_k64", |bch| bch.iter(|| level_vertices(&ls, &ids, 64).len()));
 }
 
 fn bench_btree(c: &mut Criterion) {

@@ -23,10 +23,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         println!("{s}");
     };
     line(header.iter().map(|s| s.to_string()).collect());
-    println!(
-        "|{}|",
-        w.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", w.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for r in rows {
         line(r.clone());
     }

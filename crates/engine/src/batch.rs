@@ -16,11 +16,24 @@ pub enum ExecMode {
     Batched,
 }
 
+/// Whether a query inside a batch produced an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// The index answered; `reported` counts its ids.
+    Ok,
+    /// The index does not support this query class
+    /// ([`RangeIndex::try_execute`] declined). The batch keeps going; the
+    /// outcome reports zero ids and the (cache-probe-free) IO delta.
+    Unsupported,
+}
+
 /// Outcome of one query within a batch, in submission order.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryOutcome {
     /// Index of the query in the submitted batch.
     pub query: usize,
+    /// Whether the index answered this query at all.
+    pub status: QueryStatus,
     /// Number of ids reported.
     pub reported: usize,
     /// IOs attributed to exactly this query (stats-snapshot bracketing).
@@ -37,8 +50,20 @@ pub struct BatchReport {
     /// Aggregate IOs of the whole batch, measured independently of the
     /// per-query deltas (one snapshot pair around the entire run).
     pub total: IoDelta,
-    /// The answers, in submission order (kept only when requested).
+    /// The answers, in submission order (kept only when requested; an
+    /// unsupported query keeps an empty answer slot).
     pub answers: Option<Vec<Vec<u64>>>,
+}
+
+/// Sum of per-query deltas — shared by both executors' reports.
+pub(crate) fn sum_outcome_io(outcomes: &[QueryOutcome]) -> IoDelta {
+    outcomes.iter().map(|o| o.io).sum()
+}
+
+/// Count of [`QueryStatus::Unsupported`] outcomes — shared by both
+/// executors' reports.
+pub(crate) fn count_unsupported(outcomes: &[QueryOutcome]) -> usize {
+    outcomes.iter().filter(|o| o.status == QueryStatus::Unsupported).count()
 }
 
 impl BatchReport {
@@ -46,19 +71,28 @@ impl BatchReport {
     /// with no other device activity, so this equals [`Self::total`]
     /// exactly — asserted in the test suites.
     pub fn attributed_total(&self) -> IoDelta {
-        let mut sum = IoDelta::default();
-        for o in &self.outcomes {
-            sum.reads += o.io.reads;
-            sum.writes += o.io.writes;
-            sum.cache_hits += o.io.cache_hits;
-        }
-        sum
+        sum_outcome_io(&self.outcomes)
     }
 
     /// Total read IOs (the cost the batch engine optimizes).
     pub fn reads(&self) -> u64 {
         self.total.reads
     }
+
+    /// Queries the index declined ([`QueryStatus::Unsupported`]).
+    pub fn unsupported(&self) -> usize {
+        count_unsupported(&self.outcomes)
+    }
+}
+
+/// The execution order for `queries`: indices sorted by locality key, ties
+/// broken by submission order (a stable schedule). Shared by the batched
+/// and the parallel executor, so shard contents never depend on which
+/// front door ran the batch.
+pub(crate) fn locality_schedule(queries: &[Query]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..queries.len()).collect();
+    order.sort_by_key(|&i| (queries[i].locality_key(), i));
+    order
 }
 
 /// Executes batches of queries against one [`RangeIndex`].
@@ -87,9 +121,7 @@ impl<'a> BatchExecutor<'a> {
     /// The execution order for `queries`: indices sorted by locality key,
     /// ties broken by submission order (a stable schedule).
     pub fn schedule(&self, queries: &[Query]) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..queries.len()).collect();
-        order.sort_by_key(|&i| (queries[i].locality_key(), i));
-        order
+        locality_schedule(queries)
     }
 
     /// Run the batch with a shared warm cache, in locality order.
@@ -104,13 +136,6 @@ impl<'a> BatchExecutor<'a> {
     }
 
     fn run(&self, queries: &[Query], mode: ExecMode) -> BatchReport {
-        for q in queries {
-            assert!(
-                self.index.supports(q),
-                "{} does not support {q:?}",
-                self.index.name()
-            );
-        }
         let order: Vec<usize> = match mode {
             ExecMode::Batched => self.schedule(queries),
             ExecMode::Cold => (0..queries.len()).collect(),
@@ -121,20 +146,31 @@ impl<'a> BatchExecutor<'a> {
         dev.clear_cache();
         let batch_before = dev.stats();
         let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
-        let mut answers: Vec<Vec<u64>> = if self.keep_answers {
-            vec![Vec::new(); queries.len()]
-        } else {
-            Vec::new()
-        };
+        let mut answers: Vec<Vec<u64>> =
+            if self.keep_answers { vec![Vec::new(); queries.len()] } else { Vec::new() };
         for &qi in &order {
             if mode == ExecMode::Cold {
                 dev.clear_cache();
             }
-            let (ids, io) = self.index.execute_measured(&queries[qi]);
-            outcomes[qi] = Some(QueryOutcome { query: qi, reported: ids.len(), io });
-            if self.keep_answers {
-                answers[qi] = ids;
-            }
+            let (result, io) = self.index.try_execute_measured(&queries[qi]);
+            let outcome = match result {
+                Ok(ids) => {
+                    let o = QueryOutcome {
+                        query: qi,
+                        status: QueryStatus::Ok,
+                        reported: ids.len(),
+                        io,
+                    };
+                    if self.keep_answers {
+                        answers[qi] = ids;
+                    }
+                    o
+                }
+                Err(_) => {
+                    QueryOutcome { query: qi, status: QueryStatus::Unsupported, reported: 0, io }
+                }
+            };
+            outcomes[qi] = Some(outcome);
         }
         let total = dev.stats().since(batch_before);
         BatchReport {

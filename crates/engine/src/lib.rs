@@ -14,14 +14,20 @@
 //! * [`BatchExecutor`] — accepts a batch, reorders it for page locality
 //!   (by the query's dual point / region), executes it against a warm
 //!   shared LRU cache, and reports per-query and aggregate IO against the
-//!   one-at-a-time cold baseline.
+//!   one-at-a-time cold baseline;
+//! * [`ParallelExecutor`] — the same batch cut into locality-ordered
+//!   shards across N OS threads (DESIGN.md §8), each worker on its own
+//!   [`lcrs_extmem::DeviceHandle`] fork (own warm LRU, exactly-attributed
+//!   per-worker IO), answers merged back into submission order.
 //!
-//! Answers are never affected by batching: the executor only changes
-//! *when* pages happen to be resident, which the test suites pin by
-//! comparing cold and batched answers element-wise.
+//! Answers are never affected by batching or sharding: the executors only
+//! change *when* pages happen to be resident, which the test suites pin
+//! by comparing cold, batched, and parallel answers element-wise.
 
 pub mod batch;
+pub mod parallel;
 pub mod query;
 
-pub use batch::{BatchExecutor, BatchReport, ExecMode, QueryOutcome};
-pub use query::{Query, RangeIndex};
+pub use batch::{BatchExecutor, BatchReport, ExecMode, QueryOutcome, QueryStatus};
+pub use parallel::{ParallelExecutor, ParallelReport, WorkerReport};
+pub use query::{Query, RangeIndex, Unsupported};

@@ -1,0 +1,212 @@
+//! The parallel executor: locality-ordered shards across OS threads, one
+//! forked device-handle scope per worker (DESIGN.md §8).
+//!
+//! The [`crate::BatchExecutor`] exploits inter-query locality on one
+//! thread; this executor adds the other production axis — wall-clock
+//! throughput — without giving up a single property of the sequential
+//! engine:
+//!
+//! * **Answers are bit-identical** to the sequential executor's: workers
+//!   only change *when* pages are resident, never what a query reports.
+//! * **IO attribution stays exact and deterministic**: every worker runs
+//!   on its own [`lcrs_extmem::DeviceHandle`] fork (own LRU, own
+//!   counters), its shard is a contiguous slice of the same locality
+//!   schedule the batched executor uses, and the per-worker deltas sum
+//!   exactly to the aggregate. Nothing depends on thread scheduling.
+//!
+//! Freeze the device ([`lcrs_extmem::Device::freeze`]) before running:
+//! reads then bypass the store lock entirely, which is where the speedup
+//! comes from. An unfrozen store still produces identical answers and
+//! counts — its reads just serialize on the build-phase mutex.
+
+use lcrs_extmem::IoDelta;
+
+use crate::batch::{locality_schedule, QueryOutcome, QueryStatus};
+use crate::query::{Query, RangeIndex};
+
+/// IO accounting of one worker thread.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerReport {
+    /// Worker index in `0..workers`.
+    pub worker: usize,
+    /// Queries this worker executed (its shard length).
+    pub queries: usize,
+    /// IOs measured on the worker's own handle fork across its shard.
+    pub io: IoDelta,
+}
+
+/// Result of executing a batch across worker threads.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Workers actually spawned (`min(requested, queries)`).
+    pub workers: usize,
+    /// Per-query outcomes, in *submission* order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Per-worker IO totals; deterministic for a fixed (batch, workers).
+    pub per_worker: Vec<WorkerReport>,
+    /// Aggregate IOs: the sum of the per-worker totals (exact — each
+    /// worker's fork sees no traffic besides its own shard).
+    pub total: IoDelta,
+    /// The answers, in submission order (kept only when requested).
+    pub answers: Option<Vec<Vec<u64>>>,
+}
+
+impl ParallelReport {
+    /// Sum of the per-query deltas; equals [`Self::total`] exactly.
+    pub fn attributed_total(&self) -> IoDelta {
+        crate::batch::sum_outcome_io(&self.outcomes)
+    }
+
+    /// Total read IOs.
+    pub fn reads(&self) -> u64 {
+        self.total.reads
+    }
+
+    /// Queries the index declined ([`QueryStatus::Unsupported`]).
+    pub fn unsupported(&self) -> usize {
+        crate::batch::count_unsupported(&self.outcomes)
+    }
+}
+
+/// Executes batches of queries against one [`RangeIndex`] on N threads.
+///
+/// The batch is put into the same locality order the [`crate::BatchExecutor`]
+/// uses, cut into `workers` contiguous shards (so each shard keeps the
+/// locality the schedule created), and every worker runs its shard in
+/// order against a [`RangeIndex::fork_reader`] clone — its own warm LRU,
+/// its own exactly-attributed IO counters.
+pub struct ParallelExecutor<'a> {
+    index: &'a dyn RangeIndex,
+    workers: usize,
+    keep_answers: bool,
+}
+
+impl<'a> ParallelExecutor<'a> {
+    /// An executor fanning out over `workers` OS threads (at least 1).
+    pub fn new(index: &'a dyn RangeIndex, workers: usize) -> Self {
+        ParallelExecutor { index, workers: workers.max(1), keep_answers: false }
+    }
+
+    /// Also collect every query's answer into the report (off by default).
+    pub fn keep_answers(mut self, keep: bool) -> Self {
+        self.keep_answers = keep;
+        self
+    }
+
+    /// The shards workers will execute: the locality schedule cut into
+    /// exactly `min(workers, len)` contiguous pieces whose sizes differ by
+    /// at most one (the first `len % workers` shards hold the extra
+    /// query). Deterministic in (queries, workers).
+    pub fn shards(&self, queries: &[Query]) -> Vec<Vec<usize>> {
+        let order = locality_schedule(queries);
+        if order.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(order.len());
+        let base = order.len() / workers;
+        let extra = order.len() % workers;
+        let mut shards = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            shards.push(order[start..start + len].to_vec());
+            start += len;
+        }
+        debug_assert_eq!(start, order.len());
+        shards
+    }
+
+    /// Run the batch across the workers and merge the outcomes back into
+    /// submission order.
+    pub fn run(&self, queries: &[Query]) -> ParallelReport {
+        let shards = self.shards(queries);
+        let keep_answers = self.keep_answers;
+        let index = self.index;
+
+        // One reader fork per shard, all created up front on this thread:
+        // fork order (and thus any allocation pattern) never depends on
+        // worker scheduling.
+        let readers: Vec<Box<dyn RangeIndex>> =
+            shards.iter().map(|_| index.fork_reader()).collect();
+        for reader in &readers {
+            assert!(
+                reader.device().same_store(index.device()),
+                "fork_reader must stay on the index's store"
+            );
+        }
+
+        struct ShardResult {
+            outcomes: Vec<QueryOutcome>,
+            answers: Vec<(usize, Vec<u64>)>,
+            io: IoDelta,
+        }
+
+        let results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .zip(readers.iter())
+                .map(|(shard, reader)| {
+                    scope.spawn(move || {
+                        let dev = reader.device();
+                        let before = dev.stats();
+                        let mut outcomes = Vec::with_capacity(shard.len());
+                        let mut answers = Vec::new();
+                        for &qi in shard {
+                            let (result, io) = reader.try_execute_measured(&queries[qi]);
+                            match result {
+                                Ok(ids) => {
+                                    outcomes.push(QueryOutcome {
+                                        query: qi,
+                                        status: QueryStatus::Ok,
+                                        reported: ids.len(),
+                                        io,
+                                    });
+                                    if keep_answers {
+                                        answers.push((qi, ids));
+                                    }
+                                }
+                                Err(_) => outcomes.push(QueryOutcome {
+                                    query: qi,
+                                    status: QueryStatus::Unsupported,
+                                    reported: 0,
+                                    io,
+                                }),
+                            }
+                        }
+                        let io = dev.stats().since(before);
+                        ShardResult { outcomes, answers, io }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
+        let mut answers: Vec<Vec<u64>> =
+            if keep_answers { vec![Vec::new(); queries.len()] } else { Vec::new() };
+        let mut per_worker = Vec::with_capacity(results.len());
+        let mut total = IoDelta::default();
+        for (worker, shard) in results.into_iter().enumerate() {
+            let attributed = crate::batch::sum_outcome_io(&shard.outcomes);
+            assert_eq!(
+                attributed, shard.io,
+                "worker {worker}: per-query deltas must sum to the worker total"
+            );
+            per_worker.push(WorkerReport { worker, queries: shard.outcomes.len(), io: shard.io });
+            total += shard.io;
+            for o in shard.outcomes {
+                outcomes[o.query] = Some(o);
+            }
+            for (qi, ids) in shard.answers {
+                answers[qi] = ids;
+            }
+        }
+        ParallelReport {
+            workers: per_worker.len(),
+            outcomes: outcomes.into_iter().map(|o| o.expect("every query ran")).collect(),
+            per_worker,
+            total,
+            answers: keep_answers.then_some(answers),
+        }
+    }
+}

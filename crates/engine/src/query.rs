@@ -2,7 +2,7 @@
 //! trait implemented by every structure in the workspace.
 
 use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
-use lcrs_extmem::{Device, IoDelta};
+use lcrs_extmem::{DeviceHandle, IoDelta};
 use lcrs_geom::point::HyperplaneD;
 use lcrs_halfspace::{
     DynamicHalfspace2, HalfspaceRS2, HalfspaceRS3, HybridTree3, KnnStructure, PartitionTree,
@@ -39,25 +39,69 @@ impl Query {
     }
 }
 
-/// A queryable index living on a [`Device`].
+/// A query an index cannot answer (wrong query class for the structure).
 ///
-/// `execute` answers one [`Query`] and returns the reported ids (input
-/// indices, or caller tags for [`DynamicHalfspace2`]), widened to `u64`.
+/// Returned by [`RangeIndex::try_execute`] so batch executors can record a
+/// per-query [`crate::QueryStatus::Unsupported`] outcome and keep going
+/// instead of aborting the whole batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unsupported {
+    /// [`RangeIndex::name`] of the index that rejected the query.
+    pub index: &'static str,
+    /// The rejected query.
+    pub query: Query,
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} does not support {:?}", self.index, self.query)
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// A queryable index living on a device.
+///
+/// `try_execute` answers one [`Query`] and returns the reported ids (input
+/// indices, or caller tags for [`DynamicHalfspace2`]), widened to `u64`,
+/// or [`Unsupported`] when the index cannot answer that query class.
 /// `execute_measured` brackets the call with device-stats snapshots so
 /// each query gets exact [`IoDelta`] attribution — the primitive the
 /// [`crate::BatchExecutor`] builds on.
-pub trait RangeIndex {
+///
+/// The `Send + Sync` supertraits are what lets the [`crate::ParallelExecutor`]
+/// share an index across worker threads; they hold for every structure in
+/// the workspace because all device state lives behind [`DeviceHandle`]s.
+/// `fork_reader` is the other half of that story: it clones the index onto
+/// a fresh handle scope (own LRU, zeroed stats, same pages), giving each
+/// worker deterministic, exactly-attributable IO counts.
+pub trait RangeIndex: Send + Sync {
     /// Short structure name for reports and tables.
     fn name(&self) -> &'static str;
 
-    /// The device the structure was built on (all IOs flow through it).
-    fn device(&self) -> &Device;
+    /// The device handle the structure reads through (all its IOs flow
+    /// through this scope).
+    fn device(&self) -> &DeviceHandle;
 
     /// Can this index answer `q` at all?
     fn supports(&self, q: &Query) -> bool;
 
-    /// Answer `q`, returning reported ids. Panics if `!self.supports(q)`.
-    fn execute(&self, q: &Query) -> Vec<u64>;
+    /// Answer `q`, returning reported ids, or [`Unsupported`] when
+    /// `!self.supports(q)`.
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported>;
+
+    /// Answer `q`, returning reported ids. Panics if `!self.supports(q)`;
+    /// use [`Self::try_execute`] to keep a batch alive instead.
+    fn execute(&self, q: &Query) -> Vec<u64> {
+        self.try_execute(q).unwrap_or_else(|e| panic!("{e} (check RangeIndex::supports first)"))
+    }
+
+    /// [`Self::try_execute`] with exact IO attribution via stats snapshots.
+    fn try_execute_measured(&self, q: &Query) -> (Result<Vec<u64>, Unsupported>, IoDelta) {
+        let before = self.device().stats();
+        let out = self.try_execute(q);
+        (out, self.device().stats().since(before))
+    }
 
     /// [`Self::execute`] with exact IO attribution via stats snapshots.
     fn execute_measured(&self, q: &Query) -> (Vec<u64>, IoDelta) {
@@ -65,14 +109,18 @@ pub trait RangeIndex {
         let out = self.execute(q);
         (out, self.device().stats().since(before))
     }
+
+    /// A reader clone of this index on a fresh device-handle scope (its own
+    /// cache and stats) over the same pages, for one parallel worker.
+    fn fork_reader(&self) -> Box<dyn RangeIndex>;
 }
 
 fn widen(v: Vec<u32>) -> Vec<u64> {
     v.into_iter().map(u64::from).collect()
 }
 
-fn unsupported(name: &str, q: &Query) -> ! {
-    panic!("{name} does not support {q:?} (check RangeIndex::supports first)")
+fn unsupported(name: &'static str, q: &Query) -> Result<Vec<u64>, Unsupported> {
+    Err(Unsupported { index: name, query: *q })
 }
 
 impl RangeIndex for HalfspaceRS2 {
@@ -80,7 +128,7 @@ impl RangeIndex for HalfspaceRS2 {
         "hs2d"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         HalfspaceRS2::device(self)
     }
 
@@ -88,11 +136,15 @@ impl RangeIndex for HalfspaceRS2 {
         matches!(q, Query::Halfplane { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
-            Query::Halfplane { m, c, inclusive } => widen(self.query_below(m, c, inclusive)),
+            Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive))),
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(HalfspaceRS2::fork_reader(self))
     }
 }
 
@@ -101,7 +153,7 @@ impl RangeIndex for DynamicHalfspace2 {
         "dynamic"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         DynamicHalfspace2::device(self)
     }
 
@@ -109,11 +161,15 @@ impl RangeIndex for DynamicHalfspace2 {
         matches!(q, Query::Halfplane { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
-            Query::Halfplane { m, c, inclusive } => self.query_below(m, c, inclusive),
+            Query::Halfplane { m, c, inclusive } => Ok(self.query_below(m, c, inclusive)),
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(DynamicHalfspace2::fork_reader(self))
     }
 }
 
@@ -122,7 +178,7 @@ impl RangeIndex for PartitionTree<2> {
         "ptree"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         PartitionTree::device(self)
     }
 
@@ -130,15 +186,19 @@ impl RangeIndex for PartitionTree<2> {
         matches!(q, Query::Halfplane { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfplane { m, c, inclusive } => {
                 // y <= m·x + c as the 2D hyperplane [a0, a1] = [c, m].
                 let h: HyperplaneD<2> = HyperplaneD::new([c, m]);
-                widen(self.query_halfspace(&h, inclusive))
+                Ok(widen(self.query_halfspace(&h, inclusive)))
             }
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(PartitionTree::fork_reader(self))
     }
 }
 
@@ -147,7 +207,7 @@ impl RangeIndex for HalfspaceRS3 {
         "hs3d"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         HalfspaceRS3::device(self)
     }
 
@@ -155,11 +215,17 @@ impl RangeIndex for HalfspaceRS3 {
         matches!(q, Query::Halfspace { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
-            Query::Halfspace { u, v, w, inclusive } => widen(self.query_below(u, v, w, inclusive)),
+            Query::Halfspace { u, v, w, inclusive } => {
+                Ok(widen(self.query_below(u, v, w, inclusive)))
+            }
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(HalfspaceRS3::fork_reader(self))
     }
 }
 
@@ -168,7 +234,7 @@ impl RangeIndex for HybridTree3 {
         "tradeoff-hybrid"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         HybridTree3::device(self)
     }
 
@@ -176,11 +242,17 @@ impl RangeIndex for HybridTree3 {
         matches!(q, Query::Halfspace { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
-            Query::Halfspace { u, v, w, inclusive } => widen(self.query_below(u, v, w, inclusive)),
+            Query::Halfspace { u, v, w, inclusive } => {
+                Ok(widen(self.query_below(u, v, w, inclusive)))
+            }
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(HybridTree3::fork_reader(self))
     }
 }
 
@@ -189,7 +261,7 @@ impl RangeIndex for ShallowTree3 {
         "tradeoff-shallow"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         ShallowTree3::device(self)
     }
 
@@ -197,11 +269,17 @@ impl RangeIndex for ShallowTree3 {
         matches!(q, Query::Halfspace { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
-            Query::Halfspace { u, v, w, inclusive } => widen(self.query_below(u, v, w, inclusive)),
+            Query::Halfspace { u, v, w, inclusive } => {
+                Ok(widen(self.query_below(u, v, w, inclusive)))
+            }
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(ShallowTree3::fork_reader(self))
     }
 }
 
@@ -210,7 +288,7 @@ impl RangeIndex for KnnStructure {
         "knn"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         KnnStructure::device(self)
     }
 
@@ -218,11 +296,15 @@ impl RangeIndex for KnnStructure {
         matches!(q, Query::Knn { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
-            Query::Knn { x, y, k } => widen(self.k_nearest(x, y, k)),
+            Query::Knn { x, y, k } => Ok(widen(self.k_nearest(x, y, k))),
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(KnnStructure::fork_reader(self))
     }
 }
 
@@ -231,7 +313,7 @@ impl RangeIndex for ExternalScan {
         "scan"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         ExternalScan::device(self)
     }
 
@@ -239,11 +321,15 @@ impl RangeIndex for ExternalScan {
         matches!(q, Query::Halfplane { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
-            Query::Halfplane { m, c, inclusive } => widen(self.query_below(m, c, inclusive).0),
+            Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive).0)),
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(ExternalScan::fork_reader(self))
     }
 }
 
@@ -252,7 +338,7 @@ impl RangeIndex for ExternalKdTree {
         "kdtree"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         ExternalKdTree::device(self)
     }
 
@@ -260,11 +346,15 @@ impl RangeIndex for ExternalKdTree {
         matches!(q, Query::Halfplane { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
-            Query::Halfplane { m, c, inclusive } => widen(self.query_below(m, c, inclusive).0),
+            Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive).0)),
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(ExternalKdTree::fork_reader(self))
     }
 }
 
@@ -273,7 +363,7 @@ impl RangeIndex for StrRTree {
         "rtree"
     }
 
-    fn device(&self) -> &Device {
+    fn device(&self) -> &DeviceHandle {
         StrRTree::device(self)
     }
 
@@ -281,10 +371,14 @@ impl RangeIndex for StrRTree {
         matches!(q, Query::Halfplane { .. })
     }
 
-    fn execute(&self, q: &Query) -> Vec<u64> {
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
-            Query::Halfplane { m, c, inclusive } => widen(self.query_below(m, c, inclusive).0),
+            Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive).0)),
             _ => unsupported(RangeIndex::name(self), q),
         }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(StrRTree::fork_reader(self))
     }
 }

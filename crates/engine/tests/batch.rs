@@ -4,7 +4,7 @@
 //! read IOs than the cold one-at-a-time baseline.
 
 use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
-use lcrs_engine::{BatchExecutor, ExecMode, Query, RangeIndex};
+use lcrs_engine::{BatchExecutor, ExecMode, Query, QueryStatus, RangeIndex};
 use lcrs_extmem::{Device, DeviceConfig};
 use lcrs_geom::point::PointD;
 use lcrs_halfspace::hs2d::Hs2dConfig;
@@ -144,9 +144,8 @@ fn batched_saves_reads_and_preserves_answers() {
     let dev = Device::new(DeviceConfig::new(512, 256));
     let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
     // A repeat-heavy batch: 8 distinct queries, 120 occurrences.
-    let base: Vec<(i64, i64)> = (0..8)
-        .map(|i| halfplane_with_selectivity(&pts, 60 + 10 * i, 40, 300 + i as u64))
-        .collect();
+    let base: Vec<(i64, i64)> =
+        (0..8).map(|i| halfplane_with_selectivity(&pts, 60 + 10 * i, 40, 300 + i as u64)).collect();
     let queries: Vec<Query> = (0..120)
         .map(|i| {
             let (m, c) = base[i * 7 % base.len()];
@@ -192,10 +191,33 @@ fn cacheless_device_makes_batching_a_no_op() {
 }
 
 #[test]
-#[should_panic(expected = "does not support")]
-fn executor_rejects_unsupported_queries() {
+fn executor_reports_unsupported_queries_without_aborting() {
+    // A mixed batch: the unsupported k-NN query gets an Unsupported
+    // outcome (zero ids, zero IOs) while the halfplane queries around it
+    // still run — the batch is never aborted.
     let pts = points2(Dist2::Uniform, 100, 1 << 20, 18);
     let dev = warm_device();
     let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
-    BatchExecutor::new(&hs).run_batched(&[Query::Knn { x: 0, y: 0, k: 3 }]);
+    let queries = [
+        Query::Halfplane { m: 1, c: 0, inclusive: false },
+        Query::Knn { x: 0, y: 0, k: 3 },
+        Query::Halfplane { m: -2, c: 100, inclusive: true },
+    ];
+    let report = BatchExecutor::new(&hs).keep_answers(true).run_batched(&queries);
+    assert_eq!(report.unsupported(), 1);
+    assert_eq!(report.outcomes[1].status, QueryStatus::Unsupported);
+    assert_eq!(report.outcomes[1].reported, 0);
+    assert_eq!(report.outcomes[1].io, lcrs_extmem::IoDelta::default());
+    for qi in [0, 2] {
+        assert_eq!(report.outcomes[qi].status, QueryStatus::Ok);
+        assert_eq!(
+            report.answers.as_ref().unwrap()[qi].len(),
+            report.outcomes[qi].reported,
+            "supported queries still answer"
+        );
+    }
+    assert_eq!(report.attributed_total(), report.total);
+    // try_execute surfaces the same condition as a value.
+    let err = hs.try_execute(&queries[1]).unwrap_err();
+    assert_eq!(err.index, "hs2d");
 }

@@ -6,7 +6,7 @@
 //! are fixed-size [`Record`]s; internal nodes hold only keys and child
 //! pointers, leaves hold key/value pairs and are chained for range scans.
 
-use crate::device::{Device, PageId};
+use crate::device::{DeviceHandle, PageId};
 use crate::file::Record;
 
 /// Node header: 1 tag byte, 2 count bytes, 8 next-leaf bytes (leaves only).
@@ -17,7 +17,7 @@ const NO_PAGE: u64 = u64::MAX;
 
 /// External B+-tree mapping `K` to `V`.
 pub struct BPlusTree<K: Record + Ord, V: Record> {
-    dev: Device,
+    dev: DeviceHandle,
     root: PageId,
     height: usize,
     len: usize,
@@ -34,7 +34,7 @@ struct Leaf<K, V> {
 
 #[derive(Clone)]
 struct Internal<K> {
-    keys: Vec<K>,        // separator keys; child i holds keys < keys[i] ... standard
+    keys: Vec<K>,          // separator keys; child i holds keys < keys[i] ... standard
     children: Vec<PageId>, // keys.len() + 1 children
 }
 
@@ -44,13 +44,13 @@ enum Node<K, V> {
 }
 
 impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
-    fn leaf_cap(dev: &Device) -> usize {
+    fn leaf_cap(dev: &DeviceHandle) -> usize {
         let c = (dev.page_bytes() - HDR) / (K::SIZE + V::SIZE);
         assert!(c >= 4, "page too small for B+-tree leaf");
         c
     }
 
-    fn internal_cap(dev: &Device) -> usize {
+    fn internal_cap(dev: &DeviceHandle) -> usize {
         // k keys + (k+1) children of 8 bytes.
         let c = (dev.page_bytes() - HDR - 8) / (K::SIZE + 8);
         assert!(c >= 4, "page too small for B+-tree internal node");
@@ -58,7 +58,7 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
     }
 
     /// The fanout (maximum number of children of an internal node).
-    pub fn fanout(dev: &Device) -> usize {
+    pub fn fanout(dev: &DeviceHandle) -> usize {
         Self::internal_cap(dev) + 1
     }
 
@@ -136,7 +136,7 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
     }
 
     /// An empty tree.
-    pub fn new(dev: &Device) -> Self {
+    pub fn new(dev: &DeviceHandle) -> Self {
         let mut t = BPlusTree {
             dev: dev.clone(),
             root: PageId(NO_PAGE),
@@ -154,7 +154,7 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
 
     /// Bulk-load from key-sorted pairs (keys must be strictly increasing).
     /// Packs leaves to ~full, building each level with one pass.
-    pub fn bulk_load(dev: &Device, pairs: &[(K, V)]) -> Self {
+    pub fn bulk_load(dev: &DeviceHandle, pairs: &[(K, V)]) -> Self {
         let mut t = BPlusTree {
             dev: dev.clone(),
             root: PageId(NO_PAGE),
@@ -163,7 +163,10 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
             pages: 0,
             _marker: Default::default(),
         };
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "bulk_load requires sorted unique keys");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires sorted unique keys"
+        );
         let leaf_cap = Self::leaf_cap(dev);
         // Build leaves.
         let mut level: Vec<(K, PageId)> = Vec::new(); // (min key, page)
@@ -223,6 +226,27 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
         self.pages
     }
 
+    /// The same on-disk tree viewed through a different handle scope
+    /// (metadata copied, IOs accounted to `h`). The handle must target the
+    /// store this tree was built on.
+    ///
+    /// The view is for *reading* (`get`/`floor`/`range`): the structural
+    /// metadata (root, height, len) is a snapshot, so mutating through a
+    /// view on an unfrozen store would desynchronize it from the original.
+    /// Updates belong to the tree the pages were built through — on a
+    /// frozen store the device enforces this by panicking on writes.
+    pub fn with_handle(&self, h: &DeviceHandle) -> BPlusTree<K, V> {
+        assert!(h.same_store(&self.dev), "handle belongs to a different device");
+        BPlusTree {
+            dev: h.clone(),
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            pages: self.pages,
+            _marker: Default::default(),
+        }
+    }
+
     fn descend(&self, key: &K) -> (PageId, Vec<PageId>) {
         let mut path = Vec::with_capacity(self.height);
         let mut cur = self.root;
@@ -243,11 +267,7 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
     pub fn get(&self, key: &K) -> Option<V> {
         let (leaf_id, _) = self.descend(key);
         match self.read_node(leaf_id) {
-            Node::Leaf(leaf) => leaf
-                .keys
-                .binary_search(key)
-                .ok()
-                .map(|i| leaf.vals[i]),
+            Node::Leaf(leaf) => leaf.keys.binary_search(key).ok().map(|i| leaf.vals[i]),
             Node::Internal(_) => unreachable!(),
         }
     }
@@ -403,11 +423,7 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
             Node::Internal(p) => p,
             Node::Leaf(_) => unreachable!(),
         };
-        let idx = parent
-            .children
-            .iter()
-            .position(|&c| c == leaf_id)
-            .expect("parent lists child");
+        let idx = parent.children.iter().position(|&c| c == leaf_id).expect("parent lists child");
         let min_fill = Self::leaf_cap(&self.dev) / 2;
         // Try borrowing from the richer adjacent sibling.
         let try_sides: &[usize] = if idx == 0 {
@@ -496,11 +512,7 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
             Node::Internal(p) => p,
             Node::Leaf(_) => unreachable!(),
         };
-        let idx = parent
-            .children
-            .iter()
-            .position(|&c| c == node_id)
-            .expect("parent lists child");
+        let idx = parent.children.iter().position(|&c| c == node_id).expect("parent lists child");
         let mut node = node;
         // Borrow through the parent separator.
         let try_sides: &[usize] = if idx == 0 {
@@ -569,7 +581,7 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::DeviceConfig;
+    use crate::device::{Device, DeviceConfig};
 
     fn dev() -> Device {
         Device::new(DeviceConfig::new(256, 0))

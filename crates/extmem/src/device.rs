@@ -1,8 +1,15 @@
 //! The simulated disk.
+//!
+//! Storage is split into a *build phase* and a *read phase* (DESIGN.md §8):
+//! a [`Device`] starts mutable — structures allocate and write pages through
+//! it, serialized by a store-level mutex — and [`Device::freeze`] ends that
+//! phase by moving the pages into an immutable slot that is read without
+//! any lock. Cache state and [`IoStats`] do not live in the store at all:
+//! they belong to [`DeviceHandle`] scopes, so concurrent readers each get
+//! their own LRU and exact, deterministic IO attribution.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::stats::IoStats;
 
@@ -17,7 +24,8 @@ pub struct DeviceConfig {
     pub page_bytes: usize,
     /// Number of pages the internal-memory cache may hold (the `M/B` of the
     /// external-memory model). `0` disables caching, so *every* page access
-    /// counts as an IO — the setting used for query measurements.
+    /// counts as an IO — the setting used for query measurements. The
+    /// budget applies to each [`DeviceHandle`] scope separately.
     pub cache_pages: usize,
 }
 
@@ -34,9 +42,66 @@ impl DeviceConfig {
     }
 }
 
-struct DeviceInner {
+/// The shared page store. While building, pages live behind `building`;
+/// `freeze` moves them into `frozen`, after which every read is a plain
+/// indexed load guarded only by one atomic pointer check (`OnceLock::get`).
+struct Store {
     cfg: DeviceConfig,
-    pages: Vec<Box<[u8]>>,
+    building: Mutex<Vec<Box<[u8]>>>,
+    frozen: OnceLock<Vec<Box<[u8]>>>,
+}
+
+impl Store {
+    // NOTE: on an *unfrozen* store both accessors run `f` while holding the
+    // (non-reentrant) build mutex, so a page closure must never access the
+    // device again — `read_page(p, |_| read_page(q, ..))` would deadlock.
+    // The pre-split device rejected the same pattern with a RefCell borrow
+    // panic; no structure in the workspace nests page accesses. After
+    // freeze() the read path takes no lock and the constraint disappears.
+    fn with_page<R>(&self, id: PageId, op: &str, f: impl FnOnce(&[u8]) -> R) -> R {
+        if let Some(pages) = self.frozen.get() {
+            return f(Self::page(pages, id, op));
+        }
+        let guard = self.building.lock().unwrap();
+        // Re-check: a freeze may have landed between the lock-free probe
+        // and acquiring the build lock.
+        if let Some(pages) = self.frozen.get() {
+            drop(guard);
+            return f(Self::page(pages, id, op));
+        }
+        f(Self::page(&guard, id, op))
+    }
+
+    fn with_page_mut<R>(&self, id: PageId, op: &str, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut guard = self.building.lock().unwrap();
+        // Checked under the build lock: freeze() takes it too, so a racing
+        // freeze either completes before this (and the check fires) or
+        // waits until this write is done.
+        assert!(self.frozen.get().is_none(), "{op} of page {id:?} on a frozen device");
+        let idx = id.0 as usize;
+        assert!(idx < guard.len(), "{op} of unallocated page {id:?}");
+        f(&mut guard[idx])
+    }
+
+    fn page<'a>(pages: &'a [Box<[u8]>], id: PageId, op: &str) -> &'a [u8] {
+        pages.get(id.0 as usize).unwrap_or_else(|| panic!("{op} of unallocated page {id:?}"))
+    }
+
+    fn pages_allocated(&self) -> u64 {
+        if let Some(pages) = self.frozen.get() {
+            return pages.len() as u64;
+        }
+        self.building.lock().unwrap().len() as u64
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.frozen.get().is_some()
+    }
+}
+
+/// Per-scope mutable state: the LRU cache and the IO counters. One of these
+/// exists per [`DeviceHandle`] scope, so readers never contend on it.
+struct HandleState {
     stats: IoStats,
     /// Clean LRU cache: pages are write-through, so eviction never writes.
     /// `cache` maps a resident page to its last-use tick; `by_tick` is the
@@ -49,11 +114,20 @@ struct DeviceInner {
     tick: u64,
 }
 
-impl DeviceInner {
-    fn touch(&mut self, id: PageId) {
+impl HandleState {
+    fn new() -> Self {
+        HandleState {
+            stats: IoStats::default(),
+            cache: HashMap::new(),
+            by_tick: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, cache_pages: usize, id: PageId) {
         self.tick += 1;
         let tick = self.tick;
-        if self.cfg.cache_pages == 0 {
+        if cache_pages == 0 {
             return;
         }
         if let Some(t) = self.cache.get_mut(&id) {
@@ -62,10 +136,10 @@ impl DeviceInner {
             self.by_tick.insert(tick, id);
             return;
         }
-        if self.cache.len() >= self.cfg.cache_pages {
+        if self.cache.len() >= cache_pages {
             // Evict the least recently used page: the smallest tick. This
-            // picks the same victim the old full scan did (ticks are
-            // unique), so IO counts are bit-identical.
+            // picks the same victim a full scan would (ticks are unique),
+            // so IO counts are deterministic.
             if let Some((_, victim)) = self.by_tick.pop_first() {
                 self.cache.remove(&victim);
             }
@@ -74,56 +148,47 @@ impl DeviceInner {
         self.by_tick.insert(tick, id);
     }
 
-    fn account_read(&mut self, id: PageId) {
-        if self.cfg.cache_pages > 0 && self.cache.contains_key(&id) {
+    fn account_read(&mut self, cache_pages: usize, id: PageId) {
+        if cache_pages > 0 && self.cache.contains_key(&id) {
             self.stats.cache_hits += 1;
         } else {
             self.stats.reads += 1;
         }
-        self.touch(id);
+        self.touch(cache_pages, id);
     }
 
-    fn account_write(&mut self, id: PageId) {
+    fn account_write(&mut self, cache_pages: usize, id: PageId) {
         self.stats.writes += 1;
-        self.touch(id);
+        self.touch(cache_pages, id);
     }
 }
 
-/// A simulated disk with IO accounting.
+/// One accounting scope onto a shared page store.
 ///
-/// Cheap to clone (shared handle). Single-threaded by design: the whole
-/// benchmark suite measures IO counts, not wall-clock parallelism.
+/// Cheap to clone; clones *share* the scope (same cache, same counters), so
+/// a structure and the test that built it observe one coherent stream of
+/// IOs — the pre-refactor `Device` semantics. [`DeviceHandle::fork`] opens
+/// a fresh scope over the same pages (empty cache, zeroed stats), which is
+/// how each worker of the parallel executor gets its own warm LRU and an
+/// IO total that is exactly attributable to it.
+///
+/// Handles are `Send + Sync`. On a frozen store the page-data path is
+/// lock-free; the per-scope state sits behind a mutex that is private to
+/// the scope, so workers on distinct forks never contend.
 #[derive(Clone)]
-pub struct Device {
-    inner: Rc<RefCell<DeviceInner>>,
+pub struct DeviceHandle {
+    store: Arc<Store>,
+    state: Arc<Mutex<HandleState>>,
 }
 
-impl Device {
-    pub fn new(cfg: DeviceConfig) -> Self {
-        Device {
-            inner: Rc::new(RefCell::new(DeviceInner {
-                cfg,
-                pages: Vec::new(),
-                stats: IoStats::default(),
-                cache: HashMap::new(),
-                by_tick: BTreeMap::new(),
-                tick: 0,
-            })),
-        }
-    }
-
-    /// A device with default page size and no cache.
-    pub fn default_device() -> Self {
-        Device::new(DeviceConfig::default())
-    }
-
+impl DeviceHandle {
     pub fn config(&self) -> DeviceConfig {
-        self.inner.borrow().cfg
+        self.store.cfg
     }
 
     /// Page size in bytes.
     pub fn page_bytes(&self) -> usize {
-        self.inner.borrow().cfg.page_bytes
+        self.store.cfg.page_bytes
     }
 
     /// Records of `size` bytes that fit in one page (the model's `B`).
@@ -136,67 +201,162 @@ impl Device {
         self.page_bytes() / size
     }
 
+    /// A fresh scope (empty cache, zeroed stats) over the same page store.
+    pub fn fork(&self) -> DeviceHandle {
+        DeviceHandle {
+            store: Arc::clone(&self.store),
+            state: Arc::new(Mutex::new(HandleState::new())),
+        }
+    }
+
+    /// `true` once the store's build phase ended (see [`Device::freeze`]).
+    pub fn is_frozen(&self) -> bool {
+        self.store.is_frozen()
+    }
+
+    /// `true` when both handles read the same underlying page store.
+    pub fn same_store(&self, other: &DeviceHandle) -> bool {
+        Arc::ptr_eq(&self.store, &other.store)
+    }
+
     /// Allocate `count` fresh zeroed pages with consecutive ids; returns the
     /// first id. Allocation itself is free (it models formatting, not IO).
+    /// Panics on a frozen store.
     pub fn alloc_pages(&self, count: usize) -> PageId {
-        let mut inner = self.inner.borrow_mut();
-        let first = inner.pages.len() as u64;
-        let page_bytes = inner.cfg.page_bytes;
+        let mut pages = self.store.building.lock().unwrap();
+        // Checked under the build lock (freeze() takes it too), so a racing
+        // freeze can never hand out ids aliasing frozen pages.
+        assert!(!self.store.is_frozen(), "allocation on a frozen device");
+        let first = pages.len() as u64;
+        let page_bytes = self.store.cfg.page_bytes;
         for _ in 0..count {
-            inner.pages.push(vec![0u8; page_bytes].into_boxed_slice());
+            pages.push(vec![0u8; page_bytes].into_boxed_slice());
         }
         PageId(first)
     }
 
     /// Number of pages allocated so far (a space measure in blocks).
     pub fn pages_allocated(&self) -> u64 {
-        self.inner.borrow().pages.len() as u64
+        self.store.pages_allocated()
     }
 
-    /// Read a page, paying one IO unless cached.
+    // The accessors below account against the scope only *inside* the store
+    // access, after the page is validated: a rejected access (unallocated
+    // page, write-after-freeze) panics without leaving a phantom IO in the
+    // counters or a bogus entry in the LRU. The scope mutex nests strictly
+    // inside the store lock and is never held across user code.
+
+    /// Read a page, paying one IO unless cached in this scope.
     pub fn read_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
-        let mut inner = self.inner.borrow_mut();
-        assert!((id.0 as usize) < inner.pages.len(), "read of unallocated page {id:?}");
-        inner.account_read(id);
-        f(&inner.pages[id.0 as usize])
+        self.store.with_page(id, "read", |page| {
+            self.state.lock().unwrap().account_read(self.store.cfg.cache_pages, id);
+            f(page)
+        })
     }
 
-    /// Overwrite a page (write-through), paying one write IO.
+    /// Overwrite a page (write-through), paying one write IO. Panics on a
+    /// frozen store.
     pub fn write_page(&self, id: PageId, f: impl FnOnce(&mut [u8])) {
-        let mut inner = self.inner.borrow_mut();
-        assert!((id.0 as usize) < inner.pages.len(), "write of unallocated page {id:?}");
-        inner.account_write(id);
-        f(&mut inner.pages[id.0 as usize])
+        self.store.with_page_mut(id, "write", |page| {
+            self.state.lock().unwrap().account_write(self.store.cfg.cache_pages, id);
+            f(page)
+        })
     }
 
     /// Read-modify-write: one read IO (unless cached) plus one write IO.
+    /// Panics on a frozen store.
     pub fn update_page<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let mut inner = self.inner.borrow_mut();
-        assert!((id.0 as usize) < inner.pages.len(), "update of unallocated page {id:?}");
-        inner.account_read(id);
-        inner.account_write(id);
-        f(&mut inner.pages[id.0 as usize])
+        self.store.with_page_mut(id, "update", |page| {
+            {
+                let mut state = self.state.lock().unwrap();
+                let cache_pages = self.store.cfg.cache_pages;
+                state.account_read(cache_pages, id);
+                state.account_write(cache_pages, id);
+            }
+            f(page)
+        })
     }
 
+    /// IO counters of this scope.
     pub fn stats(&self) -> IoStats {
-        self.inner.borrow().stats
+        self.state.lock().unwrap().stats
     }
 
     pub fn reset_stats(&self) {
-        self.inner.borrow_mut().stats = IoStats::default();
+        self.state.lock().unwrap().stats = IoStats::default();
     }
 
-    /// Drop all cached pages (so the next accesses pay IOs) without touching
-    /// the counters. Used to measure cold-cache queries.
+    /// Drop this scope's cached pages (so the next accesses pay IOs)
+    /// without touching the counters. Used to measure cold-cache queries.
     pub fn clear_cache(&self) {
-        let mut inner = self.inner.borrow_mut();
-        inner.cache.clear();
-        inner.by_tick.clear();
+        let mut state = self.state.lock().unwrap();
+        state.cache.clear();
+        state.by_tick.clear();
     }
 
-    /// Number of pages currently resident in the cache.
+    /// Number of pages currently resident in this scope's cache.
     pub fn cached_pages(&self) -> usize {
-        self.inner.borrow().cache.len()
+        self.state.lock().unwrap().cache.len()
+    }
+}
+
+/// A simulated disk with IO accounting: the lifecycle owner of a page store
+/// plus its *primary* [`DeviceHandle`].
+///
+/// Cheap to clone (clones share the primary scope). The device starts in
+/// the build phase — structures allocate and write through it — and
+/// [`Device::freeze`] ends that phase, making the pages immutable and the
+/// read path lock-free so handles can fan out across threads. All of the
+/// access API lives on [`DeviceHandle`], which `Device` derefs to.
+#[derive(Clone)]
+pub struct Device {
+    primary: DeviceHandle,
+}
+
+impl Device {
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Device {
+            primary: DeviceHandle {
+                store: Arc::new(Store {
+                    cfg,
+                    building: Mutex::new(Vec::new()),
+                    frozen: OnceLock::new(),
+                }),
+                state: Arc::new(Mutex::new(HandleState::new())),
+            },
+        }
+    }
+
+    /// A device with default page size and no cache.
+    pub fn default_device() -> Self {
+        Device::new(DeviceConfig::default())
+    }
+
+    /// End the build phase: page data becomes immutable and the read path
+    /// lock-free. Further writes or allocations panic; reads, caches and
+    /// stats are unaffected. Idempotent.
+    pub fn freeze(&self) {
+        let store = &self.primary.store;
+        let mut building = store.building.lock().unwrap();
+        if store.is_frozen() {
+            return;
+        }
+        let pages = std::mem::take(&mut *building);
+        store.frozen.set(pages).expect("freeze is serialized by the build lock");
+    }
+
+    /// A fresh accounting scope (empty cache, zeroed stats) over this
+    /// device's pages — shorthand for `device.fork()` on the primary.
+    pub fn handle(&self) -> DeviceHandle {
+        self.primary.fork()
+    }
+}
+
+impl std::ops::Deref for Device {
+    type Target = DeviceHandle;
+
+    fn deref(&self) -> &DeviceHandle {
+        &self.primary
     }
 }
 
@@ -352,5 +512,106 @@ mod tests {
         assert_eq!(dev.cached_pages(), 3);
         dev.clear_cache();
         assert_eq!(dev.cached_pages(), 0);
+    }
+
+    #[test]
+    fn clones_share_scope_forks_do_not() {
+        let dev = Device::new(DeviceConfig::new(128, 4));
+        let p = dev.alloc_pages(1);
+        let shared: DeviceHandle = (*dev).clone();
+        shared.read_page(p, |_| ());
+        // The clone's IO is visible on the device (same scope) …
+        assert_eq!(dev.stats().reads, 1);
+        // … and absorbed by the shared cache.
+        dev.read_page(p, |_| ());
+        assert_eq!(dev.stats().cache_hits, 1);
+        // A fork starts cold and counts from zero, without touching the
+        // primary scope.
+        let fork = dev.handle();
+        assert_eq!(fork.stats(), crate::IoStats::default());
+        fork.read_page(p, |_| ());
+        assert_eq!(fork.stats().reads, 1);
+        assert_eq!(dev.stats().reads, 1, "fork IOs must not leak into the primary scope");
+        assert!(fork.same_store(&dev));
+    }
+
+    #[test]
+    fn freeze_keeps_reads_and_stops_writes() {
+        let dev = Device::new(DeviceConfig::new(128, 0));
+        let p = dev.alloc_pages(1);
+        dev.write_page(p, |b| b[0] = 42);
+        assert!(!dev.is_frozen());
+        dev.freeze();
+        dev.freeze(); // idempotent
+        assert!(dev.is_frozen());
+        assert_eq!(dev.read_page(p, |b| b[0]), 42);
+        let stats_before = dev.stats();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.write_page(p, |b| b[0] = 0);
+        }));
+        assert!(result.is_err(), "writes after freeze must panic");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.alloc_pages(1);
+        }));
+        assert!(result.is_err(), "allocation after freeze must panic");
+        assert_eq!(dev.pages_allocated(), 1);
+        // Rejected accesses must not leave phantom IOs in the counters.
+        assert_eq!(dev.stats(), stats_before, "rejected writes must not be accounted");
+    }
+
+    #[test]
+    fn rejected_access_leaves_stats_and_cache_untouched() {
+        let dev = Device::new(DeviceConfig::new(128, 4));
+        let p = dev.alloc_pages(1);
+        dev.read_page(p, |_| ());
+        let (stats, cached) = (dev.stats(), dev.cached_pages());
+        for op in [
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dev.read_page(PageId(99), |_| ());
+            })),
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dev.write_page(PageId(99), |_| ());
+            })),
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dev.update_page(PageId(99), |_| ());
+            })),
+        ] {
+            assert!(op.is_err(), "unallocated accesses must panic");
+        }
+        assert_eq!(dev.stats(), stats, "rejected accesses must not be accounted");
+        assert_eq!(dev.cached_pages(), cached, "rejected accesses must not touch the LRU");
+    }
+
+    #[test]
+    fn frozen_store_shared_across_threads() {
+        let dev = Device::new(DeviceConfig::new(128, 8));
+        let p = dev.alloc_pages(16);
+        for i in 0..16 {
+            dev.write_page(PageId(p.0 + i), |b| b[0] = i as u8);
+        }
+        dev.freeze();
+        let totals: Vec<u64> = std::thread::scope(|s| {
+            (0..4u8)
+                .map(|_| {
+                    let h = dev.handle();
+                    s.spawn(move || {
+                        for round in 0..3 {
+                            for i in 0..16u64 {
+                                let v = h.read_page(PageId(i), |b| b[0]);
+                                assert_eq!(v, i as u8, "round {round}");
+                            }
+                        }
+                        h.stats().reads
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .collect()
+        });
+        // Every worker has its own LRU of 8 pages cycling over 16: all 48
+        // accesses miss, deterministically, regardless of interleaving.
+        assert_eq!(totals, vec![48, 48, 48, 48]);
+        assert_eq!(dev.stats().reads, 0, "worker IOs never land on the primary scope");
     }
 }

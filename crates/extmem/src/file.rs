@@ -1,6 +1,6 @@
 //! Fixed-size records and typed record files.
 
-use crate::device::{Device, PageId};
+use crate::device::{DeviceHandle, PageId};
 
 /// A fixed-size, byte-serializable record.
 ///
@@ -80,11 +80,11 @@ impl Record for PageId {
 }
 
 /// An immutable sequence of `T` records packed `B` per page into contiguous
-/// pages of a [`Device`]. Occupies `ceil(len/B)` pages — the paper's notion
+/// pages of a device. Occupies `ceil(len/B)` pages — the paper's notion
 /// of storing a list in `ceil(len/B)` blocks. Metadata is three words
 /// (first page, length, device handle), mirroring an inode.
 pub struct VecFile<T: Record> {
-    dev: Device,
+    dev: DeviceHandle,
     first: PageId,
     len: usize,
     _marker: std::marker::PhantomData<T>,
@@ -92,7 +92,7 @@ pub struct VecFile<T: Record> {
 
 impl<T: Record> VecFile<T> {
     /// Build a file from a slice in one pass (pays the write IOs).
-    pub fn from_slice(dev: &Device, items: &[T]) -> Self {
+    pub fn from_slice(dev: &DeviceHandle, items: &[T]) -> Self {
         let mut b = FileBuilder::new(dev);
         for it in items {
             b.push(*it);
@@ -101,7 +101,7 @@ impl<T: Record> VecFile<T> {
     }
 
     /// Build from an iterator with known length.
-    pub fn from_iter<I: IntoIterator<Item = T>>(dev: &Device, iter: I) -> Self {
+    pub fn from_iter<I: IntoIterator<Item = T>>(dev: &DeviceHandle, iter: I) -> Self {
         let mut b = FileBuilder::new(dev);
         for it in iter {
             b.push(it);
@@ -110,7 +110,7 @@ impl<T: Record> VecFile<T> {
     }
 
     /// An empty file.
-    pub fn empty(dev: &Device) -> Self {
+    pub fn empty(dev: &DeviceHandle) -> Self {
         VecFile { dev: dev.clone(), first: PageId(u64::MAX), len: 0, _marker: Default::default() }
     }
 
@@ -213,20 +213,28 @@ impl<T: Record> VecFile<T> {
         }
     }
 
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same on-disk file viewed through a different handle scope
+    /// (metadata copied, IOs accounted to `h`). The handle must target the
+    /// store this file was built on.
+    pub fn with_handle(&self, h: &DeviceHandle) -> VecFile<T> {
+        assert!(h.same_store(&self.dev), "handle belongs to a different device");
+        VecFile { dev: h.clone(), first: self.first, len: self.len, _marker: Default::default() }
     }
 }
 
 /// Streaming writer producing a [`VecFile`]. Buffers one page in memory and
 /// flushes it with one write IO when full.
 pub struct FileBuilder<T: Record> {
-    dev: Device,
+    dev: DeviceHandle,
     items: Vec<T>,
 }
 
 impl<T: Record> FileBuilder<T> {
-    pub fn new(dev: &Device) -> Self {
+    pub fn new(dev: &DeviceHandle) -> Self {
         FileBuilder { dev: dev.clone(), items: Vec::new() }
     }
 
@@ -264,7 +272,7 @@ impl<T: Record> FileBuilder<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::DeviceConfig;
+    use crate::device::{Device, DeviceConfig};
 
     fn dev() -> Device {
         Device::new(DeviceConfig::new(64, 0)) // 8 i64s per page

@@ -24,6 +24,6 @@ pub mod file;
 pub mod sort;
 pub mod stats;
 
-pub use device::{Device, DeviceConfig, PageId};
+pub use device::{Device, DeviceConfig, DeviceHandle, PageId};
 pub use file::{FileBuilder, Record, VecFile};
 pub use stats::{IoDelta, IoStats};

@@ -9,7 +9,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::device::Device;
+use crate::device::DeviceHandle;
 use crate::file::{Record, VecFile};
 
 /// Sort `input` by the key extracted with `key`, returning a new sorted file.
@@ -17,7 +17,7 @@ use crate::file::{Record, VecFile};
 /// `mem_records` bounds the number of records held in internal memory during
 /// run formation (must be at least twice the page capacity).
 pub fn external_sort_by_key<T, K, F>(
-    dev: &Device,
+    dev: &DeviceHandle,
     input: &VecFile<T>,
     mem_records: usize,
     key: F,
@@ -52,10 +52,8 @@ where
         buf_pos: usize,
         file_pos: usize,
     }
-    let mut cursors: Vec<Cursor<T>> = runs
-        .iter()
-        .map(|_| Cursor { buf: Vec::new(), buf_pos: 0, file_pos: 0 })
-        .collect();
+    let mut cursors: Vec<Cursor<T>> =
+        runs.iter().map(|_| Cursor { buf: Vec::new(), buf_pos: 0, file_pos: 0 }).collect();
     let refill = |c: &mut Cursor<T>, run: &VecFile<T>| {
         c.buf.clear();
         c.buf_pos = 0;
@@ -94,7 +92,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::DeviceConfig;
+    use crate::device::{Device, DeviceConfig};
 
     #[test]
     fn sorts_reverse_input() {

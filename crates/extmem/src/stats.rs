@@ -47,6 +47,30 @@ impl IoDelta {
     }
 }
 
+impl std::ops::Add for IoDelta {
+    type Output = IoDelta;
+
+    fn add(self, rhs: IoDelta) -> IoDelta {
+        IoDelta {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            cache_hits: self.cache_hits + rhs.cache_hits,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoDelta {
+    fn add_assign(&mut self, rhs: IoDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for IoDelta {
+    fn sum<I: Iterator<Item = IoDelta>>(iter: I) -> IoDelta {
+        iter.fold(IoDelta::default(), |acc, d| acc + d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +83,18 @@ mod tests {
         assert_eq!(d, IoDelta { reads: 15, writes: 5, cache_hits: 0 });
         assert_eq!(d.total(), 20);
         assert_eq!(b.total(), 34);
+    }
+
+    #[test]
+    fn delta_arithmetic_is_componentwise() {
+        let a = IoDelta { reads: 3, writes: 1, cache_hits: 9 };
+        let b = IoDelta { reads: 10, writes: 0, cache_hits: 1 };
+        assert_eq!(a + b, IoDelta { reads: 13, writes: 1, cache_hits: 10 });
+        let mut acc = IoDelta::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, a + b);
+        assert_eq!([a, b, a].into_iter().sum::<IoDelta>(), a + b + a);
     }
 
     #[test]

@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     fn oracle_on_three_line_triangle() {
-        let lines =
-            vec![Line2::new(1, 0), Line2::new(-1, 0), Line2::new(0, -10)];
+        let lines = vec![Line2::new(1, 0), Line2::new(-1, 0), Line2::new(0, -10)];
         let ids = [0u32, 1, 2];
         // 1-level: starts on line 1 (middle at -∞: slopes desc 0(m=1) low, then 2... )
         let c = naive_level_carriers(&lines, &ids, 1);

@@ -99,7 +99,8 @@ impl DynEnvelope {
         assert_eq!(self.loc[id as usize], NONE, "insert of present line {id}");
         // Append to the last group; spill into a fresh group at 2×cap.
         if self.groups.last().is_none_or(|g| g.members.len() >= 2 * self.cap) {
-            self.groups.push(Group { members: Vec::new(), env: LowerEnvelope::build(&self.lines, &[]) });
+            self.groups
+                .push(Group { members: Vec::new(), env: LowerEnvelope::build(&self.lines, &[]) });
         }
         let gi = self.groups.len() - 1;
         self.groups[gi].members.push(id);
@@ -233,8 +234,9 @@ mod tests {
         for side in [Side::Lower, Side::Upper] {
             let n = 60usize;
             // Universe of distinct lines.
-            let all: Vec<Line2> =
-                (0..n).map(|i| Line2::new(next() % 50, (next() % 2000) + i as i64 * 4096)).collect();
+            let all: Vec<Line2> = (0..n)
+                .map(|i| Line2::new(next() % 50, (next() % 2000) + i as i64 * 4096))
+                .collect();
             // Members: offset so the ray (below/above all) has valid precondition:
             // choose ray far below (Lower) / above (Upper) everything with an
             // extreme slope so crossings exist.
@@ -258,8 +260,7 @@ mod tests {
                     live.retain(|&x| x != victim);
                     d.remove(victim);
                 } else {
-                    let absent: Vec<u32> =
-                        (0..n as u32).filter(|i| !live.contains(i)).collect();
+                    let absent: Vec<u32> = (0..n as u32).filter(|i| !live.contains(i)).collect();
                     if !absent.is_empty() {
                         let add = absent[(next() as usize) % absent.len()];
                         live.push(add);

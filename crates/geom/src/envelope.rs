@@ -126,9 +126,7 @@ impl LowerEnvelope {
         }
         let k = lo; // crossing happens within piece k
         let env_line = lines[self.chain[k] as usize];
-        let xc = l
-            .crossing_x(&env_line)
-            .expect("sign change within a piece implies non-parallel");
+        let xc = l.crossing_x(&env_line).expect("sign change within a piece implies non-parallel");
         Some((xc, self.chain[k]))
     }
 }
@@ -146,8 +144,7 @@ mod tests {
     fn naive_min_at_plus(lines: &[Line2], x: Rat) -> u32 {
         let mut best = 0u32;
         for i in 1..lines.len() as u32 {
-            if lines[i as usize].cmp_at_plus(&lines[best as usize], x) == std::cmp::Ordering::Less
-            {
+            if lines[i as usize].cmp_at_plus(&lines[best as usize], x) == std::cmp::Ordering::Less {
                 best = i;
             }
         }

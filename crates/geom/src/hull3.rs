@@ -86,13 +86,7 @@ impl LowerHull {
     pub fn new(planes: &[Plane3]) -> LowerHull {
         let l = SENTINEL_L;
         let s = SENTINEL_Z;
-        let mut pts = vec![
-            [-l, -l, s],
-            [l, -l, s],
-            [l, l, s],
-            [-l, l, s],
-            [0, 0, APEX_Z],
-        ];
+        let mut pts = vec![[-l, -l, s], [l, -l, s], [l, l, s], [-l, l, s], [0, 0, APEX_Z]];
         for p in planes {
             debug_assert!(
                 p.a.abs() <= crate::MAX_COORD_3D
@@ -168,11 +162,7 @@ impl LowerHull {
         let c = self.pts[f.v[2] as usize];
         let p = self.pts[vid as usize];
         let sub = |x: [i64; 3], y: [i64; 3]| {
-            [
-                x[0] as i128 - y[0] as i128,
-                x[1] as i128 - y[1] as i128,
-                x[2] as i128 - y[2] as i128,
-            ]
+            [x[0] as i128 - y[0] as i128, x[1] as i128 - y[1] as i128, x[2] as i128 - y[2] as i128]
         };
         det3(sub(b, a), sub(c, a), sub(p, a)) > 0
     }
@@ -244,8 +234,7 @@ impl LowerHull {
                 if self.facet_mark[nb as usize] == visible_stamp {
                     continue;
                 }
-                let (u, v) =
-                    (self.facets[f as usize].v[i], self.facets[f as usize].v[(i + 1) % 3]);
+                let (u, v) = (self.facets[f as usize].v[i], self.facets[f as usize].v[(i + 1) % 3]);
                 let prev = horizon.insert(u, HorizonEdge { v, inside: f, outside: nb });
                 debug_assert!(prev.is_none(), "horizon is not a simple cycle");
             }
@@ -256,7 +245,11 @@ impl LowerHull {
         let mut new_ids: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         for (&u, e) in &horizon {
             let id = self.facets.len() as u32;
-            self.facets.push(Facet { v: [u, e.v, pv], nbr: [e.outside, NO_FACET, NO_FACET], conflicts: vec![] });
+            self.facets.push(Facet {
+                v: [u, e.v, pv],
+                nbr: [e.outside, NO_FACET, NO_FACET],
+                conflicts: vec![],
+            });
             self.alive.push(true);
             self.facet_mark.push(0);
             new_ids.insert(u, id);
@@ -312,17 +305,18 @@ impl LowerHull {
                 let c = self.pts[f.v[2] as usize];
                 let interior = [0i128, 0, (SENTINEL_Z as i128 + APEX_Z as i128) / 2];
                 let sub = |x: [i64; 3]| {
-                    [x[0] as i128 - a[0] as i128, x[1] as i128 - a[1] as i128, x[2] as i128 - a[2] as i128]
+                    [
+                        x[0] as i128 - a[0] as i128,
+                        x[1] as i128 - a[1] as i128,
+                        x[2] as i128 - a[2] as i128,
+                    ]
                 };
                 let subi = [
                     interior[0] - a[0] as i128,
                     interior[1] - a[1] as i128,
                     interior[2] - a[2] as i128,
                 ];
-                assert!(
-                    det3(sub(b), sub(c), subi) < 0,
-                    "new facet oriented inward"
-                );
+                assert!(det3(sub(b), sub(c), subi) < 0, "new facet oriented inward");
             }
         }
 
@@ -372,12 +366,7 @@ impl LowerHull {
     pub fn sentinel_planes() -> [Plane3; 4] {
         let l = SENTINEL_L;
         let s = SENTINEL_Z;
-        [
-            Plane3::new(-l, -l, s),
-            Plane3::new(l, -l, s),
-            Plane3::new(l, l, s),
-            Plane3::new(-l, l, s),
-        ]
+        [Plane3::new(-l, -l, s), Plane3::new(l, -l, s), Plane3::new(l, l, s), Plane3::new(-l, l, s)]
     }
 }
 
@@ -456,10 +445,8 @@ mod tests {
             let mut h = LowerHull::new(&planes);
             h.insert_until(planes.len());
             let snap = h.snapshot();
-            let hull_vertices: std::collections::HashSet<u32> = snap
-                .iter()
-                .flat_map(|f| f.verts.iter().filter_map(|v| v.ok()))
-                .collect();
+            let hull_vertices: std::collections::HashSet<u32> =
+                snap.iter().flat_map(|f| f.verts.iter().filter_map(|v| v.ok())).collect();
             // At many probe locations, the minimum plane must be a hull
             // vertex (it owns a face of the envelope there).
             let mut s = seed ^ 0x55;
@@ -471,10 +458,7 @@ mod tests {
                 let (x, y) = (next() % 100_000, next() % 100_000);
                 let (who, val) = envelope_min(&planes, planes.len(), x, y);
                 // Unique minimum ⇒ must be a vertex.
-                let unique = planes
-                    .iter()
-                    .enumerate()
-                    .all(|(i, p)| i == who || p.eval(x, y) > val);
+                let unique = planes.iter().enumerate().all(|(i, p)| i == who || p.eval(x, y) > val);
                 if unique {
                     assert!(
                         hull_vertices.contains(&(who as u32)),
@@ -528,8 +512,7 @@ mod tests {
     fn parallel_planes_only_lowest_survives() {
         // A stack of parallel planes: exactly one (the lowest) is ever on
         // the envelope; the rest are interior points of the dual hull.
-        let planes: Vec<Plane3> =
-            (0..10).map(|i| Plane3::new(5, -3, i * 100)).collect();
+        let planes: Vec<Plane3> = (0..10).map(|i| Plane3::new(5, -3, i * 100)).collect();
         let mut h = LowerHull::new(&planes);
         h.insert_until(planes.len());
         let snap = h.snapshot();

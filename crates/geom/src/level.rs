@@ -55,9 +55,7 @@ impl<'a> LevelWalk<'a> {
         // Order at x = -∞: slope descending, intercept ascending.
         sorted.sort_by(|&i, &j| lines[i as usize].cmp_at(&lines[j as usize], Rat::NegInf));
         debug_assert!(
-            sorted
-                .windows(2)
-                .all(|w| lines[w[0] as usize] != lines[w[1] as usize]),
+            sorted.windows(2).all(|w| lines[w[0] as usize] != lines[w[1] as usize]),
             "LevelWalk requires distinct lines"
         );
         let current = sorted[k];
@@ -152,8 +150,7 @@ pub fn count_strictly_below_at_plus(
     members
         .iter()
         .filter(|&&id| {
-            id != carrier
-                && lines[id as usize].cmp_at_plus(&c, x) == std::cmp::Ordering::Less
+            id != carrier && lines[id as usize].cmp_at_plus(&c, x) == std::cmp::Ordering::Less
         })
         .count()
 }

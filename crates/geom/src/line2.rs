@@ -40,10 +40,7 @@ impl Line2 {
             return None;
         }
         // m1 x + b1 = m2 x + b2  =>  x = (b2 - b1) / (m1 - m2)
-        Some(Rat::new(
-            other.b as i128 - self.b as i128,
-            self.m as i128 - other.m as i128,
-        ))
+        Some(Rat::new(other.b as i128 - self.b as i128, self.m as i128 - other.m as i128))
     }
 
     /// Compare the `y` values of `self` and `other` at abscissa `x`

@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn classify_box_boundary_touch_is_not_fully_below() {
         let h: HyperplaneD<2> = HyperplaneD::new([0, 0]); // y = 0
-        // Box touching y = 0: its y=0 corners are NOT strictly below.
+                                                          // Box touching y = 0: its y=0 corners are NOT strictly below.
         let touch = Aabb { lo: [0, -5], hi: [1, 0] };
         assert_eq!(h.classify_box(&touch), BoxSide::Crossing);
         // Entirely on/above: prune.

@@ -12,8 +12,9 @@
 //! pays its own O(log_B n) search).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
-use lcrs_extmem::Device;
+use lcrs_extmem::DeviceHandle;
 
 use crate::hs2d::{HalfspaceRS2, Hs2dConfig, QueryStats};
 
@@ -22,7 +23,7 @@ use crate::hs2d::{HalfspaceRS2, Hs2dConfig, QueryStats};
 /// Point identity: values are `(x, y)` pairs plus a caller-supplied `u64`
 /// tag (stable across rebuilds; duplicates allowed).
 pub struct DynamicHalfspace2 {
-    dev: Device,
+    dev: DeviceHandle,
     cfg: Hs2dConfig,
     /// Static parts, geometrically increasing; `parts[i]` holds its build
     /// input so rebuilds can merge (kept on the host side like any
@@ -30,18 +31,23 @@ pub struct DynamicHalfspace2 {
     parts: Vec<Part>,
     buffer: Vec<(i64, i64, u64)>,
     buffer_cap: usize,
-    dead: HashSet<u64>,
+    /// Tombstones. `Arc`-shared with reader forks (copy-on-write through
+    /// `Arc::make_mut` on the writer's update paths).
+    dead: Arc<HashSet<u64>>,
     live: usize,
     total_slots: usize,
 }
 
 struct Part {
     structure: HalfspaceRS2,
-    points: Vec<(i64, i64, u64)>,
+    /// Build input, `Arc`-shared with reader forks: a fork is O(parts),
+    /// not O(n) — rebuilds reclaim the vector with `Arc::try_unwrap` when
+    /// no fork holds it, and clone only then.
+    points: Arc<Vec<(i64, i64, u64)>>,
 }
 
 impl DynamicHalfspace2 {
-    pub fn new(dev: &Device, cfg: Hs2dConfig) -> DynamicHalfspace2 {
+    pub fn new(dev: &DeviceHandle, cfg: Hs2dConfig) -> DynamicHalfspace2 {
         let b = dev.records_per_page(20).max(8);
         DynamicHalfspace2 {
             dev: dev.clone(),
@@ -49,7 +55,7 @@ impl DynamicHalfspace2 {
             parts: Vec::new(),
             buffer: Vec::new(),
             buffer_cap: b,
-            dead: HashSet::new(),
+            dead: Arc::new(HashSet::new()),
             live: 0,
             total_slots: 0,
         }
@@ -70,8 +76,41 @@ impl DynamicHalfspace2 {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same structure viewed through `h` (own cache + stats). The
+    /// catalog state (part inputs, tombstones) is `Arc`-shared and the
+    /// buffer copied, so the view answers queries exactly like `self` did
+    /// at fork time in O(parts) work; updates belong to the original
+    /// single-writer handle.
+    pub fn with_handle(&self, h: &DeviceHandle) -> DynamicHalfspace2 {
+        DynamicHalfspace2 {
+            dev: h.clone(),
+            cfg: self.cfg,
+            parts: self
+                .parts
+                .iter()
+                .map(|p| Part {
+                    structure: p.structure.with_handle(h),
+                    points: Arc::clone(&p.points),
+                })
+                .collect(),
+            buffer: self.buffer.clone(),
+            buffer_cap: self.buffer_cap,
+            dead: Arc::clone(&self.dead),
+            live: self.live,
+            total_slots: self.total_slots,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    /// Queries are read-only, so forks work whether or not the device is
+    /// frozen; mutation stays with the original (the single writer).
+    pub fn fork_reader(&self) -> DynamicHalfspace2 {
+        self.with_handle(&self.dev.fork())
     }
 
     /// Insert a point with a caller-chosen tag (must be unique among live
@@ -93,15 +132,12 @@ impl DynamicHalfspace2 {
             self.total_slots -= 1;
             return true;
         }
-        let exists = self
-            .parts
-            .iter()
-            .any(|p| p.points.iter().any(|q| q.2 == tag))
+        let exists = self.parts.iter().any(|p| p.points.iter().any(|q| q.2 == tag))
             && !self.dead.contains(&tag);
         if !exists {
             return false;
         }
-        self.dead.insert(tag);
+        Arc::make_mut(&mut self.dead).insert(tag);
         self.live -= 1;
         if self.live * 2 < self.total_slots {
             self.rebuild_all();
@@ -118,12 +154,14 @@ impl DynamicHalfspace2 {
             match self.parts.iter().position(|p| p.points.len() <= acc) {
                 Some(i) => {
                     let part = self.parts.swap_remove(i);
-                    batch.extend(part.points);
+                    // Reclaim the vector when no reader fork holds it.
+                    batch.extend(Arc::try_unwrap(part.points).unwrap_or_else(|a| (*a).clone()));
                 }
                 None => break,
             }
         }
-        batch.retain(|p| !self.dead.remove(&p.2));
+        let dead = Arc::make_mut(&mut self.dead);
+        batch.retain(|p| !dead.remove(&p.2));
         self.total_slots = self.parts.iter().map(|p| p.points.len()).sum::<usize>()
             + batch.len()
             + self.buffer.len();
@@ -132,17 +170,17 @@ impl DynamicHalfspace2 {
         }
         let coords: Vec<(i64, i64)> = batch.iter().map(|p| (p.0, p.1)).collect();
         let structure = HalfspaceRS2::build(&self.dev, &coords, self.cfg);
-        self.parts.push(Part { structure, points: batch });
+        self.parts.push(Part { structure, points: Arc::new(batch) });
         self.parts.sort_by_key(|p| std::cmp::Reverse(p.points.len()));
     }
 
     fn rebuild_all(&mut self) {
         let mut all: Vec<(i64, i64, u64)> = std::mem::take(&mut self.buffer);
         for p in std::mem::take(&mut self.parts) {
-            all.extend(p.points);
+            all.extend(Arc::try_unwrap(p.points).unwrap_or_else(|a| (*a).clone()));
         }
         all.retain(|p| !self.dead.contains(&p.2));
-        self.dead.clear();
+        self.dead = Arc::new(HashSet::new());
         self.total_slots = all.len();
         self.live = all.len();
         if all.is_empty() {
@@ -150,7 +188,7 @@ impl DynamicHalfspace2 {
         }
         let coords: Vec<(i64, i64)> = all.iter().map(|p| (p.0, p.1)).collect();
         let structure = HalfspaceRS2::build(&self.dev, &coords, self.cfg);
-        self.parts.push(Part { structure, points: all });
+        self.parts.push(Part { structure, points: Arc::new(all) });
     }
 
     /// Report the tags of all live points strictly below `y = m·x + c`
@@ -191,7 +229,7 @@ impl DynamicHalfspace2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcrs_extmem::DeviceConfig;
+    use lcrs_extmem::{Device, DeviceConfig};
     use std::collections::BTreeMap;
 
     fn check(dynamic: &DynamicHalfspace2, model: &BTreeMap<u64, (i64, i64)>) {

@@ -218,12 +218,14 @@ mod tests {
         for _ in 0..500 {
             let (px, py) = (next() % 4001 - 2000, next() % 400_001 - 200_000);
             // Relevant cluster: #boundaries <= px.
-            let j = c.boundaries.iter().filter(|w| w.cmp_int(px) != std::cmp::Ordering::Greater).count();
-            let cluster = &c.clusters[j];
-            let below_in_cluster = cluster
+            let j = c
+                .boundaries
                 .iter()
-                .filter(|&&l| lines[l as usize].strictly_below_point(px, py))
+                .filter(|w| w.cmp_int(px) != std::cmp::Ordering::Greater)
                 .count();
+            let cluster = &c.clusters[j];
+            let below_in_cluster =
+                cluster.iter().filter(|&&l| lines[l as usize].strictly_below_point(px, py)).count();
             if below_in_cluster < k {
                 for &l in &ids {
                     if lines[l as usize].strictly_below_point(px, py) {

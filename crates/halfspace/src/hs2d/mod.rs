@@ -18,7 +18,7 @@ pub mod cluster;
 use std::collections::HashSet;
 
 use lcrs_extmem::btree::BPlusTree;
-use lcrs_extmem::{Device, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, Record, VecFile};
 use lcrs_geom::dual::point2_to_line;
 use lcrs_geom::line2::Line2;
 use lcrs_geom::rational::Rat;
@@ -108,6 +108,18 @@ struct ClusteringDisk {
     lines: VecFile<LineRec>,
 }
 
+impl ClusteringDisk {
+    fn with_handle(&self, h: &DeviceHandle) -> ClusteringDisk {
+        ClusteringDisk {
+            lambda: self.lambda,
+            n_clusters: self.n_clusters,
+            boundaries: self.boundaries.with_handle(h),
+            dir: self.dir.with_handle(h),
+            lines: self.lines.with_handle(h),
+        }
+    }
+}
+
 /// Construction parameters (paper defaults; EXP-ABL varies them).
 #[derive(Debug, Clone, Copy)]
 pub struct Hs2dConfig {
@@ -124,7 +136,12 @@ pub struct Hs2dConfig {
 
 impl Default for Hs2dConfig {
     fn default() -> Self {
-        Hs2dConfig { cluster_factor: 3, final_cutoff_factor: 6, beta_override: 0, seed: 0x1cbe991a14 }
+        Hs2dConfig {
+            cluster_factor: 3,
+            final_cutoff_factor: 6,
+            beta_override: 0,
+            seed: 0x1cbe991a14,
+        }
     }
 }
 
@@ -139,7 +156,7 @@ pub struct QueryStats {
 
 /// The Theorem 3.5 structure.
 pub struct HalfspaceRS2 {
-    dev: Device,
+    dev: DeviceHandle,
     clusterings: Vec<ClusteringDisk>,
     n_points: usize,
     n_lines: usize,
@@ -154,7 +171,7 @@ pub struct HalfspaceRS2 {
 impl HalfspaceRS2 {
     /// Preprocess `points` (pairs `(x, y)`, |coord| ≤ 2^30) for
     /// linear-constraint queries on the given device.
-    pub fn build(dev: &Device, points: &[(i64, i64)], cfg: Hs2dConfig) -> HalfspaceRS2 {
+    pub fn build(dev: &DeviceHandle, points: &[(i64, i64)], cfg: Hs2dConfig) -> HalfspaceRS2 {
         for &(x, y) in points {
             assert!(
                 x.abs() <= lcrs_geom::MAX_COORD_2D && y.abs() <= lcrs_geom::MAX_COORD_2D,
@@ -216,7 +233,13 @@ impl HalfspaceRS2 {
                 let mut all: Vec<u32> = h.iter().map(|&li| id_of(li as usize)).collect();
                 all.sort_unstable();
                 let built = vec![all];
-                clusterings.push(Self::write_clustering(dev, h.len() + 1, &[], &built, &geom_by_id));
+                clusterings.push(Self::write_clustering(
+                    dev,
+                    h.len() + 1,
+                    &[],
+                    &built,
+                    &geom_by_id,
+                ));
                 break;
             }
             let lambda = rng.gen_range(beta..=2 * beta);
@@ -279,7 +302,7 @@ impl HalfspaceRS2 {
     }
 
     fn write_clustering(
-        dev: &Device,
+        dev: &DeviceHandle,
         lambda: usize,
         boundaries: &[Rat],
         clusters: &[Vec<u32>],
@@ -330,8 +353,28 @@ impl HalfspaceRS2 {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> HalfspaceRS2 {
+        HalfspaceRS2 {
+            dev: h.clone(),
+            clusterings: self.clusterings.iter().map(|c| c.with_handle(h)).collect(),
+            n_points: self.n_points,
+            n_lines: self.n_lines,
+            beta: self.beta,
+            group_dir: self.group_dir.as_ref().map(|f| f.with_handle(h)),
+            group_pts: self.group_pts.as_ref().map(|f| f.with_handle(h)),
+            pages_at_build_end: self.pages_at_build_end,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> HalfspaceRS2 {
+        self.with_handle(&self.dev.fork())
     }
 
     /// Distinct dual lines.
@@ -387,11 +430,7 @@ impl HalfspaceRS2 {
         'clusterings: for g in &self.clusterings {
             stats.clusterings_visited += 1;
             // Relevant cluster.
-            let j = g
-                .boundaries
-                .floor(&RatKey::from_int(px))
-                .map(|(_, v)| v as usize)
-                .unwrap_or(0);
+            let j = g.boundaries.floor(&RatKey::from_int(px)).map(|(_, v)| v as usize).unwrap_or(0);
             let mut buf: Vec<LineRec> = Vec::new();
             let read_cluster = |idx: usize, buf: &mut Vec<LineRec>| {
                 buf.clear();
@@ -475,7 +514,7 @@ impl HalfspaceRS2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcrs_extmem::DeviceConfig;
+    use lcrs_extmem::{Device, DeviceConfig};
 
     fn pseudo_points(n: usize, seed: u64, range: i64) -> Vec<(i64, i64)> {
         let mut s = seed;

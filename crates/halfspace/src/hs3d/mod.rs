@@ -22,7 +22,7 @@
 //! failure probability O(δ³); a full file scan (always correct, n IOs)
 //! backstops the vanishing-probability cascade of failures.
 
-use lcrs_extmem::{Device, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, Record, VecFile};
 use lcrs_geom::dual::point3_to_plane;
 use lcrs_geom::hull3::{LowerHull, SnapFacet};
 use lcrs_geom::plane3::Plane3;
@@ -65,6 +65,32 @@ struct Copy3d {
     layers: Vec<LayerDisk>,
 }
 
+impl LevelDisk {
+    fn with_handle(&self, h: &DeviceHandle) -> LevelDisk {
+        LevelDisk { faces: self.faces.with_handle(h), conflicts: self.conflicts.with_handle(h) }
+    }
+}
+
+impl LayerDisk {
+    fn with_handle(&self, h: &DeviceHandle) -> LayerDisk {
+        LayerDisk {
+            size: self.size,
+            bridge: self.bridge.as_ref().map(|b| b.with_handle(h)),
+            level: self.level.with_handle(h),
+        }
+    }
+}
+
+impl Copy3d {
+    fn with_handle(&self, h: &DeviceHandle) -> Copy3d {
+        Copy3d {
+            chain: self.chain.iter().map(|l| l.with_handle(h)).collect(),
+            chain_sizes: self.chain_sizes.clone(),
+            layers: self.layers.iter().map(|l| l.with_handle(h)).collect(),
+        }
+    }
+}
+
 /// Construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct Hs3dConfig {
@@ -96,7 +122,7 @@ pub struct QueryStats3 {
 /// The Theorem 4.4 structure over a set of 3D points (primal API) /
 /// planes (dual internals).
 pub struct HalfspaceRS3 {
-    dev: Device,
+    dev: DeviceHandle,
     planes: VecFile<PlaneRec>,
     copies: Vec<Copy3d>,
     n: usize,
@@ -109,7 +135,7 @@ impl HalfspaceRS3 {
     /// Preprocess 3D points (|x|,|y| ≤ 2^20, |z| ≤ 2^21) so that the points
     /// below a query plane `z = u·x + v·y + w` (|u|,|v| ≤ 2^22) can be
     /// reported.
-    pub fn build(dev: &Device, points: &[(i64, i64, i64)], cfg: Hs3dConfig) -> HalfspaceRS3 {
+    pub fn build(dev: &DeviceHandle, points: &[(i64, i64, i64)], cfg: Hs3dConfig) -> HalfspaceRS3 {
         let planes: Vec<Plane3> =
             points.iter().map(|&(a, b, c)| point3_to_plane(a, b, c)).collect();
         Self::build_dual(dev, &planes, cfg)
@@ -117,7 +143,7 @@ impl HalfspaceRS3 {
 
     /// Dual-space constructor: preprocess planes for "report planes below a
     /// query point" queries (used directly by the k-NN structure).
-    pub fn build_dual(dev: &Device, planes: &[Plane3], cfg: Hs3dConfig) -> HalfspaceRS3 {
+    pub fn build_dual(dev: &DeviceHandle, planes: &[Plane3], cfg: Hs3dConfig) -> HalfspaceRS3 {
         assert!(cfg.copies >= 1);
         let n = planes.len();
         let plane_file =
@@ -165,7 +191,7 @@ impl HalfspaceRS3 {
     }
 
     fn build_copy(
-        dev: &Device,
+        dev: &DeviceHandle,
         planes: &[Plane3],
         perm: &[u32],
         b: usize,
@@ -239,10 +265,7 @@ impl HalfspaceRS3 {
         // Write a level to disk. `bound` filters conflicts to permuted index
         // < bound; `next` resolves next_face_idx (None ⇒ conflict entries
         // carry ORIGINAL plane ids — the layer form).
-        let write_level = |asm: &Assembled,
-                           bound: usize,
-                           next: Option<&Assembled>|
-         -> LevelDisk {
+        let write_level = |asm: &Assembled, bound: usize, next: Option<&Assembled>| -> LevelDisk {
             let mut faces: Vec<FaceRec> = Vec::with_capacity(asm.face_planes.len());
             let mut confs: Vec<ConfRec> = Vec::new();
             for (fi, &p) in asm.face_planes.iter().enumerate() {
@@ -325,8 +348,27 @@ impl HalfspaceRS3 {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> HalfspaceRS3 {
+        HalfspaceRS3 {
+            dev: h.clone(),
+            planes: self.planes.with_handle(h),
+            copies: self.copies.iter().map(|c| c.with_handle(h)).collect(),
+            n: self.n,
+            beta: self.beta,
+            cfg: self.cfg,
+            pages_at_build_end: self.pages_at_build_end,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> HalfspaceRS3 {
+        self.with_handle(&self.dev.fork())
     }
 
     /// Argmin face of a level at (x, y) by scanning all faces (used for the
@@ -551,7 +593,7 @@ impl HalfspaceRS3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcrs_extmem::DeviceConfig;
+    use lcrs_extmem::{Device, DeviceConfig};
 
     fn pseudo_points3(n: usize, seed: u64, range: i64) -> Vec<(i64, i64, i64)> {
         let mut s = seed;
@@ -636,17 +678,13 @@ mod tests {
         let dev = Device::new(DeviceConfig::new(512, 0));
         let pts = pseudo_points3(500, 23, 50_000);
         let hs = HalfspaceRS3::build(&dev, &pts, Hs3dConfig::default());
-        let planes: Vec<Plane3> =
-            pts.iter().map(|&(a, b, c)| point3_to_plane(a, b, c)).collect();
+        let planes: Vec<Plane3> = pts.iter().map(|&(a, b, c)| point3_to_plane(a, b, c)).collect();
         let mut stats = QueryStats3::default();
         for (x, y) in [(0i64, 0i64), (100, -50), (-999, 999)] {
             for k in [1usize, 5, 40, 200] {
                 let got = hs.k_lowest(x, y, k, &mut stats);
-                let mut want: Vec<(u32, i128)> = planes
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| (i as u32, p.eval(x, y)))
-                    .collect();
+                let mut want: Vec<(u32, i128)> =
+                    planes.iter().enumerate().map(|(i, p)| (i as u32, p.eval(x, y))).collect();
                 want.sort_by_key(|&(id, v)| (v, id));
                 want.truncate(k);
                 assert_eq!(got, want, "k={k} at ({x},{y})");

@@ -6,7 +6,7 @@
 //! planes along the vertical line at `(x, y)` — answered by the Section 4
 //! structure in O(log_B n + k/B) expected IOs.
 
-use lcrs_extmem::Device;
+use lcrs_extmem::DeviceHandle;
 use lcrs_geom::plane3::Plane3;
 
 use crate::hs3d::{HalfspaceRS3, Hs3dConfig, QueryStats3};
@@ -23,7 +23,7 @@ pub struct KnnStructure {
 
 impl KnnStructure {
     /// Preprocess `points` (|coordinate| ≤ [`MAX_KNN_COORD`]).
-    pub fn build(dev: &Device, points: &[(i64, i64)], cfg: Hs3dConfig) -> KnnStructure {
+    pub fn build(dev: &DeviceHandle, points: &[(i64, i64)], cfg: Hs3dConfig) -> KnnStructure {
         let planes: Vec<Plane3> = points
             .iter()
             .map(|&(a, b)| {
@@ -51,8 +51,19 @@ impl KnnStructure {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         self.hs.device()
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> KnnStructure {
+        KnnStructure { hs: self.hs.with_handle(h), n: self.n }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> KnnStructure {
+        self.with_handle(&self.device().fork())
     }
 
     /// Indices of the k nearest neighbors of `(x, y)`, closest first (ties
@@ -76,12 +87,8 @@ impl KnnStructure {
     pub fn k_nearest_stats(&self, x: i64, y: i64, k: usize) -> (Vec<u32>, QueryStats3) {
         let before = self.hs.device().stats();
         let mut stats = QueryStats3::default();
-        let ids: Vec<u32> = self
-            .hs
-            .k_lowest(x, y, k, &mut stats)
-            .into_iter()
-            .map(|(id, _)| id)
-            .collect();
+        let ids: Vec<u32> =
+            self.hs.k_lowest(x, y, k, &mut stats).into_iter().map(|(id, _)| id).collect();
         stats.reported = ids.len();
         stats.ios = self.hs.device().stats().since(before).total();
         (ids, stats)
@@ -91,7 +98,7 @@ impl KnnStructure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcrs_extmem::DeviceConfig;
+    use lcrs_extmem::{Device, DeviceConfig};
 
     fn pseudo_points(n: usize, seed: u64) -> Vec<(i64, i64)> {
         let mut s = seed;

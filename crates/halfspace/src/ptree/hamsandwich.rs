@@ -27,11 +27,7 @@ pub fn find_cut(a: &[(i64, i64)], b: &[(i64, i64)]) -> Option<(usize, usize)> {
     if a.is_empty() || b.is_empty() {
         return None;
     }
-    let lines: Vec<Line2> = a
-        .iter()
-        .chain(b.iter())
-        .map(|&(x, y)| point2_to_line(x, y))
-        .collect();
+    let lines: Vec<Line2> = a.iter().chain(b.iter()).map(|&(x, y)| point2_to_line(x, y)).collect();
     // Distinct-lines requirement of the walk.
     {
         let mut sorted: Vec<(i64, i64)> = lines.iter().map(|l| (l.m, l.b)).collect();

@@ -22,7 +22,7 @@
 
 pub mod hamsandwich;
 
-use lcrs_extmem::{Device, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, Record, VecFile};
 use lcrs_geom::point::{Aabb, BoxSide, HyperplaneD, PointD, Simplex, SimplexSide};
 
 /// On-disk node record.
@@ -110,7 +110,7 @@ pub struct PtStats {
 /// The Theorem 5.2 structure for d-dimensional halfspace and simplex
 /// reporting.
 pub struct PartitionTree<const D: usize> {
-    dev: Device,
+    dev: DeviceHandle,
     nodes: VecFile<NodeRec<D>>,
     points: VecFile<PtRec<D>>,
     n: usize,
@@ -119,7 +119,7 @@ pub struct PartitionTree<const D: usize> {
 
 impl<const D: usize> PartitionTree<D> {
     /// Preprocess `points` (|coordinate| ≤ 2^30).
-    pub fn build(dev: &Device, points: &[PointD<D>], cfg: PTreeConfig) -> PartitionTree<D> {
+    pub fn build(dev: &DeviceHandle, points: &[PointD<D>], cfg: PTreeConfig) -> PartitionTree<D> {
         assert!(D >= 1);
         assert!(
             cfg.partitioner == Partitioner::KdMedian || D == 2,
@@ -229,8 +229,7 @@ impl<const D: usize> PartitionTree<D> {
             );
         }
         let pts_len = pts_out.len() as u64 - pts_off;
-        nodes[ni] =
-            NodeRec { lo, hi, child_start, child_count, pts_off, pts_len };
+        nodes[ni] = NodeRec { lo, hi, child_start, child_count, pts_off, pts_len };
     }
 
     /// Balanced kd ranges: r = 2^(D·s) ≤ min(fanout, n_v), median splits
@@ -315,8 +314,25 @@ impl<const D: usize> PartitionTree<D> {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> PartitionTree<D> {
+        PartitionTree {
+            dev: h.clone(),
+            nodes: self.nodes.with_handle(h),
+            points: self.points.with_handle(h),
+            n: self.n,
+            pages_at_build_end: self.pages_at_build_end,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> PartitionTree<D> {
+        self.with_handle(&self.dev.fork())
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -339,26 +355,32 @@ impl<const D: usize> PartitionTree<D> {
         let mut stats = PtStats::default();
         let mut out = Vec::new();
         if self.n > 0 {
-            self.visit(0, &mut stats, &mut out, &mut |b: &Aabb<D>| match h.classify_box(b) {
-                BoxSide::FullyBelow if !inclusive => Visit::ReportAll,
-                // Inclusive queries treat boundary-touching boxes as crossed;
-                // FullyBelow (strict) is still fully reportable.
-                BoxSide::FullyBelow => Visit::ReportAll,
-                BoxSide::FullyAbove if !inclusive => Visit::Skip,
-                BoxSide::FullyAbove => {
-                    // A box with max slack exactly 0 contains on-plane
-                    // points: must be scanned for inclusive queries.
-                    Visit::Recurse
-                }
-                BoxSide::Crossing => Visit::Recurse,
-            }, &mut |p: &PointD<D>| {
-                let s = h.slack(p);
-                if inclusive {
-                    s >= 0
-                } else {
-                    s > 0
-                }
-            });
+            self.visit(
+                0,
+                &mut stats,
+                &mut out,
+                &mut |b: &Aabb<D>| match h.classify_box(b) {
+                    BoxSide::FullyBelow if !inclusive => Visit::ReportAll,
+                    // Inclusive queries treat boundary-touching boxes as crossed;
+                    // FullyBelow (strict) is still fully reportable.
+                    BoxSide::FullyBelow => Visit::ReportAll,
+                    BoxSide::FullyAbove if !inclusive => Visit::Skip,
+                    BoxSide::FullyAbove => {
+                        // A box with max slack exactly 0 contains on-plane
+                        // points: must be scanned for inclusive queries.
+                        Visit::Recurse
+                    }
+                    BoxSide::Crossing => Visit::Recurse,
+                },
+                &mut |p: &PointD<D>| {
+                    let s = h.slack(p);
+                    if inclusive {
+                        s >= 0
+                    } else {
+                        s > 0
+                    }
+                },
+            );
         }
         stats.reported = out.len();
         stats.ios = self.dev.stats().since(before).total();
@@ -431,11 +453,17 @@ impl<const D: usize> PartitionTree<D> {
         let mut stats = PtStats::default();
         let mut out = Vec::new();
         if self.n > 0 {
-            self.visit(0, &mut stats, &mut out, &mut |b: &Aabb<D>| match s.classify_box(b) {
-                SimplexSide::Inside => Visit::ReportAll,
-                SimplexSide::Outside => Visit::Skip,
-                SimplexSide::Maybe => Visit::Recurse,
-            }, &mut |p: &PointD<D>| s.contains_point(p));
+            self.visit(
+                0,
+                &mut stats,
+                &mut out,
+                &mut |b: &Aabb<D>| match s.classify_box(b) {
+                    SimplexSide::Inside => Visit::ReportAll,
+                    SimplexSide::Outside => Visit::Skip,
+                    SimplexSide::Maybe => Visit::Recurse,
+                },
+                &mut |p: &PointD<D>| s.contains_point(p),
+            );
         }
         stats.reported = out.len();
         stats.ios = self.dev.stats().since(before).total();
@@ -514,7 +542,7 @@ fn partition_in_place<T: Copy>(items: &mut [T], mut pred: impl FnMut(&T) -> bool
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcrs_extmem::DeviceConfig;
+    use lcrs_extmem::{Device, DeviceConfig};
 
     fn pseudo<const D: usize>(n: usize, seed: u64, range: i64) -> Vec<PointD<D>> {
         let mut s = seed;
@@ -550,13 +578,16 @@ mod tests {
             ((s >> 33) as i64).rem_euclid(2000) - 1000
         };
         for k in 0..trials {
-            let h: HyperplaneD<D> = HyperplaneD::new(std::array::from_fn(|i| {
-                if i == 0 {
-                    next() * 100
-                } else {
-                    next()
-                }
-            }));
+            let h: HyperplaneD<D> =
+                HyperplaneD::new(std::array::from_fn(
+                    |i| {
+                        if i == 0 {
+                            next() * 100
+                        } else {
+                            next()
+                        }
+                    },
+                ));
             let inclusive = k % 2 == 0;
             let mut got = t.query_halfspace(&h, inclusive);
             got.sort_unstable();

@@ -11,7 +11,7 @@
 //!   IOs. Space O(n log_B n), queries O(n^ε + t) for the paper's partitions
 //!   (measured for our substituted partitioner, DESIGN.md §3.4/3.5).
 
-use lcrs_extmem::{Device, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, Record, VecFile};
 use lcrs_geom::point::{Aabb, BoxSide, HyperplaneD, PointD};
 
 use crate::hs3d::{HalfspaceRS3, Hs3dConfig};
@@ -133,7 +133,7 @@ impl Default for HybridConfig {
 
 /// The Theorem 6.1 structure.
 pub struct HybridTree3 {
-    dev: Device,
+    dev: DeviceHandle,
     nodes: VecFile<Node3>,
     points: VecFile<PtRec3>,
     leaves: Vec<HalfspaceRS3>,
@@ -142,7 +142,7 @@ pub struct HybridTree3 {
 }
 
 impl HybridTree3 {
-    pub fn build(dev: &Device, points: &[(i64, i64, i64)], cfg: HybridConfig) -> HybridTree3 {
+    pub fn build(dev: &DeviceHandle, points: &[(i64, i64, i64)], cfg: HybridConfig) -> HybridTree3 {
         let b = dev.records_per_page(<PtRec3 as Record>::SIZE);
         let threshold = ((b as f64).powf(cfg.a).ceil() as usize).max(2 * b).max(16);
         let fanout = if cfg.fanout > 0 { cfg.fanout } else { 8 };
@@ -153,7 +153,7 @@ impl HybridTree3 {
         let mut leaves: Vec<HalfspaceRS3> = Vec::new();
 
         fn build_node(
-            dev: &Device,
+            dev: &DeviceHandle,
             items: &mut [PtRec3],
             ni: usize,
             nodes: &mut Vec<Node3>,
@@ -266,8 +266,26 @@ impl HybridTree3 {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> HybridTree3 {
+        HybridTree3 {
+            dev: h.clone(),
+            nodes: self.nodes.with_handle(h),
+            points: self.points.with_handle(h),
+            leaves: self.leaves.iter().map(|l| l.with_handle(h)).collect(),
+            n: self.n,
+            pages_at_build_end: self.pages_at_build_end,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> HybridTree3 {
+        self.with_handle(&self.dev.fork())
     }
 
     /// Report points strictly below `z = u·x + v·y + w` (`inclusive` adds
@@ -322,7 +340,16 @@ impl HybridTree3 {
             _ => {
                 if node.child_count > 0 {
                     for k in 0..node.child_count as usize {
-                        self.visit(node.child_start as usize + k, h, u, v, w, inclusive, stats, out);
+                        self.visit(
+                            node.child_start as usize + k,
+                            h,
+                            u,
+                            v,
+                            w,
+                            inclusive,
+                            stats,
+                            out,
+                        );
                     }
                 } else {
                     // Leaf: delegate to the Section 4 structure, then remap
@@ -367,7 +394,7 @@ impl Default for ShallowConfig {
 
 /// The Theorem 6.3 structure.
 pub struct ShallowTree3 {
-    dev: Device,
+    dev: DeviceHandle,
     nodes: VecFile<Node3>,
     points: VecFile<PtRec3>,
     secondaries: Vec<PartitionTree<3>>,
@@ -377,7 +404,11 @@ pub struct ShallowTree3 {
 }
 
 impl ShallowTree3 {
-    pub fn build(dev: &Device, points: &[(i64, i64, i64)], cfg: ShallowConfig) -> ShallowTree3 {
+    pub fn build(
+        dev: &DeviceHandle,
+        points: &[(i64, i64, i64)],
+        cfg: ShallowConfig,
+    ) -> ShallowTree3 {
         let b = dev.records_per_page(<PtRec3 as Record>::SIZE);
         let leaf_cap = if cfg.leaf_capacity > 0 { cfg.leaf_capacity } else { b }.max(1);
         let fanout = if cfg.fanout > 0 { cfg.fanout } else { 8 };
@@ -391,7 +422,7 @@ impl ShallowTree3 {
 
         #[allow(clippy::too_many_arguments)]
         fn build_node(
-            dev: &Device,
+            dev: &DeviceHandle,
             items: &mut [PtRec3],
             ni: usize,
             nodes: &mut Vec<Node3>,
@@ -448,10 +479,8 @@ impl ShallowTree3 {
                 );
             }
             let pts_len = dfs.len() as u64 - pts_off;
-            let subset: Vec<PointD<3>> = dfs[pts_off as usize..]
-                .iter()
-                .map(|(c, _)| PointD::new(*c))
-                .collect();
+            let subset: Vec<PointD<3>> =
+                dfs[pts_off as usize..].iter().map(|(c, _)| PointD::new(*c)).collect();
             let sec = PartitionTree::build(
                 dev,
                 &subset,
@@ -519,8 +548,27 @@ impl ShallowTree3 {
     }
 
     /// The device this structure lives on (for scoped IO measurement).
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &DeviceHandle {
         &self.dev
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> ShallowTree3 {
+        ShallowTree3 {
+            dev: h.clone(),
+            nodes: self.nodes.with_handle(h),
+            points: self.points.with_handle(h),
+            secondaries: self.secondaries.iter().map(|t| t.with_handle(h)).collect(),
+            threshold: self.threshold.clone(),
+            n: self.n,
+            pages_at_build_end: self.pages_at_build_end,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> ShallowTree3 {
+        self.with_handle(&self.dev.fork())
     }
 
     pub fn query_below(&self, u: i64, v: i64, w: i64, inclusive: bool) -> Vec<u32> {
@@ -546,7 +594,15 @@ impl ShallowTree3 {
         (out, stats)
     }
 
-    fn report_range(&self, off: u64, len: u64, h: &HyperplaneD<3>, filter: bool, inclusive: bool, out: &mut Vec<u32>) {
+    fn report_range(
+        &self,
+        off: u64,
+        len: u64,
+        h: &HyperplaneD<3>,
+        filter: bool,
+        inclusive: bool,
+        out: &mut Vec<u32>,
+    ) {
         let mut buf: Vec<PtRec3> = Vec::with_capacity(len as usize);
         self.points.read_range(off as usize..(off + len) as usize, &mut buf);
         for (c, id) in buf {
@@ -628,7 +684,7 @@ impl ShallowTree3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcrs_extmem::DeviceConfig;
+    use lcrs_extmem::{Device, DeviceConfig};
 
     fn pseudo3(n: usize, seed: u64, range: i64) -> Vec<(i64, i64, i64)> {
         let mut s = seed;

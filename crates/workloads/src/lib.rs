@@ -116,8 +116,7 @@ pub fn halfplane_with_selectivity(
     assert!(t <= pts.len() && !pts.is_empty());
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e11);
     let m = rng.gen_range(-slope..=slope);
-    let mut vals: Vec<i128> =
-        pts.iter().map(|&(x, y)| y as i128 - m as i128 * x as i128).collect();
+    let mut vals: Vec<i128> = pts.iter().map(|&(x, y)| y as i128 - m as i128 * x as i128).collect();
     vals.sort_unstable();
     let c = if t == 0 {
         vals[0] - 1
@@ -131,9 +130,7 @@ pub fn halfplane_with_selectivity(
 
 /// Number of points strictly below `y = m·x + c`.
 pub fn count_below2(pts: &[(i64, i64)], m: i64, c: i64) -> usize {
-    pts.iter()
-        .filter(|&&(x, y)| (y as i128) < m as i128 * x as i128 + c as i128)
-        .count()
+    pts.iter().filter(|&&(x, y)| (y as i128) < m as i128 * x as i128 + c as i128).count()
 }
 
 /// A halfspace query `z <= u·x + v·y + w` with exactly-ish `t` points
@@ -296,6 +293,47 @@ pub fn halfspace3_batch(
     }
 }
 
+/// A batch of `len` k-NN queries `(x, y, k)` over 2D `pts`, shaped by
+/// `shape`. Centers come from the point set itself (so queries land where
+/// the data lives); `k` is fixed per batch. Deterministic in
+/// `(pts, shape, len, k, seed)`.
+pub fn knn_batch(
+    pts: &[(i64, i64)],
+    shape: BatchShape,
+    len: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<(i64, i64, usize)> {
+    assert!(!pts.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c4);
+    match shape {
+        BatchShape::ZipfRepeat { distinct, s } => {
+            // `distinct` hot centers spread evenly through the x-sorted
+            // point set, repeated under the Zipf law.
+            let mut order: Vec<usize> = (0..pts.len()).collect();
+            order.sort_by_key(|&i| pts[i]);
+            let base: Vec<(i64, i64)> =
+                (0..distinct).map(|i| pts[order[(i + 1) * pts.len() / (distinct + 1)]]).collect();
+            zipf_indices(&mut rng, distinct, s, len)
+                .into_iter()
+                .map(|i| (base[i].0, base[i].1, k))
+                .collect()
+        }
+        BatchShape::SortedSweep => {
+            // All-distinct centers sweeping the point set in (x, y) order —
+            // consecutive queries probe neighboring regions.
+            let mut centers: Vec<(i64, i64)> = (0..len)
+                .map(|j| {
+                    let t = if len <= 1 { 0 } else { j * (pts.len() - 1) / (len - 1) };
+                    pts[t]
+                })
+                .collect();
+            centers.sort_unstable();
+            centers.into_iter().map(|(x, y)| (x, y, k)).collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,10 +372,7 @@ mod tests {
     #[test]
     fn generators_are_deterministic() {
         assert_eq!(points2(Dist2::Uniform, 50, 1000, 7), points2(Dist2::Uniform, 50, 1000, 7));
-        assert_eq!(
-            points3(Dist3::Clustered, 50, 1000, 7),
-            points3(Dist3::Clustered, 50, 1000, 7)
-        );
+        assert_eq!(points3(Dist3::Clustered, 50, 1000, 7), points3(Dist3::Clustered, 50, 1000, 7));
     }
 
     #[test]
@@ -352,11 +387,7 @@ mod tests {
         assert!(uniq.len() <= 8, "at most `distinct` distinct queries");
         assert!(uniq.len() >= 2, "zipf must not degenerate to one query");
         // The hottest query dominates: it appears more often than 200/8.
-        let top = uniq
-            .iter()
-            .map(|u| batch.iter().filter(|&&q| q == *u).count())
-            .max()
-            .unwrap();
+        let top = uniq.iter().map(|u| batch.iter().filter(|&&q| q == *u).count()).max().unwrap();
         assert!(top > 25, "hot query should repeat heavily, saw {top}");
     }
 
@@ -375,13 +406,8 @@ mod tests {
     #[test]
     fn batch3_generators_match_2d_contracts() {
         let pts = points3(Dist3::Uniform, 300, 50_000, 8);
-        let zipf = halfspace3_batch(
-            &pts,
-            BatchShape::ZipfRepeat { distinct: 6, s: 1.0 },
-            120,
-            30,
-            11,
-        );
+        let zipf =
+            halfspace3_batch(&pts, BatchShape::ZipfRepeat { distinct: 6, s: 1.0 }, 120, 30, 11);
         assert_eq!(zipf.len(), 120);
         let mut uniq = zipf.clone();
         uniq.sort_unstable();
@@ -407,6 +433,26 @@ mod tests {
             halfspace3_batch(&pts3, BatchShape::SortedSweep, 32, 30, 14),
             halfspace3_batch(&pts3, BatchShape::SortedSweep, 32, 30, 14)
         );
+        assert_eq!(knn_batch(&pts, shape, 64, 8, 15), knn_batch(&pts, shape, 64, 8, 15));
+    }
+
+    #[test]
+    fn knn_batch_matches_2d_contracts() {
+        let pts = points2(Dist2::Uniform, 300, 1000, 11);
+        let shape = BatchShape::ZipfRepeat { distinct: 6, s: 1.1 };
+        let zipf = knn_batch(&pts, shape, 96, 8, 16);
+        assert_eq!(zipf.len(), 96);
+        assert!(zipf.iter().all(|&(_, _, k)| k == 8));
+        // Few distinct hot centers, all drawn from the point set.
+        let distinct: std::collections::HashSet<(i64, i64)> =
+            zipf.iter().map(|&(x, y, _)| (x, y)).collect();
+        assert!(distinct.len() <= 6);
+        assert!(distinct.iter().all(|c| pts.contains(c)));
+        // Sweep: all centers from the point set, emitted in sorted order.
+        let sweep = knn_batch(&pts, BatchShape::SortedSweep, 40, 4, 17);
+        assert_eq!(sweep.len(), 40);
+        assert!(sweep.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+        assert!(sweep.iter().all(|&(x, y, _)| pts.contains(&(x, y))));
     }
 
     #[test]

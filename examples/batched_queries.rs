@@ -20,16 +20,11 @@ fn main() {
 
     // Production-style traffic: 1000 queries, Zipf-popular over 24
     // distinct hot queries.
-    let batch: Vec<Query> = halfplane_batch(
-        &points,
-        BatchShape::ZipfRepeat { distinct: 24, s: 1.1 },
-        1000,
-        48,
-        7,
-    )
-    .into_iter()
-    .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
-    .collect();
+    let batch: Vec<Query> =
+        halfplane_batch(&points, BatchShape::ZipfRepeat { distinct: 24, s: 1.1 }, 1000, 48, 7)
+            .into_iter()
+            .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
+            .collect();
 
     let ex = BatchExecutor::new(&index);
     let cold = ex.run_cold(&batch);

@@ -24,11 +24,8 @@ fn main() {
     println!("partition tree over {n} sites: {} pages (linear space)", tree.pages());
 
     // Survey triangle: x >= 20km, y >= 30km, x + y <= 90km.
-    let survey: Simplex<2> = Simplex::new(vec![
-        ([-1, 0], -20_000),
-        ([0, -1], -30_000),
-        ([1, 1], 90_000),
-    ]);
+    let survey: Simplex<2> =
+        Simplex::new(vec![([-1, 0], -20_000), ([0, -1], -30_000), ([1, 1], 90_000)]);
     let (inside, stats) = tree.query_simplex_stats(&survey);
     println!(
         "triangular survey area: {} sites inside, {} IOs ({} nodes, {} whole subtrees)",
@@ -42,10 +39,8 @@ fn main() {
 
     // 3D: sites with elevation; constraint "elevation below the inclined
     // plane z = 0.5·x - 0.2·y + 1000" (scaled to integers ×10).
-    let sites3: Vec<PointD<3>> = sites
-        .iter()
-        .map(|p| PointD::new([p.c[0], p.c[1], rng.gen_range(0..30_000)]))
-        .collect();
+    let sites3: Vec<PointD<3>> =
+        sites.iter().map(|p| PointD::new([p.c[0], p.c[1], rng.gen_range(0..30_000)])).collect();
     let dev3 = Device::new(DeviceConfig::new(4096, 0));
     let tree3 = PartitionTree::build(&dev3, &sites3, PTreeConfig::default());
     let plane: HyperplaneD<3> = HyperplaneD::new([10_000, 5, -2]); // 10·z = ...

@@ -38,10 +38,8 @@ fn main() {
     );
 
     // Verify against a scan.
-    let brute = points
-        .iter()
-        .filter(|&&(x, y)| (y as i128) < m as i128 * x as i128 + c as i128)
-        .count();
+    let brute =
+        points.iter().filter(|&&(x, y)| (y as i128) < m as i128 * x as i128 + c as i128).count();
     assert_eq!(result.len(), brute);
     println!("verified against a full scan ({brute} matches).");
 }

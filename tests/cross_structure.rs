@@ -19,7 +19,9 @@ fn sorted(mut v: Vec<u32>) -> Vec<u32> {
 
 #[test]
 fn all_2d_structures_agree() {
-    for dist in [Dist2::Uniform, Dist2::Gaussianish, Dist2::Clustered, Dist2::Diagonal, Dist2::Circle] {
+    for dist in
+        [Dist2::Uniform, Dist2::Gaussianish, Dist2::Clustered, Dist2::Diagonal, Dist2::Circle]
+    {
         let pts = points2(dist, 1200, 1 << 20, 7);
         let dev = Device::new(DeviceConfig::new(512, 0));
         let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());

@@ -100,13 +100,8 @@ impl ModelLru {
             return;
         }
         if self.entries.len() >= self.cap {
-            let victim = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.1)
-                .map(|(i, _)| i)
-                .unwrap();
+            let victim =
+                self.entries.iter().enumerate().min_by_key(|(_, e)| e.1).map(|(i, _)| i).unwrap();
             self.entries.swap_remove(victim);
         }
         self.entries.push((page, self.tick));

@@ -50,16 +50,11 @@ fn batched_beats_cold_hs2d_two_distributions() {
         let pts = points2(dist, 6000, 1 << 20, seed);
         let dev = cached_device();
         let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
-        let qs: Vec<Query> = halfplane_batch(
-            &pts,
-            BatchShape::ZipfRepeat { distinct: 24, s: 1.1 },
-            BATCH,
-            40,
-            seed,
-        )
-        .into_iter()
-        .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
-        .collect();
+        let qs: Vec<Query> =
+            halfplane_batch(&pts, BatchShape::ZipfRepeat { distinct: 24, s: 1.1 }, BATCH, 40, seed)
+                .into_iter()
+                .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
+                .collect();
         check(&hs, &qs, &format!("hs2d/{dist:?}"));
     }
 }
@@ -84,16 +79,11 @@ fn batched_beats_cold_baseline_two_distributions() {
         let pts = points2(dist, 6000, 1 << 20, seed);
         let dev = cached_device();
         let kd = ExternalKdTree::build(&dev, &pts);
-        let qs: Vec<Query> = halfplane_batch(
-            &pts,
-            BatchShape::ZipfRepeat { distinct: 16, s: 1.2 },
-            BATCH,
-            40,
-            seed,
-        )
-        .into_iter()
-        .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
-        .collect();
+        let qs: Vec<Query> =
+            halfplane_batch(&pts, BatchShape::ZipfRepeat { distinct: 16, s: 1.2 }, BATCH, 40, seed)
+                .into_iter()
+                .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
+                .collect();
         check(&kd, &qs, &format!("kdtree/{dist:?}"));
     }
 }

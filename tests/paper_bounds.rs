@@ -48,11 +48,7 @@ fn hs2d_small_queries_do_not_scale_with_n() {
         ios.push(worst);
     }
     // 4x the points must not even double the worst small-query cost.
-    assert!(
-        ios[1] <= 2 * ios[0] + 8,
-        "IOs grew with n: {:?} (expected O(log_B n + 1))",
-        ios
-    );
+    assert!(ios[1] <= 2 * ios[0] + 8, "IOs grew with n: {:?} (expected O(log_B n + 1))", ios);
 }
 
 /// Section 1.2: the adversarial separation between Theorem 3.5 and a

@@ -12,10 +12,7 @@ use proptest::prelude::*;
 /// Distinct lines from arbitrary (slope, intercept) pairs.
 fn distinct_lines(raw: Vec<(i64, i64)>) -> Vec<Line2> {
     let mut seen = std::collections::HashSet::new();
-    raw.into_iter()
-        .filter(|p| seen.insert(*p))
-        .map(|(m, b)| Line2::new(m, b))
-        .collect()
+    raw.into_iter().filter(|p| seen.insert(*p)).map(|(m, b)| Line2::new(m, b)).collect()
 }
 
 proptest! {

@@ -3,7 +3,8 @@
 //! (distribution, n, range, seed).
 
 use lcrs::workloads::{
-    halfplane_with_selectivity, halfspace3_with_selectivity, points2, points3, Dist2, Dist3,
+    halfplane_with_selectivity, halfspace3_with_selectivity, knn_batch, points2, points3,
+    BatchShape, Dist2, Dist3,
 };
 
 const ALL_DIST2: [Dist2; 5] =
@@ -55,4 +56,12 @@ fn query_generators_are_deterministic_per_seed() {
         halfspace3_with_selectivity(&pts3, 30, 32, 9),
         halfspace3_with_selectivity(&pts3, 30, 32, 9)
     );
+    let knn_pts = points2(Dist2::Uniform, 350, 1000, 5);
+    for shape in [BatchShape::ZipfRepeat { distinct: 7, s: 1.2 }, BatchShape::SortedSweep] {
+        assert_eq!(
+            knn_batch(&knn_pts, shape, 48, 6, 11),
+            knn_batch(&knn_pts, shape, 48, 6, 11),
+            "{shape:?} k-NN batches must be deterministic"
+        );
+    }
 }

@@ -36,9 +36,7 @@ pub struct TestRng {
 
 impl TestRng {
     pub fn new(name_hash: u64, case_seed: u64) -> Self {
-        TestRng {
-            state: name_hash ^ case_seed.wrapping_mul(0x9e3779b97f4a7c15),
-        }
+        TestRng { state: name_hash ^ case_seed.wrapping_mul(0x9e3779b97f4a7c15) }
     }
 
     pub fn next_u64(&mut self) -> u64 {
