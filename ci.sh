@@ -15,9 +15,13 @@ cargo build --release --benches --examples --workspace
 # Smoke-run the engine experiments end to end. exp_batched asserts
 # per-query attribution sums to batch totals and batched reads beat cold
 # on every cell; exp_parallel asserts per-worker deltas sum exactly and
-# parallel outcomes match the sequential executor on every cell.
+# parallel outcomes match the sequential executor on every cell;
+# exp_persist asserts reopened-from-snapshot answers and read-IO totals
+# are identical to the in-memory original on every cell (its snapshot
+# files live in a self-cleaning temp dir, like the snapshot test suites).
 cargo bench -q -p lcrs-bench --bench exp_batched -- --smoke
 cargo bench -q -p lcrs-bench --bench exp_parallel -- --smoke
+cargo bench -q -p lcrs-bench --bench exp_persist -- --smoke
 # Formatting gate (style pinned by rustfmt.toml). Skipped gracefully when
 # the container lacks rustfmt.
 if cargo fmt --version >/dev/null 2>&1; then

@@ -7,7 +7,7 @@
 //! every leaf box straddles a near-diagonal query line, so queries take
 //! Ω(n) IOs no matter how small the output — the motivation for Section 3.
 
-use lcrs_extmem::{DeviceHandle, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, Record, SnapshotError, VecFile};
 
 use crate::BaselineStats;
 
@@ -154,6 +154,26 @@ impl ExternalKdTree {
     /// parallel worker calls this to get its own LRU and IO attribution.
     pub fn fork_reader(&self) -> ExternalKdTree {
         self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the tree's metadata (node and point files); page data is
+    /// captured by [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        self.nodes.save(w);
+        self.points.save(w);
+        w.usize(self.n);
+        w.u64(self.pages_at_build_end);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`].
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<ExternalKdTree, SnapshotError> {
+        Ok(ExternalKdTree {
+            dev: h.clone(),
+            nodes: VecFile::load(h, r)?,
+            points: VecFile::load(h, r)?,
+            n: r.usize()?,
+            pages_at_build_end: r.u64()?,
+        })
     }
 
     /// Report points strictly below `y = m·x + c` (`inclusive` adds

@@ -6,7 +6,7 @@
 //! rectangles are recursed into. Like the kd-tree, it degrades to Ω(n) IOs
 //! on the diagonal adversarial input of Section 1.2.
 
-use lcrs_extmem::{DeviceHandle, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, Record, SnapshotError, VecFile};
 
 use crate::BaselineStats;
 
@@ -170,6 +170,34 @@ impl StrRTree {
     /// parallel worker calls this to get its own LRU and IO attribution.
     pub fn fork_reader(&self) -> StrRTree {
         self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the tree's metadata (node and point files, root index);
+    /// page data is captured by [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        self.nodes.save(w);
+        self.points.save(w);
+        w.usize(self.root);
+        w.usize(self.n);
+        w.u64(self.pages_at_build_end);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`].
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<StrRTree, SnapshotError> {
+        let nodes: VecFile<RNode> = VecFile::load(h, r)?;
+        let points = VecFile::load(h, r)?;
+        let root = r.usize()?;
+        if root >= nodes.len().max(1) {
+            return Err(r.error(format!("root {root} exceeds the {} nodes", nodes.len())));
+        }
+        Ok(StrRTree {
+            dev: h.clone(),
+            nodes,
+            points,
+            root,
+            n: r.usize()?,
+            pages_at_build_end: r.u64()?,
+        })
     }
 
     pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u32>, BaselineStats) {

@@ -1,6 +1,6 @@
 //! The trivial baseline: points in a flat file, every query scans it.
 
-use lcrs_extmem::{DeviceHandle, VecFile};
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, SnapshotError, VecFile};
 
 use crate::BaselineStats;
 
@@ -52,6 +52,22 @@ impl ExternalScan {
     /// parallel worker calls this to get its own LRU and IO attribution.
     pub fn fork_reader(&self) -> ExternalScan {
         self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the scan's metadata (the point file); page data is
+    /// captured by [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        self.points.save(w);
+        w.u64(self.pages_at_build_end);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`].
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<ExternalScan, SnapshotError> {
+        Ok(ExternalScan {
+            dev: h.clone(),
+            points: VecFile::load(h, r)?,
+            pages_at_build_end: r.u64()?,
+        })
     }
 
     /// Report points strictly below `y = m·x + c` (`inclusive` adds

@@ -1,0 +1,161 @@
+//! The snapshot catalog: persist and reload a whole batch-executor's worth
+//! of indexes from one directory (DESIGN.md §9).
+//!
+//! Directory layout — one manifest plus a pages/metadata pair per entry:
+//!
+//! ```text
+//! catalog-dir/
+//!   catalog.meta      manifest: sequence of (label, kind) pairs
+//!   <label>.pages     page snapshot (Device::freeze_to_path format)
+//!   <label>.meta      structure metadata (RangeIndex::save_meta envelope)
+//! ```
+//!
+//! [`SnapshotCatalog::add`] serializes one frozen index;
+//! [`SnapshotCatalog::load`] reopens an entry as a fresh file-backed
+//! device plus the index over it, ready for the [`crate::BatchExecutor`]
+//! or [`crate::ParallelExecutor`] — the build-once/serve-many workflow in
+//! one call. Every file is checksummed and every failure is a typed
+//! [`SnapshotError`]; the manifest is rewritten atomically after each
+//! `add`, so a crash mid-build leaves a catalog that simply lacks the
+//! unfinished entry.
+
+use std::path::{Path, PathBuf};
+
+use lcrs_extmem::{Device, MetaReader, MetaWriter, SnapshotError};
+
+use crate::query::{load_index, RangeIndex};
+
+const MANIFEST: &str = "catalog.meta";
+
+/// One persisted index in a [`SnapshotCatalog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Caller-chosen name; doubles as the entry's file stem.
+    pub label: String,
+    /// The index's [`RangeIndex::name`], used to dispatch the load.
+    pub kind: String,
+}
+
+fn valid_label(label: &str) -> bool {
+    // "catalog" is reserved: the entry's metadata file would collide with
+    // the manifest (catalog.meta) and silently overwrite it.
+    !label.is_empty()
+        && label.len() <= 64
+        && label != "catalog"
+        && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+/// A directory of persisted indexes — see the module docs for the layout.
+pub struct SnapshotCatalog {
+    dir: PathBuf,
+    entries: Vec<CatalogEntry>,
+}
+
+impl SnapshotCatalog {
+    /// Start an empty catalog at `dir` (created if absent; an existing
+    /// manifest there is overwritten).
+    pub fn create(dir: impl AsRef<Path>) -> Result<SnapshotCatalog, SnapshotError> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        let cat = SnapshotCatalog { dir: dir.as_ref().to_path_buf(), entries: Vec::new() };
+        cat.write_manifest()?;
+        Ok(cat)
+    }
+
+    /// Open an existing catalog's manifest.
+    pub fn open(dir: impl AsRef<Path>) -> Result<SnapshotCatalog, SnapshotError> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut r = MetaReader::open(&dir.join(MANIFEST))?;
+        let n = r.seq()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(CatalogEntry { label: r.str()?, kind: r.str()? });
+        }
+        r.finish()?;
+        Ok(SnapshotCatalog { dir, entries })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The persisted entries, in `add` order.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    fn pages_path(&self, label: &str) -> PathBuf {
+        self.dir.join(format!("{label}.pages"))
+    }
+
+    fn meta_path(&self, label: &str) -> PathBuf {
+        self.dir.join(format!("{label}.meta"))
+    }
+
+    /// Persist one index under `label`: its device's frozen pages to
+    /// `<label>.pages`, its metadata to `<label>.meta`, and the manifest.
+    /// The index's device must already be frozen
+    /// ([`SnapshotError::NotFrozen`] otherwise — freezing is the owner's
+    /// lifecycle decision, not the catalog's).
+    ///
+    /// Indexes sharing one device serialize one copy of that device's
+    /// pages *each*: entries are self-contained, so any subset of the
+    /// catalog can be loaded (or deleted) independently.
+    pub fn add(&mut self, label: &str, index: &dyn RangeIndex) -> Result<(), SnapshotError> {
+        if !valid_label(label) {
+            return Err(SnapshotError::InvalidLabel { label: label.to_string() });
+        }
+        if self.entries.iter().any(|e| e.label == label) {
+            return Err(SnapshotError::DuplicateEntry { label: label.to_string() });
+        }
+        index.device().snapshot_to_path(self.pages_path(label))?;
+        let mut w = MetaWriter::new();
+        w.str(index.name());
+        index.save_meta(&mut w);
+        w.write_to_path(&self.meta_path(label))?;
+        self.entries
+            .push(CatalogEntry { label: label.to_string(), kind: index.name().to_string() });
+        self.write_manifest()
+    }
+
+    /// Reopen one entry: a fresh file-backed device over `<label>.pages`
+    /// (validated, cold — zeroed stats, empty cache of `cache_pages`
+    /// pages) and the index reloaded on its primary handle scope.
+    pub fn load(
+        &self,
+        label: &str,
+        cache_pages: usize,
+    ) -> Result<Box<dyn RangeIndex>, SnapshotError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.label == label)
+            .ok_or_else(|| SnapshotError::NoSuchEntry { label: label.to_string() })?;
+        let device = Device::open_snapshot(self.pages_path(label), cache_pages)?;
+        let mut r = MetaReader::open(&self.meta_path(label))?;
+        let kind = r.str()?;
+        if kind != entry.kind {
+            return Err(r.error(format!(
+                "kind mismatch for {label:?}: manifest says {:?}, metadata says {kind:?}",
+                entry.kind
+            )));
+        }
+        let index = load_index(&kind, &device, &mut r)?;
+        r.finish()?;
+        Ok(index)
+    }
+
+    /// Reopen every entry, in `add` order.
+    pub fn load_all(&self, cache_pages: usize) -> Result<Vec<Box<dyn RangeIndex>>, SnapshotError> {
+        self.entries.iter().map(|e| self.load(&e.label, cache_pages)).collect()
+    }
+
+    fn write_manifest(&self) -> Result<(), SnapshotError> {
+        let mut w = MetaWriter::new();
+        w.seq(self.entries.len());
+        for e in &self.entries {
+            w.str(&e.label);
+            w.str(&e.kind);
+        }
+        w.write_to_path(&self.dir.join(MANIFEST))
+    }
+}

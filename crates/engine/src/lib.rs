@@ -18,16 +18,25 @@
 //! * [`ParallelExecutor`] — the same batch cut into locality-ordered
 //!   shards across N OS threads (DESIGN.md §8), each worker on its own
 //!   [`lcrs_extmem::DeviceHandle`] fork (own warm LRU, exactly-attributed
-//!   per-worker IO), answers merged back into submission order.
+//!   per-worker IO), answers merged back into submission order;
+//! * [`SnapshotCatalog`] — build-once/serve-many (DESIGN.md §9): persist
+//!   a directory of frozen indexes ([`RangeIndex::save_meta`] +
+//!   [`lcrs_extmem::Device::freeze_to_path`]) and reload them read-only
+//!   in any later process, answers and read-IO counts bit-identical to
+//!   the in-memory originals.
 //!
-//! Answers are never affected by batching or sharding: the executors only
-//! change *when* pages happen to be resident, which the test suites pin
-//! by comparing cold, batched, and parallel answers element-wise.
+//! Answers are never affected by batching, sharding, or persistence: the
+//! executors only change *when* pages happen to be resident, and a
+//! reloaded index reads exactly the pages the original froze — which the
+//! test suites pin by comparing cold, batched, parallel, and
+//! reopened-from-snapshot answers element-wise.
 
 pub mod batch;
+pub mod catalog;
 pub mod parallel;
 pub mod query;
 
 pub use batch::{BatchExecutor, BatchReport, ExecMode, QueryOutcome, QueryStatus};
+pub use catalog::{CatalogEntry, SnapshotCatalog};
 pub use parallel::{ParallelExecutor, ParallelReport, WorkerReport};
-pub use query::{Query, RangeIndex, Unsupported};
+pub use query::{load_index, Query, RangeIndex, Unsupported};

@@ -2,7 +2,7 @@
 //! trait implemented by every structure in the workspace.
 
 use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
-use lcrs_extmem::{DeviceHandle, IoDelta};
+use lcrs_extmem::{DeviceHandle, IoDelta, MetaReader, MetaWriter, SnapshotError};
 use lcrs_geom::point::HyperplaneD;
 use lcrs_halfspace::{
     DynamicHalfspace2, HalfspaceRS2, HalfspaceRS3, HybridTree3, KnnStructure, PartitionTree,
@@ -113,6 +113,42 @@ pub trait RangeIndex: Send + Sync {
     /// A reader clone of this index on a fresh device-handle scope (its own
     /// cache and stats) over the same pages, for one parallel worker.
     fn fork_reader(&self) -> Box<dyn RangeIndex>;
+
+    /// Serialize this index's host-side metadata (roots, fanouts,
+    /// partition tables — recursively through nested sub-structures); the
+    /// page data is captured separately by
+    /// [`lcrs_extmem::Device::freeze_to_path`]. [`load_index`] re-creates
+    /// the index from [`Self::name`] plus these bytes — the dispatch the
+    /// [`crate::SnapshotCatalog`] is built on.
+    fn save_meta(&self, w: &mut MetaWriter);
+}
+
+/// Reconstruct an index persisted through [`RangeIndex::save_meta`] from
+/// its [`RangeIndex::name`], reading pages through `h` (typically the
+/// primary handle of a [`lcrs_extmem::Device::open_snapshot`] device).
+pub fn load_index(
+    kind: &str,
+    h: &DeviceHandle,
+    r: &mut MetaReader,
+) -> Result<Box<dyn RangeIndex>, SnapshotError> {
+    Ok(match kind {
+        "hs2d" => Box::new(HalfspaceRS2::load(h, r)?),
+        "dynamic" => Box::new(DynamicHalfspace2::load(h, r)?),
+        "ptree" => Box::new(PartitionTree::<2>::load(h, r)?),
+        "hs3d" => Box::new(HalfspaceRS3::load(h, r)?),
+        "tradeoff-hybrid" => Box::new(HybridTree3::load(h, r)?),
+        "tradeoff-shallow" => Box::new(ShallowTree3::load(h, r)?),
+        "knn" => Box::new(KnnStructure::load(h, r)?),
+        "scan" => Box::new(ExternalScan::load(h, r)?),
+        "kdtree" => Box::new(ExternalKdTree::load(h, r)?),
+        "rtree" => Box::new(StrRTree::load(h, r)?),
+        other => {
+            return Err(SnapshotError::Meta {
+                offset: 0,
+                detail: format!("unknown index kind {other:?}"),
+            })
+        }
+    })
 }
 
 fn widen(v: Vec<u32>) -> Vec<u64> {
@@ -146,6 +182,10 @@ impl RangeIndex for HalfspaceRS2 {
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(HalfspaceRS2::fork_reader(self))
     }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        HalfspaceRS2::save(self, w)
+    }
 }
 
 impl RangeIndex for DynamicHalfspace2 {
@@ -170,6 +210,10 @@ impl RangeIndex for DynamicHalfspace2 {
 
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(DynamicHalfspace2::fork_reader(self))
+    }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        DynamicHalfspace2::save(self, w)
     }
 }
 
@@ -200,6 +244,10 @@ impl RangeIndex for PartitionTree<2> {
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(PartitionTree::fork_reader(self))
     }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        PartitionTree::save(self, w)
+    }
 }
 
 impl RangeIndex for HalfspaceRS3 {
@@ -226,6 +274,10 @@ impl RangeIndex for HalfspaceRS3 {
 
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(HalfspaceRS3::fork_reader(self))
+    }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        HalfspaceRS3::save(self, w)
     }
 }
 
@@ -254,6 +306,10 @@ impl RangeIndex for HybridTree3 {
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(HybridTree3::fork_reader(self))
     }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        HybridTree3::save(self, w)
+    }
 }
 
 impl RangeIndex for ShallowTree3 {
@@ -281,6 +337,10 @@ impl RangeIndex for ShallowTree3 {
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(ShallowTree3::fork_reader(self))
     }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        ShallowTree3::save(self, w)
+    }
 }
 
 impl RangeIndex for KnnStructure {
@@ -305,6 +365,10 @@ impl RangeIndex for KnnStructure {
 
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(KnnStructure::fork_reader(self))
+    }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        KnnStructure::save(self, w)
     }
 }
 
@@ -331,6 +395,10 @@ impl RangeIndex for ExternalScan {
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(ExternalScan::fork_reader(self))
     }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        ExternalScan::save(self, w)
+    }
 }
 
 impl RangeIndex for ExternalKdTree {
@@ -356,6 +424,10 @@ impl RangeIndex for ExternalKdTree {
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(ExternalKdTree::fork_reader(self))
     }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        ExternalKdTree::save(self, w)
+    }
 }
 
 impl RangeIndex for StrRTree {
@@ -380,5 +452,9 @@ impl RangeIndex for StrRTree {
 
     fn fork_reader(&self) -> Box<dyn RangeIndex> {
         Box::new(StrRTree::fork_reader(self))
+    }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        StrRTree::save(self, w)
     }
 }

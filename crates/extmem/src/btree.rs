@@ -247,6 +247,56 @@ impl<K: Record + Ord + Copy, V: Record> BPlusTree<K, V> {
         }
     }
 
+    /// Serialize the tree's metadata — root, height, length, page count;
+    /// the node pages themselves are captured by
+    /// [`crate::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut crate::snapshot::MetaWriter) {
+        w.u64(self.root.0);
+        w.usize(self.height);
+        w.usize(self.len);
+        w.usize(self.pages);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`], reading node pages
+    /// through `dev`. Like [`Self::with_handle`], the result is a *reader*;
+    /// validation rejects roots outside the store and page geometries the
+    /// tree's node layout cannot fit, with typed errors instead of panics.
+    pub fn load(
+        dev: &DeviceHandle,
+        r: &mut crate::snapshot::MetaReader,
+    ) -> Result<BPlusTree<K, V>, crate::snapshot::SnapshotError> {
+        let root = r.u64()?;
+        let height = r.usize()?;
+        let len = r.usize()?;
+        let pages = r.usize()?;
+        let pb = dev.page_bytes();
+        let caps_ok = pb > HDR + 8
+            && (pb - HDR) / (K::SIZE + V::SIZE) >= 4
+            && (pb - HDR - 8) / (K::SIZE + 8) >= 4;
+        if !caps_ok {
+            return Err(r.error(format!(
+                "{pb}-byte pages cannot hold B+-tree nodes of this key/value size"
+            )));
+        }
+        if root >= dev.pages_allocated() {
+            return Err(r.error(format!(
+                "root page {root} exceeds the {} allocated pages",
+                dev.pages_allocated()
+            )));
+        }
+        if height == 0 || pages as u64 > dev.pages_allocated() {
+            return Err(r.error(format!("implausible tree shape (height {height}, {pages} pages)")));
+        }
+        Ok(BPlusTree {
+            dev: dev.clone(),
+            root: PageId(root),
+            height,
+            len,
+            pages,
+            _marker: Default::default(),
+        })
+    }
+
     fn descend(&self, key: &K) -> (PageId, Vec<PageId>) {
         let mut path = Vec::with_capacity(self.height);
         let mut cur = self.root;

@@ -3,14 +3,23 @@
 //! Storage is split into a *build phase* and a *read phase* (DESIGN.md §8):
 //! a [`Device`] starts mutable — structures allocate and write pages through
 //! it, serialized by a store-level mutex — and [`Device::freeze`] ends that
-//! phase by moving the pages into an immutable slot that is read without
-//! any lock. Cache state and [`IoStats`] do not live in the store at all:
-//! they belong to [`DeviceHandle`] scopes, so concurrent readers each get
-//! their own LRU and exact, deterministic IO attribution.
+//! phase by moving the pages into an immutable [`PageSource`] that is read
+//! without any lock. Cache state and [`IoStats`] do not live in the store at
+//! all: they belong to [`DeviceHandle`] scopes, so concurrent readers each
+//! get their own LRU and exact, deterministic IO attribution.
+//!
+//! A frozen store can also live on a real disk (DESIGN.md §9):
+//! [`Device::freeze_to_path`] serializes the frozen pages into a versioned,
+//! checksummed snapshot file, and [`Device::open_snapshot`] reopens one as a
+//! read-only, file-backed store — same handles, same fork semantics, same
+//! IO accounting, so an index built once can serve queries from any number
+//! of later processes without rebuilding.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::snapshot::{write_snapshot, SnapshotError, SnapshotFile};
 use crate::stats::IoStats;
 
 /// Identifier of a disk page.
@@ -42,13 +51,76 @@ impl DeviceConfig {
     }
 }
 
+/// Where a frozen store's page data lives: the build-phase vector moved in
+/// place ([`Device::freeze`]) or a validated snapshot file reopened from
+/// disk ([`Device::open_snapshot`]). Both are immutable and read without a
+/// lock, so the choice of backend never changes `Send + Sync` reads, fork
+/// semantics, or IO accounting — only where the bytes come from.
+enum PageSource {
+    Memory(Vec<Box<[u8]>>),
+    File(SnapshotFile),
+}
+
+impl PageSource {
+    fn with_page<R>(
+        &self,
+        page_bytes: usize,
+        id: PageId,
+        op: &str,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> R {
+        match self {
+            PageSource::Memory(pages) => f(Store::page(pages, id, op)),
+            PageSource::File(sf) => {
+                assert!(id.0 < sf.page_count(), "{op} of unallocated page {id:?}");
+                // One reusable buffer per thread: file-backed page access
+                // is one pread, not one heap allocation + one pread. The
+                // buffer is *taken* out of the slot for the duration of
+                // `f`, so a page closure that nests another frozen read
+                // (allowed after freeze) simply allocates afresh instead
+                // of panicking on a re-borrow.
+                thread_local! {
+                    static PAGE_BUF: std::cell::Cell<Vec<u8>> =
+                        const { std::cell::Cell::new(Vec::new()) };
+                }
+                PAGE_BUF.with(|cell| {
+                    let mut buf = cell.take();
+                    buf.resize(page_bytes, 0);
+                    sf.read_page_into(id.0, &mut buf);
+                    let r = f(&buf);
+                    cell.set(buf);
+                    r
+                })
+            }
+        }
+    }
+
+    fn page_count(&self) -> u64 {
+        match self {
+            PageSource::Memory(pages) => pages.len() as u64,
+            PageSource::File(sf) => sf.page_count(),
+        }
+    }
+}
+
+/// Which backend a device's pages currently live on (see [`PageSource`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageBackend {
+    /// Still in the mutable build phase.
+    Building,
+    /// Frozen in memory ([`Device::freeze`]).
+    Memory,
+    /// Frozen on disk ([`Device::open_snapshot`]).
+    File,
+}
+
 /// The shared page store. While building, pages live behind `building`;
 /// `freeze` moves them into `frozen`, after which every read is a plain
 /// indexed load guarded only by one atomic pointer check (`OnceLock::get`).
 struct Store {
     cfg: DeviceConfig,
     building: Mutex<Vec<Box<[u8]>>>,
-    frozen: OnceLock<Vec<Box<[u8]>>>,
+    frozen: OnceLock<PageSource>,
 }
 
 impl Store {
@@ -59,15 +131,15 @@ impl Store {
     // panic; no structure in the workspace nests page accesses. After
     // freeze() the read path takes no lock and the constraint disappears.
     fn with_page<R>(&self, id: PageId, op: &str, f: impl FnOnce(&[u8]) -> R) -> R {
-        if let Some(pages) = self.frozen.get() {
-            return f(Self::page(pages, id, op));
+        if let Some(src) = self.frozen.get() {
+            return src.with_page(self.cfg.page_bytes, id, op, f);
         }
         let guard = self.building.lock().unwrap();
         // Re-check: a freeze may have landed between the lock-free probe
         // and acquiring the build lock.
-        if let Some(pages) = self.frozen.get() {
+        if let Some(src) = self.frozen.get() {
             drop(guard);
-            return f(Self::page(pages, id, op));
+            return src.with_page(self.cfg.page_bytes, id, op, f);
         }
         f(Self::page(&guard, id, op))
     }
@@ -88,8 +160,8 @@ impl Store {
     }
 
     fn pages_allocated(&self) -> u64 {
-        if let Some(pages) = self.frozen.get() {
-            return pages.len() as u64;
+        if let Some(src) = self.frozen.get() {
+            return src.page_count();
         }
         self.building.lock().unwrap().len() as u64
     }
@@ -212,6 +284,40 @@ impl DeviceHandle {
     /// `true` once the store's build phase ended (see [`Device::freeze`]).
     pub fn is_frozen(&self) -> bool {
         self.store.is_frozen()
+    }
+
+    /// Which backend the pages currently live on.
+    pub fn backend(&self) -> PageBackend {
+        match self.store.frozen.get() {
+            None => PageBackend::Building,
+            Some(PageSource::Memory(_)) => PageBackend::Memory,
+            Some(PageSource::File(_)) => PageBackend::File,
+        }
+    }
+
+    /// Serialize the *frozen* page store to a snapshot file (DESIGN.md §9:
+    /// header, per-page checksums, raw pages; atomic rename). Errors with
+    /// [`SnapshotError::NotFrozen`] while the build phase is still open —
+    /// use [`Device::freeze_to_path`] to freeze-and-write in one step.
+    ///
+    /// Serialization is a host-side maintenance operation: it bypasses the
+    /// cost model entirely (no reads are charged to any scope), exactly
+    /// like construction-time page allocation models formatting.
+    pub fn snapshot_to_path(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let page_bytes = self.store.cfg.page_bytes;
+        match self.store.frozen.get() {
+            None => Err(SnapshotError::NotFrozen),
+            Some(PageSource::Memory(pages)) => {
+                write_snapshot(path.as_ref(), page_bytes, pages.len() as u64, |i, buf| {
+                    buf.copy_from_slice(&pages[i as usize])
+                })
+            }
+            Some(PageSource::File(sf)) => {
+                write_snapshot(path.as_ref(), page_bytes, sf.page_count(), |i, buf| {
+                    sf.read_page_into(i, buf)
+                })
+            }
+        }
     }
 
     /// `true` when both handles read the same underlying page store.
@@ -342,7 +448,50 @@ impl Device {
             return;
         }
         let pages = std::mem::take(&mut *building);
-        store.frozen.set(pages).expect("freeze is serialized by the build lock");
+        store
+            .frozen
+            .set(PageSource::Memory(pages))
+            .unwrap_or_else(|_| unreachable!("freeze is serialized by the build lock"));
+    }
+
+    /// End the build phase (if still open) and serialize the frozen pages
+    /// to a snapshot file at `path` — the "build once" half of the
+    /// build-once/serve-many lifecycle. See
+    /// [`DeviceHandle::snapshot_to_path`] for the format and accounting
+    /// semantics, and [`Device::open_snapshot`] for the other half.
+    pub fn freeze_to_path(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.freeze();
+        self.primary.snapshot_to_path(path)
+    }
+
+    /// Reopen a snapshot written by [`Device::freeze_to_path`] as a
+    /// frozen, read-only, file-backed device. The page size comes from the
+    /// snapshot header; `cache_pages` is a runtime choice, exactly as for
+    /// [`Device::new`]. The whole file is checksum-validated up front, so
+    /// any corruption (truncation, bit flips, wrong magic, future format
+    /// versions) surfaces here as a typed [`SnapshotError`] — never later
+    /// as a bad page read.
+    ///
+    /// The reopened device starts with a fresh primary scope: zeroed
+    /// [`IoStats`], empty cache. Validation reads are *not* charged — the
+    /// cost model starts counting at the first query, so a cold reopened
+    /// index measures exactly its query cost (pinned by regression test).
+    pub fn open_snapshot(
+        path: impl AsRef<Path>,
+        cache_pages: usize,
+    ) -> Result<Device, SnapshotError> {
+        let sf = SnapshotFile::open(path.as_ref())?;
+        let cfg = DeviceConfig::new(sf.page_bytes(), cache_pages);
+        let frozen = OnceLock::new();
+        frozen
+            .set(PageSource::File(sf))
+            .unwrap_or_else(|_| unreachable!("freshly created OnceLock"));
+        Ok(Device {
+            primary: DeviceHandle {
+                store: Arc::new(Store { cfg, building: Mutex::new(Vec::new()), frozen }),
+                state: Arc::new(Mutex::new(HandleState::new())),
+            },
+        })
     }
 
     /// A fresh accounting scope (empty cache, zeroed stats) over this
@@ -613,5 +762,156 @@ mod tests {
         // accesses miss, deterministically, regardless of interleaving.
         assert_eq!(totals, vec![48, 48, 48, 48]);
         assert_eq!(dev.stats().reads, 0, "worker IOs never land on the primary scope");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_pages_and_geometry() {
+        let dir = crate::snapshot::TempDir::new("lcrs-device-snap");
+        let dev = Device::new(DeviceConfig::new(128, 0));
+        let p = dev.alloc_pages(6);
+        for i in 0..6 {
+            dev.write_page(PageId(p.0 + i), |b| {
+                b[0] = i as u8;
+                b[127] = 0xA0 + i as u8;
+            });
+        }
+        // freeze_to_path freezes implicitly (build phase still open here).
+        assert!(!dev.is_frozen());
+        let path = dir.file("dev.pages");
+        dev.freeze_to_path(&path).unwrap();
+        assert!(dev.is_frozen());
+        assert_eq!(dev.backend(), PageBackend::Memory);
+
+        let re = Device::open_snapshot(&path, 0).unwrap();
+        assert!(re.is_frozen());
+        assert_eq!(re.backend(), PageBackend::File);
+        assert_eq!(re.page_bytes(), 128);
+        assert_eq!(re.pages_allocated(), 6);
+        for i in 0..6u64 {
+            let (a, z) = re.read_page(PageId(i), |b| (b[0], b[127]));
+            assert_eq!((a, z), (i as u8, 0xA0 + i as u8));
+        }
+    }
+
+    #[test]
+    fn reopened_device_rejects_writes_and_allocs() {
+        let dir = crate::snapshot::TempDir::new("lcrs-device-snap-ro");
+        let dev = Device::new(DeviceConfig::new(64, 0));
+        let p = dev.alloc_pages(1);
+        dev.write_page(p, |b| b[0] = 1);
+        dev.freeze_to_path(dir.file("ro.pages")).unwrap();
+        let re = Device::open_snapshot(dir.file("ro.pages"), 0).unwrap();
+        re.freeze(); // idempotent no-op on an already-frozen store
+        for result in [
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                re.write_page(p, |b| b[0] = 2);
+            })),
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                re.alloc_pages(1);
+            })),
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                re.read_page(PageId(9), |_| ());
+            })),
+        ] {
+            assert!(result.is_err(), "mutation / OOB reads on a snapshot must panic");
+        }
+        // The frozen read path takes no lock, so the caught panics above
+        // (which poison the build mutex) never affect reads.
+        assert_eq!(re.read_page(p, |b| b[0]), 1);
+    }
+
+    #[test]
+    fn snapshot_of_unfrozen_handle_is_typed_error() {
+        let dir = crate::snapshot::TempDir::new("lcrs-device-snap-unfrozen");
+        let dev = Device::new(DeviceConfig::new(64, 0));
+        dev.alloc_pages(1);
+        let err = (*dev).snapshot_to_path(dir.file("x.pages")).unwrap_err();
+        assert!(matches!(err, crate::snapshot::SnapshotError::NotFrozen));
+    }
+
+    #[test]
+    fn reopened_device_starts_cold_and_accounts_reads() {
+        // ISSUE 4 regression: opening a snapshot validates every page, but
+        // none of that is model IO — the opening scope starts zeroed and
+        // the first query pays real, attributed reads.
+        let dir = crate::snapshot::TempDir::new("lcrs-device-snap-cold");
+        let dev = Device::new(DeviceConfig::new(128, 4));
+        let p = dev.alloc_pages(3);
+        for i in 0..3 {
+            dev.write_page(PageId(p.0 + i), |b| b[0] = i as u8);
+        }
+        dev.freeze_to_path(dir.file("cold.pages")).unwrap();
+        let re = Device::open_snapshot(dir.file("cold.pages"), 4).unwrap();
+        assert_eq!(re.stats(), IoStats::default(), "cold reopen must start with zeroed counters");
+        assert_eq!(re.cached_pages(), 0);
+        re.read_page(PageId(0), |_| ());
+        re.read_page(PageId(0), |_| ());
+        re.read_page(PageId(2), |_| ());
+        let s = re.stats();
+        assert_eq!((s.reads, s.writes, s.cache_hits), (2, 0, 1), "file-backed reads are charged");
+        // Forked scopes are independent, exactly as on a memory store.
+        let fork = re.handle();
+        assert_eq!(fork.stats(), IoStats::default());
+        fork.read_page(PageId(1), |_| ());
+        assert_eq!(fork.stats().reads, 1);
+        assert_eq!(re.stats().reads, 2, "fork IOs stay off the primary scope");
+    }
+
+    #[test]
+    fn reopened_snapshot_can_be_resnapshotted() {
+        // snapshot_to_path on a file-backed store copies the snapshot —
+        // the catalog uses this to re-persist a reopened index.
+        let dir = crate::snapshot::TempDir::new("lcrs-device-snap-copy");
+        let dev = Device::new(DeviceConfig::new(64, 0));
+        let p = dev.alloc_pages(2);
+        dev.write_page(p, |b| b[0] = 7);
+        dev.write_page(PageId(p.0 + 1), |b| b[0] = 8);
+        dev.freeze_to_path(dir.file("a.pages")).unwrap();
+        let re = Device::open_snapshot(dir.file("a.pages"), 0).unwrap();
+        re.snapshot_to_path(dir.file("b.pages")).unwrap();
+        let re2 = Device::open_snapshot(dir.file("b.pages"), 0).unwrap();
+        assert_eq!(re2.read_page(p, |b| b[0]), 7);
+        assert_eq!(re2.read_page(PageId(p.0 + 1), |b| b[0]), 8);
+        assert_eq!(re2.pages_allocated(), 2);
+    }
+
+    #[test]
+    fn empty_device_snapshot_roundtrip() {
+        let dir = crate::snapshot::TempDir::new("lcrs-device-snap-zero");
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        dev.freeze_to_path(dir.file("zero.pages")).unwrap();
+        let re = Device::open_snapshot(dir.file("zero.pages"), 0).unwrap();
+        assert_eq!(re.pages_allocated(), 0);
+        assert_eq!(re.page_bytes(), 256);
+        assert!(re.is_frozen());
+    }
+
+    #[test]
+    fn file_backed_reads_are_lock_free_across_threads() {
+        let dir = crate::snapshot::TempDir::new("lcrs-device-snap-mt");
+        let dev = Device::new(DeviceConfig::new(128, 0));
+        let p = dev.alloc_pages(8);
+        for i in 0..8 {
+            dev.write_page(PageId(p.0 + i), |b| b[0] = i as u8);
+        }
+        dev.freeze_to_path(dir.file("mt.pages")).unwrap();
+        let re = Device::open_snapshot(dir.file("mt.pages"), 0).unwrap();
+        let totals: Vec<u64> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let h = re.handle();
+                    s.spawn(move || {
+                        for i in 0..8u64 {
+                            assert_eq!(h.read_page(PageId(i), |b| b[0]), i as u8);
+                        }
+                        h.stats().reads
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .collect()
+        });
+        assert_eq!(totals, vec![8, 8, 8, 8]);
     }
 }

@@ -1,6 +1,7 @@
 //! Fixed-size records and typed record files.
 
 use crate::device::{DeviceHandle, PageId};
+use crate::snapshot::{MetaReader, MetaWriter, SnapshotError};
 
 /// A fixed-size, byte-serializable record.
 ///
@@ -223,6 +224,41 @@ impl<T: Record> VecFile<T> {
     pub fn with_handle(&self, h: &DeviceHandle) -> VecFile<T> {
         assert!(h.same_store(&self.dev), "handle belongs to a different device");
         VecFile { dev: h.clone(), first: self.first, len: self.len, _marker: Default::default() }
+    }
+
+    /// Serialize the file's metadata — first page and length; the page
+    /// *data* is captured separately by [`crate::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        w.u64(self.first.0);
+        w.usize(self.len);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`], reading pages
+    /// through `dev`. Validates that the record type fits the device's
+    /// page size and that the page range lies inside the store, so a
+    /// cross-wired metadata/pages pair fails typed instead of panicking.
+    pub fn load(dev: &DeviceHandle, r: &mut MetaReader) -> Result<VecFile<T>, SnapshotError> {
+        let first = r.u64()?;
+        let len = r.usize()?;
+        if len == 0 {
+            return Ok(VecFile::empty(dev));
+        }
+        if T::SIZE == 0 || T::SIZE > dev.page_bytes() {
+            return Err(r.error(format!(
+                "record size {} does not fit the {}-byte pages of this device",
+                T::SIZE,
+                dev.page_bytes()
+            )));
+        }
+        let pages = len.div_ceil(dev.records_per_page(T::SIZE)) as u64;
+        if first.checked_add(pages).is_none_or(|end| end > dev.pages_allocated()) {
+            return Err(r.error(format!(
+                "page range {first}..{} exceeds the {} allocated pages",
+                first as u128 + pages as u128,
+                dev.pages_allocated()
+            )));
+        }
+        Ok(VecFile { dev: dev.clone(), first: PageId(first), len, _marker: Default::default() })
     }
 }
 

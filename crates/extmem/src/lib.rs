@@ -17,13 +17,19 @@
 //! * [`btree::BPlusTree`] — an external B+-tree (the paper's 1-D baseline and
 //!   a building block for boundary search in Section 3).
 //! * [`sort`] — external merge sort.
+//! * [`snapshot`] — persistent snapshots of frozen devices: a versioned,
+//!   checksummed on-disk format ([`Device::freeze_to_path`] /
+//!   [`Device::open_snapshot`]) plus the [`MetaWriter`]/[`MetaReader`]
+//!   codec every structure's `save`/`load` pair uses.
 
 pub mod btree;
 pub mod device;
 pub mod file;
+pub mod snapshot;
 pub mod sort;
 pub mod stats;
 
-pub use device::{Device, DeviceConfig, DeviceHandle, PageId};
+pub use device::{Device, DeviceConfig, DeviceHandle, PageBackend, PageId};
 pub use file::{FileBuilder, Record, VecFile};
+pub use snapshot::{MetaReader, MetaWriter, SnapshotError, TempDir};
 pub use stats::{IoDelta, IoStats};

@@ -14,7 +14,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use lcrs_extmem::DeviceHandle;
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, SnapshotError};
 
 use crate::hs2d::{HalfspaceRS2, Hs2dConfig, QueryStats};
 
@@ -111,6 +111,91 @@ impl DynamicHalfspace2 {
     /// frozen; mutation stays with the original (the single writer).
     pub fn fork_reader(&self) -> DynamicHalfspace2 {
         self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the structure's catalog state: every static part (its
+    /// Theorem 3.5 structure *and* its build input, which rebuilds need),
+    /// the insert buffer, and the tombstone set (sorted so equal states
+    /// serialize to equal bytes). Page data is captured by
+    /// [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        w.usize(self.cfg.cluster_factor);
+        w.usize(self.cfg.final_cutoff_factor);
+        w.usize(self.cfg.beta_override);
+        w.u64(self.cfg.seed);
+        w.seq(self.parts.len());
+        for p in &self.parts {
+            p.structure.save(w);
+            w.seq(p.points.len());
+            for &(x, y, tag) in p.points.iter() {
+                w.i64(x);
+                w.i64(y);
+                w.u64(tag);
+            }
+        }
+        w.seq(self.buffer.len());
+        for &(x, y, tag) in &self.buffer {
+            w.i64(x);
+            w.i64(y);
+            w.u64(tag);
+        }
+        w.usize(self.buffer_cap);
+        let mut dead: Vec<u64> = self.dead.iter().copied().collect();
+        dead.sort_unstable();
+        w.seq(dead.len());
+        for t in dead {
+            w.u64(t);
+        }
+        w.usize(self.live);
+        w.usize(self.total_slots);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`]. A structure loaded
+    /// from a read-only snapshot serves queries exactly like the original;
+    /// updates that would flush or rebuild panic at the device layer
+    /// (writes on a frozen store), so treat the result as a reader.
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<DynamicHalfspace2, SnapshotError> {
+        let cfg = Hs2dConfig {
+            cluster_factor: r.usize()?,
+            final_cutoff_factor: r.usize()?,
+            beta_override: r.usize()?,
+            seed: r.u64()?,
+        };
+        let n_parts = r.seq()?;
+        let mut parts = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            let structure = HalfspaceRS2::load(h, r)?;
+            let n_pts = r.seq()?;
+            let mut points = Vec::with_capacity(n_pts);
+            for _ in 0..n_pts {
+                points.push((r.i64()?, r.i64()?, r.u64()?));
+            }
+            if points.len() != structure.len() {
+                return Err(r.error("part input length must match its structure"));
+            }
+            parts.push(Part { structure, points: Arc::new(points) });
+        }
+        let n_buf = r.seq()?;
+        let mut buffer = Vec::with_capacity(n_buf);
+        for _ in 0..n_buf {
+            buffer.push((r.i64()?, r.i64()?, r.u64()?));
+        }
+        let buffer_cap = r.usize()?;
+        let n_dead = r.seq()?;
+        let mut dead = HashSet::with_capacity(n_dead);
+        for _ in 0..n_dead {
+            dead.insert(r.u64()?);
+        }
+        Ok(DynamicHalfspace2 {
+            dev: h.clone(),
+            cfg,
+            parts,
+            buffer,
+            buffer_cap,
+            dead: Arc::new(dead),
+            live: r.usize()?,
+            total_slots: r.usize()?,
+        })
     }
 
     /// Insert a point with a caller-chosen tag (must be unique among live

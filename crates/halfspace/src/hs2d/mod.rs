@@ -18,7 +18,7 @@ pub mod cluster;
 use std::collections::HashSet;
 
 use lcrs_extmem::btree::BPlusTree;
-use lcrs_extmem::{DeviceHandle, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, Record, SnapshotError, VecFile};
 use lcrs_geom::dual::point2_to_line;
 use lcrs_geom::line2::Line2;
 use lcrs_geom::rational::Rat;
@@ -117,6 +117,24 @@ impl ClusteringDisk {
             dir: self.dir.with_handle(h),
             lines: self.lines.with_handle(h),
         }
+    }
+
+    fn save(&self, w: &mut MetaWriter) {
+        w.usize(self.lambda);
+        w.usize(self.n_clusters);
+        self.boundaries.save(w);
+        self.dir.save(w);
+        self.lines.save(w);
+    }
+
+    fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<ClusteringDisk, SnapshotError> {
+        Ok(ClusteringDisk {
+            lambda: r.usize()?,
+            n_clusters: r.usize()?,
+            boundaries: BPlusTree::load(h, r)?,
+            dir: VecFile::load(h, r)?,
+            lines: VecFile::load(h, r)?,
+        })
     }
 }
 
@@ -375,6 +393,57 @@ impl HalfspaceRS2 {
     /// parallel worker calls this to get its own LRU and IO attribution.
     pub fn fork_reader(&self) -> HalfspaceRS2 {
         self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the structure's host-side metadata (clustering directory,
+    /// boundary-tree roots, duplicate tables); the page data is captured
+    /// separately by [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        w.seq(self.clusterings.len());
+        for c in &self.clusterings {
+            c.save(w);
+        }
+        w.usize(self.n_points);
+        w.usize(self.n_lines);
+        w.usize(self.beta);
+        w.opt(self.group_dir.is_some());
+        if let Some(f) = &self.group_dir {
+            f.save(w);
+        }
+        w.opt(self.group_pts.is_some());
+        if let Some(f) = &self.group_pts {
+            f.save(w);
+        }
+        w.u64(self.pages_at_build_end);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`], reading pages
+    /// through `h` (typically a device reopened with
+    /// [`lcrs_extmem::Device::open_snapshot`]).
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<HalfspaceRS2, SnapshotError> {
+        let n_clusterings = r.seq()?;
+        let mut clusterings = Vec::with_capacity(n_clusterings);
+        for _ in 0..n_clusterings {
+            clusterings.push(ClusteringDisk::load(h, r)?);
+        }
+        let n_points = r.usize()?;
+        let n_lines = r.usize()?;
+        let beta = r.usize()?;
+        let group_dir = if r.opt()? { Some(VecFile::load(h, r)?) } else { None };
+        let group_pts = if r.opt()? { Some(VecFile::load(h, r)?) } else { None };
+        if group_dir.is_some() != group_pts.is_some() {
+            return Err(r.error("duplicate tables must be both present or both absent"));
+        }
+        Ok(HalfspaceRS2 {
+            dev: h.clone(),
+            clusterings,
+            n_points,
+            n_lines,
+            beta,
+            group_dir,
+            group_pts,
+            pages_at_build_end: r.u64()?,
+        })
     }
 
     /// Distinct dual lines.

@@ -22,7 +22,7 @@
 //! failure probability O(δ³); a full file scan (always correct, n IOs)
 //! backstops the vanishing-probability cascade of failures.
 
-use lcrs_extmem::{DeviceHandle, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, Record, SnapshotError, VecFile};
 use lcrs_geom::dual::point3_to_plane;
 use lcrs_geom::hull3::{LowerHull, SnapFacet};
 use lcrs_geom::plane3::Plane3;
@@ -69,6 +69,15 @@ impl LevelDisk {
     fn with_handle(&self, h: &DeviceHandle) -> LevelDisk {
         LevelDisk { faces: self.faces.with_handle(h), conflicts: self.conflicts.with_handle(h) }
     }
+
+    fn save(&self, w: &mut MetaWriter) {
+        self.faces.save(w);
+        self.conflicts.save(w);
+    }
+
+    fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<LevelDisk, SnapshotError> {
+        Ok(LevelDisk { faces: VecFile::load(h, r)?, conflicts: VecFile::load(h, r)? })
+    }
 }
 
 impl LayerDisk {
@@ -79,6 +88,23 @@ impl LayerDisk {
             level: self.level.with_handle(h),
         }
     }
+
+    fn save(&self, w: &mut MetaWriter) {
+        w.usize(self.size);
+        w.opt(self.bridge.is_some());
+        if let Some(b) = &self.bridge {
+            b.save(w);
+        }
+        self.level.save(w);
+    }
+
+    fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<LayerDisk, SnapshotError> {
+        Ok(LayerDisk {
+            size: r.usize()?,
+            bridge: if r.opt()? { Some(LevelDisk::load(h, r)?) } else { None },
+            level: LevelDisk::load(h, r)?,
+        })
+    }
 }
 
 impl Copy3d {
@@ -88,6 +114,43 @@ impl Copy3d {
             chain_sizes: self.chain_sizes.clone(),
             layers: self.layers.iter().map(|l| l.with_handle(h)).collect(),
         }
+    }
+
+    fn save(&self, w: &mut MetaWriter) {
+        w.seq(self.chain.len());
+        for l in &self.chain {
+            l.save(w);
+        }
+        w.seq(self.chain_sizes.len());
+        for &s in &self.chain_sizes {
+            w.usize(s);
+        }
+        w.seq(self.layers.len());
+        for l in &self.layers {
+            l.save(w);
+        }
+    }
+
+    fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<Copy3d, SnapshotError> {
+        let n = r.seq()?;
+        let mut chain = Vec::with_capacity(n);
+        for _ in 0..n {
+            chain.push(LevelDisk::load(h, r)?);
+        }
+        let n = r.seq()?;
+        let mut chain_sizes = Vec::with_capacity(n);
+        for _ in 0..n {
+            chain_sizes.push(r.usize()?);
+        }
+        if chain_sizes.len() != chain.len() {
+            return Err(r.error("chain and chain_sizes must be parallel"));
+        }
+        let n = r.seq()?;
+        let mut layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            layers.push(LayerDisk::load(h, r)?);
+        }
+        Ok(Copy3d { chain, chain_sizes, layers })
     }
 }
 
@@ -369,6 +432,49 @@ impl HalfspaceRS3 {
     /// parallel worker calls this to get its own LRU and IO attribution.
     pub fn fork_reader(&self) -> HalfspaceRS3 {
         self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the structure's host-side metadata (plane file, chain and
+    /// layer directories of every copy, construction parameters); the page
+    /// data is captured by [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        self.planes.save(w);
+        w.seq(self.copies.len());
+        for c in &self.copies {
+            c.save(w);
+        }
+        w.usize(self.n);
+        w.usize(self.beta);
+        w.usize(self.cfg.copies);
+        w.u32(self.cfg.max_delta_exp);
+        w.u64(self.cfg.seed);
+        w.u64(self.pages_at_build_end);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`], reading pages
+    /// through `h`.
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<HalfspaceRS3, SnapshotError> {
+        let planes = VecFile::load(h, r)?;
+        let n_copies = r.seq()?;
+        let mut copies = Vec::with_capacity(n_copies);
+        for _ in 0..n_copies {
+            copies.push(Copy3d::load(h, r)?);
+        }
+        if copies.is_empty() {
+            return Err(r.error("structure must keep at least one copy"));
+        }
+        let n = r.usize()?;
+        let beta = r.usize()?;
+        let cfg = Hs3dConfig { copies: r.usize()?, max_delta_exp: r.u32()?, seed: r.u64()? };
+        Ok(HalfspaceRS3 {
+            dev: h.clone(),
+            planes,
+            copies,
+            n,
+            beta,
+            cfg,
+            pages_at_build_end: r.u64()?,
+        })
     }
 
     /// Argmin face of a level at (x, y) by scanning all faces (used for the

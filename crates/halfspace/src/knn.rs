@@ -6,7 +6,7 @@
 //! planes along the vertical line at `(x, y)` — answered by the Section 4
 //! structure in O(log_B n + k/B) expected IOs.
 
-use lcrs_extmem::DeviceHandle;
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, SnapshotError};
 use lcrs_geom::plane3::Plane3;
 
 use crate::hs3d::{HalfspaceRS3, Hs3dConfig, QueryStats3};
@@ -64,6 +64,19 @@ impl KnnStructure {
     /// parallel worker calls this to get its own LRU and IO attribution.
     pub fn fork_reader(&self) -> KnnStructure {
         self.with_handle(&self.device().fork())
+    }
+
+    /// Serialize the structure's metadata (the lifted 3D structure plus
+    /// the point count); pages are captured by
+    /// [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        self.hs.save(w);
+        w.usize(self.n);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`].
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<KnnStructure, SnapshotError> {
+        Ok(KnnStructure { hs: HalfspaceRS3::load(h, r)?, n: r.usize()? })
     }
 
     /// Indices of the k nearest neighbors of `(x, y)`, closest first (ties

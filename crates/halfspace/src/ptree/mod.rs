@@ -22,7 +22,7 @@
 
 pub mod hamsandwich;
 
-use lcrs_extmem::{DeviceHandle, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, Record, SnapshotError, VecFile};
 use lcrs_geom::point::{Aabb, BoxSide, HyperplaneD, PointD, Simplex, SimplexSide};
 
 /// On-disk node record.
@@ -333,6 +333,33 @@ impl<const D: usize> PartitionTree<D> {
     /// parallel worker calls this to get its own LRU and IO attribution.
     pub fn fork_reader(&self) -> PartitionTree<D> {
         self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the tree's metadata (node and point files, counts); the
+    /// page data is captured by [`lcrs_extmem::Device::freeze_to_path`].
+    /// The dimension is written as a guard so a `PartitionTree<3>` save
+    /// can never load as a `PartitionTree<2>`.
+    pub fn save(&self, w: &mut MetaWriter) {
+        w.usize(D);
+        self.nodes.save(w);
+        self.points.save(w);
+        w.usize(self.n);
+        w.u64(self.pages_at_build_end);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`].
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<PartitionTree<D>, SnapshotError> {
+        let d = r.usize()?;
+        if d != D {
+            return Err(r.error(format!("dimension mismatch: saved {d}, loading {D}")));
+        }
+        Ok(PartitionTree {
+            dev: h.clone(),
+            nodes: VecFile::load(h, r)?,
+            points: VecFile::load(h, r)?,
+            n: r.usize()?,
+            pages_at_build_end: r.u64()?,
+        })
     }
 
     pub fn num_nodes(&self) -> usize {

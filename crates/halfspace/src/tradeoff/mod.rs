@@ -11,7 +11,7 @@
 //!   IOs. Space O(n log_B n), queries O(n^ε + t) for the paper's partitions
 //!   (measured for our substituted partitioner, DESIGN.md §3.4/3.5).
 
-use lcrs_extmem::{DeviceHandle, Record, VecFile};
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, Record, SnapshotError, VecFile};
 use lcrs_geom::point::{Aabb, BoxSide, HyperplaneD, PointD};
 
 use crate::hs3d::{HalfspaceRS3, Hs3dConfig};
@@ -286,6 +286,39 @@ impl HybridTree3 {
     /// parallel worker calls this to get its own LRU and IO attribution.
     pub fn fork_reader(&self) -> HybridTree3 {
         self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the tree's metadata, recursing into every leaf's
+    /// Section 4 structure; page data is captured by
+    /// [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        self.nodes.save(w);
+        self.points.save(w);
+        w.seq(self.leaves.len());
+        for l in &self.leaves {
+            l.save(w);
+        }
+        w.usize(self.n);
+        w.u64(self.pages_at_build_end);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`].
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<HybridTree3, SnapshotError> {
+        let nodes = VecFile::load(h, r)?;
+        let points = VecFile::load(h, r)?;
+        let n_leaves = r.seq()?;
+        let mut leaves = Vec::with_capacity(n_leaves);
+        for _ in 0..n_leaves {
+            leaves.push(HalfspaceRS3::load(h, r)?);
+        }
+        Ok(HybridTree3 {
+            dev: h.clone(),
+            nodes,
+            points,
+            leaves,
+            n: r.usize()?,
+            pages_at_build_end: r.u64()?,
+        })
     }
 
     /// Report points strictly below `z = u·x + v·y + w` (`inclusive` adds
@@ -569,6 +602,52 @@ impl ShallowTree3 {
     /// parallel worker calls this to get its own LRU and IO attribution.
     pub fn fork_reader(&self) -> ShallowTree3 {
         self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the tree's metadata, recursing into every secondary
+    /// partition tree; page data is captured by
+    /// [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        self.nodes.save(w);
+        self.points.save(w);
+        w.seq(self.secondaries.len());
+        for s in &self.secondaries {
+            s.save(w);
+        }
+        w.seq(self.threshold.len());
+        for &t in &self.threshold {
+            w.usize(t);
+        }
+        w.usize(self.n);
+        w.u64(self.pages_at_build_end);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`].
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<ShallowTree3, SnapshotError> {
+        let nodes = VecFile::load(h, r)?;
+        let points = VecFile::load(h, r)?;
+        let n_secondaries = r.seq()?;
+        let mut secondaries = Vec::with_capacity(n_secondaries);
+        for _ in 0..n_secondaries {
+            secondaries.push(PartitionTree::<3>::load(h, r)?);
+        }
+        let n_thresholds = r.seq()?;
+        let mut threshold = Vec::with_capacity(n_thresholds);
+        for _ in 0..n_thresholds {
+            threshold.push(r.usize()?);
+        }
+        if threshold.len() != secondaries.len() {
+            return Err(r.error("secondaries and thresholds must be parallel"));
+        }
+        Ok(ShallowTree3 {
+            dev: h.clone(),
+            nodes,
+            points,
+            secondaries,
+            threshold,
+            n: r.usize()?,
+            pages_at_build_end: r.u64()?,
+        })
     }
 
     pub fn query_below(&self, u: i64, v: i64, w: i64, inclusive: bool) -> Vec<u32> {

@@ -334,6 +334,38 @@ pub fn knn_batch(
     }
 }
 
+/// A seeded batch of `len` *mixed* halfplane queries `(m, c, inclusive)`:
+/// slopes drawn from `[-slope..slope]`, selectivities spanning empty
+/// through roughly half the input on a pseudo-random schedule, strict and
+/// inclusive variants interleaved. This is the oracle workload of
+/// `tests/cross_structure.rs` — diverse enough that a silent answer
+/// corruption in any structure (in-memory or reopened from a snapshot)
+/// collides with the linear-scan reference. Deterministic in
+/// `(pts, len, slope, seed)`.
+pub fn halfplane_mixed(
+    pts: &[(i64, i64)],
+    len: usize,
+    slope: i64,
+    seed: u64,
+) -> Vec<(i64, i64, bool)> {
+    assert!(!pts.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c5);
+    (0..len)
+        .map(|i| {
+            // Selectivity schedule: sprinkle exact edge cases among
+            // random targets up to n/2.
+            let t = match i % 8 {
+                0 => 0,
+                1 => 1,
+                2 => pts.len().min(2),
+                _ => rng.gen_range(0..=pts.len() / 2),
+            };
+            let (m, c) = halfplane_with_selectivity(pts, t, slope, seed ^ ((i as u64) << 7));
+            (m, c, rng.gen_range(0u32..2) == 1)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +485,21 @@ mod tests {
         assert_eq!(sweep.len(), 40);
         assert!(sweep.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
         assert!(sweep.iter().all(|&(x, y, _)| pts.contains(&(x, y))));
+    }
+
+    #[test]
+    fn mixed_batch_is_deterministic_and_diverse() {
+        let pts = points2(Dist2::Uniform, 400, 100_000, 12);
+        let batch = halfplane_mixed(&pts, 64, 40, 21);
+        assert_eq!(batch.len(), 64);
+        assert_eq!(batch, halfplane_mixed(&pts, 64, 40, 21));
+        // Both strictness variants present, selectivities span the range:
+        // at least one empty query and one with a big answer.
+        assert!(batch.iter().any(|&(_, _, inc)| inc));
+        assert!(batch.iter().any(|&(_, _, inc)| !inc));
+        let counts: Vec<usize> = batch.iter().map(|&(m, c, _)| count_below2(&pts, m, c)).collect();
+        assert!(counts.contains(&0), "must include an empty-answer query");
+        assert!(counts.iter().any(|&t| t >= 100), "must include a heavy query");
     }
 
     #[test]

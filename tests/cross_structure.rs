@@ -2,15 +2,26 @@
 //! exactly the same point set for the same linear constraint, across
 //! distributions, on shared datasets — the strongest end-to-end oracle we
 //! have (any one structure being right makes all others checked).
+//!
+//! The `differential_oracle_*` tests extend this to the persistence layer
+//! (ISSUE 4): every `RangeIndex` structure, in-memory *and* reopened from
+//! a snapshot, is checked against a linear-scan reference on a seeded
+//! random workload of 500 mixed queries — so a future snapshot-format
+//! change can't silently corrupt answers.
 
 use lcrs::baselines::{ExternalKdTree, ExternalScan, StrRTree};
-use lcrs::extmem::{Device, DeviceConfig};
+use lcrs::engine::{load_index, Query, RangeIndex};
+use lcrs::extmem::{Device, DeviceConfig, MetaReader, MetaWriter, TempDir};
 use lcrs::geom::point::{HyperplaneD, PointD};
 use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
 use lcrs::halfspace::hs3d::{HalfspaceRS3, Hs3dConfig};
 use lcrs::halfspace::ptree::{PTreeConfig, PartitionTree, Partitioner};
 use lcrs::halfspace::tradeoff::{HybridConfig, HybridTree3, ShallowConfig, ShallowTree3};
-use lcrs::workloads::{halfplane_with_selectivity, points2, points3, Dist2, Dist3};
+use lcrs::halfspace::{DynamicHalfspace2, KnnStructure};
+use lcrs::workloads::{
+    halfplane_mixed, halfplane_with_selectivity, halfspace3_with_selectivity, points2, points3,
+    Dist2, Dist3,
+};
 
 fn sorted(mut v: Vec<u32>) -> Vec<u32> {
     v.sort_unstable();
@@ -89,6 +100,176 @@ fn all_3d_structures_agree() {
                 assert_eq!(sorted(pt.query_halfspace(&h, inclusive)), want, "{dist:?} ptree3");
             }
         }
+    }
+}
+
+/// Persist every structure built on `dev` through one device snapshot and
+/// per-structure metadata bytes, and reopen them all on a fresh
+/// file-backed device — the "another process" half of the oracle.
+fn reopen_all(
+    dir: &TempDir,
+    name: &str,
+    dev: &Device,
+    indexes: &[&dyn RangeIndex],
+) -> Vec<Box<dyn RangeIndex>> {
+    let path = dir.file(&format!("{name}.pages"));
+    dev.freeze_to_path(&path).unwrap();
+    let re_dev = Device::open_snapshot(&path, 0).unwrap();
+    indexes
+        .iter()
+        .map(|index| {
+            let mut w = MetaWriter::new();
+            index.save_meta(&mut w);
+            let mut r = MetaReader::from_bytes(w.into_bytes()).unwrap();
+            let loaded = load_index(index.name(), &re_dev, &mut r).unwrap();
+            r.finish().unwrap();
+            loaded
+        })
+        .collect()
+}
+
+/// One oracle step: every index that supports `q` — in-memory and
+/// reopened — must report exactly the reference id set.
+fn check_against_reference(
+    q: &Query,
+    want: &[u64],
+    in_memory: &[&dyn RangeIndex],
+    reopened: &[Box<dyn RangeIndex>],
+    ordered: bool,
+    ctx: &str,
+) {
+    for (index, re) in in_memory.iter().zip(reopened) {
+        assert_eq!(index.supports(q), re.supports(q), "{ctx}: support must survive reopen");
+        if !index.supports(q) {
+            continue;
+        }
+        for (variant, ids) in
+            [("in-memory", index.try_execute(q).unwrap()), ("reopened", re.try_execute(q).unwrap())]
+        {
+            let got = if ordered {
+                ids
+            } else {
+                let mut s = ids;
+                s.sort_unstable();
+                s
+            };
+            assert_eq!(
+                got,
+                want,
+                "{ctx}: {} ({variant}) disagrees with the linear-scan reference on {q:?}",
+                index.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_oracle_2d_500_mixed_queries() {
+    // 2D leg of the 500-query oracle: 300 mixed halfplane queries over
+    // every 2D RangeIndex structure, in-memory and reopened, against the
+    // LinearScan baseline (itself cross-checked against brute force).
+    let dir = TempDir::new("lcrs-oracle-2d");
+    let pts = points2(Dist2::Clustered, 1000, 1 << 20, 17);
+    let dev = Device::new(DeviceConfig::new(512, 0));
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    let kd = ExternalKdTree::build(&dev, &pts);
+    let rt = StrRTree::build(&dev, &pts);
+    let sc = ExternalScan::build(&dev, &pts);
+    let ptpts: Vec<PointD<2>> = pts.iter().map(|&(x, y)| PointD::new([x, y])).collect();
+    let pt = PartitionTree::<2>::build(&dev, &ptpts, PTreeConfig::default());
+    let mut dy = DynamicHalfspace2::new(&dev, Hs2dConfig::default());
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        dy.insert(x, y, i as u64); // tags = indices, comparable to the scan
+    }
+    let in_memory: Vec<&dyn RangeIndex> = vec![&hs, &kd, &rt, &sc, &pt, &dy];
+    let reopened = reopen_all(&dir, "oracle2d", &dev, &in_memory);
+
+    for (qi, (m, c, inclusive)) in halfplane_mixed(&pts, 300, 40, 18).into_iter().enumerate() {
+        let q = Query::Halfplane { m, c, inclusive };
+        // The linear-scan reference, cross-checked against brute force.
+        let mut want: Vec<u64> =
+            sc.query_below(m, c, inclusive).0.iter().map(|&i| i as u64).collect();
+        want.sort_unstable();
+        let brute: Vec<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| {
+                let rhs = m as i128 * x as i128 + c as i128;
+                if inclusive {
+                    y as i128 <= rhs
+                } else {
+                    (y as i128) < rhs
+                }
+            })
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(want, brute, "query {qi}: the scan itself must match brute force");
+        check_against_reference(&q, &want, &in_memory, &reopened, false, &format!("q{qi}"));
+    }
+}
+
+#[test]
+fn differential_oracle_3d_and_knn_200_mixed_queries() {
+    // 3D + k-NN legs of the 500-query oracle: 120 mixed halfspace queries
+    // and 80 k-NN queries, each structure in-memory and reopened, against
+    // a host-side linear scan (there is no external 3D scan baseline).
+    let dir = TempDir::new("lcrs-oracle-3d");
+    let pts3 = points3(Dist3::Uniform, 500, 1 << 16, 19);
+    let dev3 = Device::new(DeviceConfig::new(512, 0));
+    let hs = HalfspaceRS3::build(&dev3, &pts3, Hs3dConfig::default());
+    let hy = HybridTree3::build(&dev3, &pts3, HybridConfig::default());
+    let sh = ShallowTree3::build(&dev3, &pts3, ShallowConfig::default());
+    let in_memory3: Vec<&dyn RangeIndex> = vec![&hs, &hy, &sh];
+    let reopened3 = reopen_all(&dir, "oracle3d", &dev3, &in_memory3);
+
+    let mut s = 20u64;
+    let mut next = move || {
+        s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        s
+    };
+    for qi in 0..120usize {
+        let t = (next() as usize) % (pts3.len() / 2 + 1);
+        let (u, v, w) = halfspace3_with_selectivity(&pts3, t, 24, next());
+        let inclusive = qi % 2 == 1;
+        let q = Query::Halfspace { u, v, w, inclusive };
+        let want: Vec<u64> = pts3
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y, z))| {
+                let rhs = u as i128 * x as i128 + v as i128 * y as i128 + w as i128;
+                if inclusive {
+                    z as i128 <= rhs
+                } else {
+                    (z as i128) < rhs
+                }
+            })
+            .map(|(i, _)| i as u64)
+            .collect();
+        check_against_reference(&q, &want, &in_memory3, &reopened3, false, &format!("3d-q{qi}"));
+    }
+
+    let ptsk = points2(Dist2::Uniform, 400, 1000, 21);
+    let devk = Device::new(DeviceConfig::new(512, 0));
+    let knn = KnnStructure::build(&devk, &ptsk, Hs3dConfig::default());
+    let in_memory_k: Vec<&dyn RangeIndex> = vec![&knn];
+    let reopened_k = reopen_all(&dir, "oraclek", &devk, &in_memory_k);
+    for qi in 0..80usize {
+        let (x, y) = (next() as i64 % 1000, next() as i64 % 1000);
+        let k = 1 + (next() as usize) % 20;
+        let q = Query::Knn { x, y, k };
+        // Linear-scan reference: distances sorted, ties by id — exactly
+        // the structure's reporting order, so compare *ordered*.
+        let mut d: Vec<(i128, u64)> = ptsk
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                let (dx, dy) = ((x - a) as i128, (y - b) as i128);
+                (dx * dx + dy * dy, i as u64)
+            })
+            .collect();
+        d.sort_unstable();
+        let want: Vec<u64> = d.into_iter().take(k).map(|(_, i)| i).collect();
+        check_against_reference(&q, &want, &in_memory_k, &reopened_k, true, &format!("knn-q{qi}"));
     }
 }
 

@@ -3,8 +3,8 @@
 //! (distribution, n, range, seed).
 
 use lcrs::workloads::{
-    halfplane_with_selectivity, halfspace3_with_selectivity, knn_batch, points2, points3,
-    BatchShape, Dist2, Dist3,
+    halfplane_mixed, halfplane_with_selectivity, halfspace3_with_selectivity, knn_batch, points2,
+    points3, BatchShape, Dist2, Dist3,
 };
 
 const ALL_DIST2: [Dist2; 5] =
@@ -64,4 +64,8 @@ fn query_generators_are_deterministic_per_seed() {
             "{shape:?} k-NN batches must be deterministic"
         );
     }
+    // The cross-structure oracle depends on this batch being reproducible
+    // across processes (it pins snapshot answers against it).
+    assert_eq!(halfplane_mixed(&pts2, 96, 40, 13), halfplane_mixed(&pts2, 96, 40, 13));
+    assert_ne!(halfplane_mixed(&pts2, 96, 40, 13), halfplane_mixed(&pts2, 96, 40, 14));
 }
