@@ -4,33 +4,88 @@
 # is a strict superset of `cargo test -q` (root package included), so
 # tier-1 failure detection is covered without running the root suites
 # twice. The rest extends coverage to every bench/example target, the
-# engine smoke experiments, a formatting gate, and a zero-warning
-# clippy sweep.
-set -euxo pipefail
+# engine smoke experiments (each emitting a machine-readable
+# BENCH_<name>.json), a read-IO regression gate against the committed
+# BENCH_baseline.json, a formatting gate, a zero-warning rustdoc gate,
+# and a zero-warning clippy sweep.
+#
+# Usage:
+#   ./ci.sh                    run every gate
+#   ./ci.sh --update-baseline  run the gates, refreshing BENCH_baseline.json
+#                              from the current smoke results instead of
+#                              checking against it (commit the new file)
+set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release
-cargo test --workspace -q
-cargo build --release --benches --examples --workspace
-# Smoke-run the engine experiments end to end. exp_batched asserts
-# per-query attribution sums to batch totals and batched reads beat cold
-# on every cell; exp_parallel asserts per-worker deltas sum exactly and
-# parallel outcomes match the sequential executor on every cell;
-# exp_persist asserts reopened-from-snapshot answers and read-IO totals
-# are identical to the in-memory original on every cell (its snapshot
-# files live in a self-cleaning temp dir, like the snapshot test suites).
-cargo bench -q -p lcrs-bench --bench exp_batched -- --smoke
-cargo bench -q -p lcrs-bench --bench exp_parallel -- --smoke
-cargo bench -q -p lcrs-bench --bench exp_persist -- --smoke
-# Formatting gate (style pinned by rustfmt.toml). Skipped gracefully when
-# the container lacks rustfmt.
-if cargo fmt --version >/dev/null 2>&1; then
-    cargo fmt --check
+UPDATE_BASELINE=0
+for arg in "$@"; do
+    case "$arg" in
+        --update-baseline) UPDATE_BASELINE=1 ;;
+        *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
+    esac
+done
+
+# Every gate runs through `stage <label> <cmd...>`, which prints a begin
+# marker, the elapsed seconds, and collects a one-line-per-stage summary —
+# so the CI log shows exactly which gate is slow and nothing is skipped
+# silently.
+SUMMARY=()
+stage() {
+    local label=$1
+    shift
+    echo "[ci] ===== $label: $*"
+    local t0=$SECONDS
+    "$@"
+    local dt=$(( SECONDS - t0 ))
+    echo "[ci] ----- $label: OK (${dt}s)"
+    SUMMARY+=("$label: OK (${dt}s)")
+}
+skip() {
+    local label=$1 reason=$2
+    echo "[ci] ===== $label: SKIPPED ($reason)"
+    SUMMARY+=("$label: SKIPPED ($reason)")
+}
+
+stage build            cargo build --release
+stage test             cargo test --workspace -q
+stage build-targets    cargo build --release --benches --examples --workspace
+
+# Smoke-run the engine experiments end to end; each asserts its own
+# differential invariants (see the bench headers) and writes
+# BENCH_<name>.json for the regression gate below.
+stage bench-batched    cargo bench -q -p lcrs-bench --bench exp_batched -- --smoke
+stage bench-parallel   cargo bench -q -p lcrs-bench --bench exp_parallel -- --smoke
+stage bench-persist    cargo bench -q -p lcrs-bench --bench exp_persist -- --smoke
+stage bench-planner    cargo bench -q -p lcrs-bench --bench exp_planner -- --smoke
+
+# Read-IO regression gate: smoke read counts are deterministic (seeded
+# workloads, pinned cache geometry); wall-clock is deliberately not gated.
+if [ "$UPDATE_BASELINE" = 1 ]; then
+    stage bench-baseline cargo run -q -p lcrs-bench --bin bench_gate -- update
 else
-    echo "rustfmt not installed; skipping the formatting gate"
+    stage bench-gate     cargo run -q -p lcrs-bench --bin bench_gate -- check
 fi
-cargo clippy --workspace --all-targets -- -D warnings
+
+# Formatting gate (style pinned by rustfmt.toml); skipped visibly when the
+# container lacks rustfmt.
+if cargo fmt --version >/dev/null 2>&1; then
+    stage fmt cargo fmt --check
+else
+    skip fmt "rustfmt not installed"
+fi
+
+# Docs gate: every intra-doc link and doc attribute must resolve cleanly.
+stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+stage clippy           cargo clippy --workspace --all-targets -- -D warnings
 # Redundant with the workspace sweep, but pinned separately so the crates
 # the engine stack depends on never regress to warnings even if the
 # workspace list changes.
-cargo clippy -p lcrs-extmem -p lcrs-engine --all-targets -- -D warnings
+stage clippy-engine    cargo clippy -p lcrs-extmem -p lcrs-engine --all-targets -- -D warnings
+
+echo
+echo "[ci] stage summary:"
+for line in "${SUMMARY[@]}"; do
+    echo "[ci]   $line"
+done
+echo "[ci] all gates green"

@@ -14,7 +14,7 @@ pub mod scan;
 
 pub use kdtree::ExternalKdTree;
 pub use rtree::StrRTree;
-pub use scan::ExternalScan;
+pub use scan::{ExternalScan, ExternalScan3};
 
 /// Statistics shared by the baselines.
 #[derive(Debug, Clone, Copy, Default)]

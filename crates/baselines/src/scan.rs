@@ -1,4 +1,11 @@
-//! The trivial baseline: points in a flat file, every query scans it.
+//! The trivial baselines: points in a flat file, every query scans it.
+//!
+//! [`ExternalScan`] holds 2D points and answers halfplane reports *and*
+//! k-nearest-neighbor queries (a scan can compute anything — at Θ(n/B)
+//! IOs per query, which is exactly why it is the reference the indexed
+//! structures are measured against). [`ExternalScan3`] is its 3D sibling
+//! for halfspace reports, completing the scan baseline across every query
+//! class of the engine's query vocabulary (halfplane, halfspace, k-NN).
 
 use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, SnapshotError, VecFile};
 
@@ -32,6 +39,11 @@ impl ExternalScan {
 
     pub fn pages(&self) -> u64 {
         self.pages_at_build_end
+    }
+
+    /// Pages of the scanned point file itself (the per-query cold cost).
+    pub fn data_pages(&self) -> u64 {
+        self.points.pages() as u64
     }
 
     /// The device this structure lives on (for scoped IO measurement).
@@ -90,12 +102,164 @@ impl ExternalScan {
         };
         (out, stats)
     }
+
+    /// The `k` nearest neighbors of `(x, y)` by full scan: Euclidean
+    /// distances sorted, ties broken by id — the same reporting order as
+    /// `lcrs_halfspace::KnnStructure`, so the two are answer-identical.
+    ///
+    /// Exact for the full i64 coordinate range (the scan has no budget,
+    /// unlike the k-NN structure's lift): a coordinate delta spans up to
+    /// 65 bits, its square up to 128, and the squared distance up to 129 —
+    /// so the sum is kept as a (carry, u128) pair and compared as such.
+    pub fn k_nearest(&self, x: i64, y: i64, k: usize) -> Vec<u32> {
+        let mut d: Vec<((bool, u128), u32)> = Vec::with_capacity(self.len());
+        self.points.scan_while(|_, (a, b, id)| {
+            let dx = (x as i128 - a as i128).unsigned_abs();
+            let dy = (y as i128 - b as i128).unsigned_abs();
+            let (lo, carry) = (dx * dx).overflowing_add(dy * dy);
+            d.push(((carry, lo), id));
+            true
+        });
+        d.sort_unstable();
+        d.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+}
+
+/// Linear scan baseline over 3D points: optimal space, Θ(n) IOs per
+/// halfspace query — the 3D sibling of [`ExternalScan`].
+pub struct ExternalScan3 {
+    dev: DeviceHandle,
+    points: VecFile<(i64, i64, i64, u32)>,
+    pages_at_build_end: u64,
+}
+
+impl ExternalScan3 {
+    pub fn build(dev: &DeviceHandle, points: &[(i64, i64, i64)]) -> ExternalScan3 {
+        let recs: Vec<(i64, i64, i64, u32)> =
+            points.iter().enumerate().map(|(i, &(x, y, z))| (x, y, z, i as u32)).collect();
+        ExternalScan3 {
+            dev: dev.clone(),
+            points: VecFile::from_slice(dev, &recs),
+            pages_at_build_end: dev.pages_allocated(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn pages(&self) -> u64 {
+        self.pages_at_build_end
+    }
+
+    /// Pages of the scanned point file itself (the per-query cold cost).
+    pub fn data_pages(&self) -> u64 {
+        self.points.pages() as u64
+    }
+
+    /// The device this structure lives on (for scoped IO measurement).
+    pub fn device(&self) -> &DeviceHandle {
+        &self.dev
+    }
+
+    /// The same on-disk structure viewed through `h` (own cache + stats).
+    pub fn with_handle(&self, h: &DeviceHandle) -> ExternalScan3 {
+        ExternalScan3 {
+            dev: h.clone(),
+            points: self.points.with_handle(h),
+            pages_at_build_end: self.pages_at_build_end,
+        }
+    }
+
+    /// A reader clone on a fresh handle scope over the same pages — each
+    /// parallel worker calls this to get its own LRU and IO attribution.
+    pub fn fork_reader(&self) -> ExternalScan3 {
+        self.with_handle(&self.dev.fork())
+    }
+
+    /// Serialize the scan's metadata (the point file); page data is
+    /// captured by [`lcrs_extmem::Device::freeze_to_path`].
+    pub fn save(&self, w: &mut MetaWriter) {
+        self.points.save(w);
+        w.u64(self.pages_at_build_end);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`].
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<ExternalScan3, SnapshotError> {
+        Ok(ExternalScan3 {
+            dev: h.clone(),
+            points: VecFile::load(h, r)?,
+            pages_at_build_end: r.u64()?,
+        })
+    }
+
+    /// Report points strictly below `z = u·x + v·y + w` (`inclusive` adds
+    /// on-plane points).
+    pub fn query_below(
+        &self,
+        u: i64,
+        v: i64,
+        w: i64,
+        inclusive: bool,
+    ) -> (Vec<u32>, BaselineStats) {
+        let before = self.dev.stats();
+        let mut out = Vec::new();
+        self.points.scan_while(|_, (x, y, z, id)| {
+            // `u·x + v·y + w` can span 129 bits at the i64 extremes, so
+            // compare `z - w - v·y < u·x` instead: each side stays within
+            // ±(2^126 + 2^64) and the comparison is exact in i128.
+            let lhs = z as i128 - w as i128 - v as i128 * y as i128;
+            let rhs = u as i128 * x as i128;
+            let hit = if inclusive { lhs <= rhs } else { lhs < rhs };
+            if hit {
+                out.push(id);
+            }
+            true
+        });
+        let stats = BaselineStats {
+            ios: self.dev.stats().since(before).total(),
+            nodes_visited: self.points.pages(),
+            reported: out.len(),
+        };
+        (out, stats)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lcrs_extmem::{Device, DeviceConfig};
+
+    #[test]
+    fn k_nearest_survives_extreme_coordinates() {
+        // The scan places no budget on coordinates (unlike KnnStructure's
+        // lift), so the distance math must stay exact at the i64 corners:
+        // the delta below spans 65 bits (subtraction would overflow i64)
+        // and the squared distance spans 129 (its square overflows i128).
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let s = ExternalScan::build(&dev, &[(i64::MIN, i64::MIN), (0, 0), (i64::MAX, i64::MAX)]);
+        assert_eq!(s.k_nearest(i64::MAX, i64::MAX, 3), vec![2, 1, 0]);
+        assert_eq!(s.k_nearest(i64::MIN, i64::MIN, 3), vec![0, 1, 2]);
+        assert_eq!(s.k_nearest(0, 0, 3), vec![1, 2, 0]); // |MIN| > |MAX| by one
+    }
+
+    #[test]
+    fn scan3_survives_extreme_coefficients() {
+        // `u·x + v·y + w` reaches 2^127 here — past i128::MAX — so the
+        // halfspace test must be evaluated as a rearranged comparison.
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let s = ExternalScan3::build(&dev, &[(i64::MIN, i64::MIN, 0), (i64::MAX, i64::MAX, 0)]);
+        // Plane z = MIN·x + MIN·y: at point 0 the plane sits at +2^127
+        // (below it), at point 1 at about -2^127 (above it).
+        let (got, _) = s.query_below(i64::MIN, i64::MIN, 0, false);
+        assert_eq!(got, vec![0]);
+        let (got, _) = s.query_below(i64::MAX, i64::MAX, i64::MAX, false);
+        assert_eq!(got, vec![1]);
+    }
 
     #[test]
     fn scan_reports_exactly_and_costs_n() {

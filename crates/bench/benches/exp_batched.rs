@@ -13,7 +13,7 @@
 //! Run with `--smoke` for the CI-sized variant.
 
 use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
-use lcrs_bench::print_table;
+use lcrs_bench::{print_table, BenchReport};
 use lcrs_engine::{BatchExecutor, Query, RangeIndex};
 use lcrs_extmem::{Device, DeviceConfig};
 use lcrs_geom::point::PointD;
@@ -190,4 +190,16 @@ fn main() {
          batched reads strictly below cold.",
         rows.len()
     );
+    if smoke {
+        let mut report = BenchReport::new("exp_batched", smoke);
+        for r in &rows {
+            report
+                .cell(format!("{}/{}/{}", r.structure, r.dist, r.shape))
+                .metric("queries", r.queries as f64)
+                .metric("read_ios", r.batched_reads as f64)
+                .metric("cold_reads", r.cold_reads as f64)
+                .metric("cache_hits", r.batched_hits as f64);
+        }
+        report.write_default();
+    }
 }

@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use lcrs_baselines::{ExternalKdTree, ExternalScan};
-use lcrs_bench::print_table;
+use lcrs_bench::{print_table, BenchReport};
 use lcrs_engine::{BatchExecutor, ParallelExecutor, Query, RangeIndex};
 use lcrs_extmem::{Device, DeviceConfig, IoDelta};
 use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
@@ -241,5 +241,18 @@ fn main() {
             "note: only {cores} core(s) available — the >1.5x speedup gate needs >=4 \
              and was skipped; IO/merge invariants were still asserted on every cell."
         );
+    }
+    if smoke {
+        let mut report = BenchReport::new("exp_parallel", smoke);
+        for r in &rows {
+            let cell = report.cell(format!("{}/{}/{}", r.structure, r.dist, r.shape));
+            cell.metric("queries", r.queries as f64)
+                .metric("read_ios", r.seq_reads as f64)
+                .metric("seq_wall_s", r.seq_ms / 1e3);
+            for (w, ms) in WORKER_COUNTS.iter().zip(&r.wall_ms) {
+                cell.metric(&format!("w{w}_wall_s"), ms / 1e3);
+            }
+        }
+        report.write_default();
     }
 }

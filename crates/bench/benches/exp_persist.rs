@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use lcrs_baselines::{ExternalKdTree, ExternalScan};
-use lcrs_bench::print_table;
+use lcrs_bench::{print_table, BenchReport};
 use lcrs_engine::{load_index, BatchExecutor, Query, RangeIndex};
 use lcrs_extmem::{Device, DeviceConfig, IoStats, MetaReader, MetaWriter, PageBackend, TempDir};
 use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
@@ -233,4 +233,21 @@ fn main() {
         rows.len(),
         amortize
     );
+    if smoke {
+        let mut report = BenchReport::new("exp_persist", smoke);
+        for r in &rows {
+            report
+                .cell(format!("{}/{}", r.structure, r.dist))
+                .metric("queries", r.queries as f64)
+                .metric("read_ios", r.reads as f64)
+                .metric("snapshot_kib", r.snap_kib as f64)
+                .metric("pages", r.pages as f64)
+                .metric("build_s", r.build_ms / 1e3)
+                .metric("save_s", r.save_ms / 1e3)
+                .metric("open_s", r.open_ms / 1e3)
+                .metric("query_mem_s", r.q_mem_ms / 1e3)
+                .metric("query_file_s", r.q_file_ms / 1e3);
+        }
+        report.write_default();
+    }
 }

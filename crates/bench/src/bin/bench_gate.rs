@@ -1,0 +1,30 @@
+//! The CI read-IO regression gate over the smoke benches' JSON results.
+//!
+//! `bench_gate check` compares every gated bench's `BENCH_<name>.json`
+//! against the committed `BENCH_baseline.json` (>2% read-IO regression on
+//! any cell fails); `bench_gate update` regenerates the baseline from the
+//! current results. Run the smoke benches first — ci.sh sequences this.
+
+use lcrs_bench::report::{bench_dir, check_baseline, update_baseline};
+
+const TOLERANCE: f64 = 0.02;
+
+fn main() {
+    let mode = std::env::args().nth(1);
+    let dir = bench_dir();
+    let outcome = match mode.as_deref() {
+        Some("check") => check_baseline(&dir, TOLERANCE),
+        Some("update") => update_baseline(&dir),
+        _ => {
+            eprintln!("usage: bench_gate <check|update>");
+            std::process::exit(2);
+        }
+    };
+    match outcome {
+        Ok(report) => println!("{report}"),
+        Err(report) => {
+            eprintln!("{report}");
+            std::process::exit(1);
+        }
+    }
+}

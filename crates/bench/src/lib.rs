@@ -2,7 +2,16 @@
 //!
 //! Each `benches/exp_*.rs` target (plain `main`, `harness = false`)
 //! regenerates one table or figure of the paper; this crate holds the
-//! common table printing and curve-fitting utilities.
+//! common table printing and curve-fitting utilities, the shared
+//! [`mixed`] oracle-workload definition, and the machine-readable
+//! [`report`] layer (`BENCH_<name>.json` emission and the `bench_gate`
+//! read-IO regression gate that ci.sh runs).
+
+pub mod mixed;
+pub mod report;
+
+pub use mixed::{canon_answer, full_index_set, mixed_oracle, mixed_probes};
+pub use report::{BenchReport, Json};
 
 /// Render an aligned text table with a title.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

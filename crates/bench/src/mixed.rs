@@ -1,0 +1,151 @@
+//! The shared mixed-workload oracle: ONE definition of the planner's
+//! mixed halfplane/halfspace/k-NN batch construction, used by the
+//! planner test suite (`tests/engine_planner.rs`), the gated
+//! `exp_planner` experiment, and the `planned_queries` example. The
+//! consumers pass their own datasets and counts (so the concrete query
+//! coefficients differ with the points), but the class mix, coefficient
+//! ranges, seed schedule, and interleave order live here once and
+//! cannot drift apart (DESIGN.md §10).
+
+use lcrs_baselines::{ExternalKdTree, ExternalScan, ExternalScan3, StrRTree};
+use lcrs_engine::{IndexSet, Query};
+use lcrs_extmem::DeviceHandle;
+use lcrs_geom::point::PointD;
+use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs_halfspace::hs3d::{HalfspaceRS3, Hs3dConfig};
+use lcrs_halfspace::ptree::{PTreeConfig, PartitionTree};
+use lcrs_halfspace::tradeoff::{HybridConfig, HybridTree3, ShallowConfig, ShallowTree3};
+use lcrs_halfspace::{DynamicHalfspace2, KnnStructure};
+use lcrs_workloads::{halfplane_mixed, halfspace3_mixed, knn_mixed};
+
+/// Slope/offset range of the 2D halfplane leg (see
+/// [`lcrs_workloads::halfplane_mixed`]).
+const HP_SLOPE: i64 = 40;
+/// Coefficient range of the 3D halfspace leg.
+const HS_SLOPE: i64 = 24;
+/// Upper bound on `k` for the k-NN leg.
+const KNN_K_MAX: usize = 20;
+
+/// The canonical mixed workload over one 2D + one 3D dataset:
+/// `counts = (halfplane, halfspace, knn)` queries, legs seeded `seed`,
+/// `seed + 1`, `seed + 2`, interleaved 3:1:1 on a fixed five-slot
+/// schedule (legs that run dry fall back to the others, so the output
+/// always holds exactly `counts.0 + counts.1 + counts.2` queries).
+/// Deterministic in `(pts2, pts3, counts, seed)`.
+pub fn mixed_oracle(
+    pts2: &[(i64, i64)],
+    pts3: &[(i64, i64, i64)],
+    counts: (usize, usize, usize),
+    seed: u64,
+) -> Vec<Query> {
+    let (n_hp, n_hs, n_knn) = counts;
+    let hp = halfplane_mixed(pts2, n_hp, HP_SLOPE, seed)
+        .into_iter()
+        .map(|(m, c, inclusive)| Query::Halfplane { m, c, inclusive });
+    let hs = halfspace3_mixed(pts3, n_hs, HS_SLOPE, seed + 1)
+        .into_iter()
+        .map(|(u, v, w, inclusive)| Query::Halfspace { u, v, w, inclusive });
+    let kn = knn_mixed(pts2, n_knn, KNN_K_MAX, seed + 2).into_iter().map(|(x, y, k)| Query::Knn {
+        x,
+        y,
+        k,
+    });
+    let (mut hp, mut hs, mut kn) = (hp.fuse(), hs.fuse(), kn.fuse());
+    let mut out = Vec::with_capacity(n_hp + n_hs + n_knn);
+    for i in 0.. {
+        let q = match i % 5 {
+            3 => hs.next().or_else(|| hp.next()).or_else(|| kn.next()),
+            4 => kn.next().or_else(|| hp.next()).or_else(|| hs.next()),
+            _ => hp.next().or_else(|| hs.next()).or_else(|| kn.next()),
+        };
+        match q {
+            Some(q) => out.push(q),
+            None => break,
+        }
+    }
+    out
+}
+
+/// The measured probe sample paired with [`mixed_oracle`]: a small
+/// (16 + 8 + 8)-query batch for `IndexSet::calibrate`. Keep its `seed`
+/// disjoint from the workload's so calibration never sees the gated
+/// queries (probe *order* is immaterial — each probe runs cold).
+pub fn mixed_probes(pts2: &[(i64, i64)], pts3: &[(i64, i64, i64)], seed: u64) -> Vec<Query> {
+    mixed_oracle(pts2, pts3, (16, 8, 8), seed)
+}
+
+/// Every `RangeIndex` structure in the workspace over one 2D + one 3D
+/// dataset — the canonical eleven-slot fixture shared by the planner test
+/// suite and `exp_planner`. Slot order is load-bearing and must stay in
+/// one place: `IndexSet::plan` breaks predicted-cost ties toward earlier
+/// slots, so the scan-class structures sit last — a tie must never break
+/// toward a scan. The dynamic structure inserts with tag = input index,
+/// keeping its answers comparable to a brute-force reference.
+pub fn full_index_set(
+    h2: &DeviceHandle,
+    h3: &DeviceHandle,
+    pts2: &[(i64, i64)],
+    pts3: &[(i64, i64, i64)],
+) -> IndexSet {
+    let mut set = IndexSet::new();
+    set.add(Box::new(HalfspaceRS2::build(h2, pts2, Hs2dConfig::default())));
+    let pd: Vec<PointD<2>> = pts2.iter().map(|&(x, y)| PointD::new([x, y])).collect();
+    set.add(Box::new(PartitionTree::<2>::build(h2, &pd, PTreeConfig::default())));
+    set.add(Box::new(ExternalKdTree::build(h2, pts2)));
+    set.add(Box::new(StrRTree::build(h2, pts2)));
+    let mut dynamic = DynamicHalfspace2::new(h2, Hs2dConfig::default());
+    for (i, &(x, y)) in pts2.iter().enumerate() {
+        dynamic.insert(x, y, i as u64);
+    }
+    set.add(Box::new(dynamic));
+    set.add(Box::new(KnnStructure::build(h2, pts2, Hs3dConfig::default())));
+    set.add(Box::new(HalfspaceRS3::build(h3, pts3, Hs3dConfig::default())));
+    set.add(Box::new(HybridTree3::build(h3, pts3, HybridConfig::default())));
+    set.add(Box::new(ShallowTree3::build(h3, pts3, ShallowConfig::default())));
+    set.add(Box::new(ExternalScan::build(h2, pts2)));
+    set.add(Box::new(ExternalScan3::build(h3, pts3)));
+    set
+}
+
+/// Canonical answer form for cross-structure comparison: report queries
+/// sort their id sets (structures report in structure-specific order);
+/// k-NN answers are already canonically ordered (distance, ties by id)
+/// by every capable structure, so their order is preserved and compared.
+pub fn canon_answer(q: &Query, mut ids: Vec<u64>) -> Vec<u64> {
+    if !matches!(q, Query::Knn { .. }) {
+        ids.sort_unstable();
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrs_workloads::{points2, points3, Dist2, Dist3};
+
+    #[test]
+    fn oracle_is_deterministic_and_complete() {
+        let pts2 = points2(Dist2::Uniform, 200, 1000, 5);
+        let pts3 = points3(Dist3::Uniform, 100, 1 << 12, 6);
+        let a = mixed_oracle(&pts2, &pts3, (30, 12, 8), 71);
+        let b = mixed_oracle(&pts2, &pts3, (30, 12, 8), 71);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let n = |f: fn(&Query) -> bool| a.iter().filter(|q| f(q)).count();
+        assert_eq!(n(|q| matches!(q, Query::Halfplane { .. })), 30);
+        assert_eq!(n(|q| matches!(q, Query::Halfspace { .. })), 12);
+        assert_eq!(n(|q| matches!(q, Query::Knn { .. })), 8);
+        // The five-slot schedule interleaves from the start: the first five
+        // queries hold all three classes.
+        assert!(matches!(a[3], Query::Halfspace { .. }));
+        assert!(matches!(a[4], Query::Knn { .. }));
+    }
+
+    #[test]
+    fn canon_sorts_reports_but_preserves_knn_order() {
+        let report = Query::Halfplane { m: 1, c: 0, inclusive: false };
+        assert_eq!(canon_answer(&report, vec![3, 1, 2]), vec![1, 2, 3]);
+        let knn = Query::Knn { x: 0, y: 0, k: 3 };
+        assert_eq!(canon_answer(&knn, vec![3, 1, 2]), vec![3, 1, 2]);
+    }
+}

@@ -1,0 +1,146 @@
+//! The planner's cost model: paper bounds × measured constants.
+//!
+//! Each structure self-reports its asymptotic query bound as a
+//! [`CostHint`] ([`RangeIndex::cost_hint`]);
+//! this module turns those shapes into comparable per-query read estimates
+//! by fitting one multiplicative constant per structure from a measured
+//! probe pass ([`Calibration`]). The fitted constants serialize exactly
+//! (f64 bit patterns through [`MetaWriter`]), so a catalog reopened in
+//! another process makes *identical* plan decisions without re-probing —
+//! pinned by the planner test suite.
+
+use lcrs_extmem::{MetaReader, MetaWriter, SnapshotError};
+use lcrs_halfspace::cost::CostHint;
+
+use crate::query::{Query, RangeIndex};
+
+/// A fitted cost constant for one structure.
+///
+/// `constant` is the ratio of measured cold reads per probe query to the
+/// hint's [`CostHint::structural_reads`]; an uncalibrated structure uses
+/// `1.0` (the raw paper shape). `probes` records how many measurements the
+/// fit averaged — zero means "never calibrated".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Fitted multiplier on the structural shape (> 0).
+    pub constant: f64,
+    /// Probe queries the fit averaged over (0 = uncalibrated).
+    pub probes: u64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration { constant: 1.0, probes: 0 }
+    }
+}
+
+impl Calibration {
+    /// Fit from a probe pass: `measured_reads` total cold read IOs over
+    /// `probes` queries against a structure whose shape predicts
+    /// `structural` reads per query.
+    pub fn fit(measured_reads: u64, probes: u64, structural: f64) -> Calibration {
+        if probes == 0 {
+            return Calibration::default();
+        }
+        let mean = measured_reads as f64 / probes as f64;
+        // Structural shapes are >= 1 (see CostHint::structural_reads); a
+        // zero-read probe pass (everything metadata-resident) still gets a
+        // small positive constant so costs stay ordered by shape.
+        Calibration { constant: (mean / structural.max(1.0)).max(1e-6), probes }
+    }
+
+    /// Exact serialization (bit pattern, not decimal) — plan decisions
+    /// survive a save/load round trip bit-identically.
+    pub fn save(&self, w: &mut MetaWriter) {
+        w.u64(self.constant.to_bits());
+        w.u64(self.probes);
+    }
+
+    /// Inverse of [`Self::save`].
+    pub fn load(r: &mut MetaReader) -> Result<Calibration, SnapshotError> {
+        let bits = r.u64()?;
+        let constant = f64::from_bits(bits);
+        if !(constant.is_finite() && constant > 0.0) {
+            return Err(r.error(format!("calibration constant {constant} must be finite positive")));
+        }
+        Ok(Calibration { constant, probes: r.u64()? })
+    }
+}
+
+/// Predicted read cost of `q` on a structure with `hint` and `calib`.
+///
+/// The shape's structural term is scaled by the fitted constant. The
+/// output term `t/B` is omitted on purpose: every structure reports the
+/// same `t` ids for the same query at the same ~`t/B` page cost, so the
+/// term cancels inside an argmin/argmax over capable structures (DESIGN.md
+/// §10). The `q` parameter keeps the signature honest — cost is a
+/// per-query notion — even though today's shapes only depend on the class.
+pub fn predicted_reads(hint: &CostHint, calib: &Calibration, q: &Query) -> f64 {
+    let _ = q;
+    calib.constant * hint.structural_reads()
+}
+
+/// Run the measured probe pass for one structure: every supported query
+/// in `probes`, each against a cleared cache so the measurement is cold,
+/// deterministic, and independent of probe order. Returns the fitted
+/// calibration (default if no probe applies).
+pub fn calibrate_index(index: &dyn RangeIndex, probes: &[Query]) -> Calibration {
+    let mut reads = 0u64;
+    let mut count = 0u64;
+    for q in probes.iter().filter(|q| index.supports(q)) {
+        index.device().clear_cache();
+        let (result, io) = index.try_execute_measured(q);
+        debug_assert!(result.is_ok(), "supports() admitted the probe");
+        reads += io.reads;
+        count += 1;
+    }
+    Calibration::fit(reads, count, index.cost_hint().structural_reads())
+}
+
+#[cfg(test)]
+mod tests {
+    use lcrs_halfspace::cost::CostShape;
+
+    use super::*;
+
+    #[test]
+    fn fit_is_mean_over_structural() {
+        let c = Calibration::fit(300, 10, 3.0);
+        assert!((c.constant - 10.0).abs() < 1e-12);
+        assert_eq!(c.probes, 10);
+        assert_eq!(Calibration::fit(300, 0, 3.0), Calibration::default());
+        // Zero reads stays positive so shapes keep ordering costs.
+        assert!(Calibration::fit(0, 5, 3.0).constant > 0.0);
+    }
+
+    #[test]
+    fn calibration_roundtrips_bit_exactly() {
+        let c = Calibration { constant: 0.1 + 0.2, probes: 7 }; // a non-representable sum
+        let mut w = MetaWriter::new();
+        c.save(&mut w);
+        let mut r = MetaReader::from_bytes(w.into_bytes()).unwrap();
+        let back = Calibration::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.constant.to_bits(), c.constant.to_bits());
+        assert_eq!(back.probes, 7);
+    }
+
+    #[test]
+    fn corrupt_constants_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let mut w = MetaWriter::new();
+            Calibration { constant: bad, probes: 1 }.save(&mut w);
+            let mut r = MetaReader::from_bytes(w.into_bytes()).unwrap();
+            assert!(Calibration::load(&mut r).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn predicted_reads_scales_the_shape() {
+        let hint = CostHint::new(CostShape::Logarithmic, 1000);
+        let calib = Calibration { constant: 2.5, probes: 4 };
+        let q = Query::Halfplane { m: 0, c: 0, inclusive: false };
+        let got = predicted_reads(&hint, &calib, &q);
+        assert!((got - 2.5 * hint.structural_reads()).abs() < 1e-12);
+    }
+}

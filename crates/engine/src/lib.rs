@@ -23,7 +23,13 @@
 //!   a directory of frozen indexes ([`RangeIndex::save_meta`] +
 //!   [`lcrs_extmem::Device::freeze_to_path`]) and reload them read-only
 //!   in any later process, answers and read-IO counts bit-identical to
-//!   the in-memory originals.
+//!   the in-memory originals;
+//! * [`IndexSet`] — the cost-model query planner (DESIGN.md §10): a
+//!   facade over a heterogeneous collection of built structures that
+//!   routes each query of a mixed batch to the cheapest capable one,
+//!   using the paper's asymptotic bounds ([`RangeIndex::cost_hint`])
+//!   calibrated by a measured probe pass; calibration constants persist
+//!   through a catalog so a reopened set plans identically.
 //!
 //! Answers are never affected by batching, sharding, or persistence: the
 //! executors only change *when* pages happen to be resident, and a
@@ -33,10 +39,14 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod cost;
 pub mod parallel;
+pub mod planner;
 pub mod query;
 
 pub use batch::{BatchExecutor, BatchReport, ExecMode, QueryOutcome, QueryStatus};
 pub use catalog::{CatalogEntry, SnapshotCatalog};
+pub use cost::{calibrate_index, predicted_reads, Calibration};
 pub use parallel::{ParallelExecutor, ParallelReport, WorkerReport};
+pub use planner::{IndexSet, Plan, PlanReport, RoutedReport, CALIBRATION_FILE};
 pub use query::{load_index, Query, RangeIndex, Unsupported};

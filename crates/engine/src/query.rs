@@ -1,9 +1,10 @@
 //! The unified query interface: [`Query`] values and the [`RangeIndex`]
 //! trait implemented by every structure in the workspace.
 
-use lcrs_baselines::{ExternalKdTree, ExternalScan, StrRTree};
+use lcrs_baselines::{ExternalKdTree, ExternalScan, ExternalScan3, StrRTree};
 use lcrs_extmem::{DeviceHandle, IoDelta, MetaReader, MetaWriter, SnapshotError};
 use lcrs_geom::point::HyperplaneD;
+use lcrs_halfspace::cost::{CostHint, CostShape};
 use lcrs_halfspace::{
     DynamicHalfspace2, HalfspaceRS2, HalfspaceRS3, HybridTree3, KnnStructure, PartitionTree,
     ShallowTree3,
@@ -86,6 +87,11 @@ pub trait RangeIndex: Send + Sync {
     /// Can this index answer `q` at all?
     fn supports(&self, q: &Query) -> bool;
 
+    /// The structure's self-reported asymptotic query bound (DESIGN.md
+    /// §10) — the shape the [`crate::IndexSet`] planner's cost model is
+    /// seeded from before calibration fits the constant.
+    fn cost_hint(&self) -> CostHint;
+
     /// Answer `q`, returning reported ids, or [`Unsupported`] when
     /// `!self.supports(q)`.
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported>;
@@ -140,6 +146,7 @@ pub fn load_index(
         "tradeoff-shallow" => Box::new(ShallowTree3::load(h, r)?),
         "knn" => Box::new(KnnStructure::load(h, r)?),
         "scan" => Box::new(ExternalScan::load(h, r)?),
+        "scan3" => Box::new(ExternalScan3::load(h, r)?),
         "kdtree" => Box::new(ExternalKdTree::load(h, r)?),
         "rtree" => Box::new(StrRTree::load(h, r)?),
         other => {
@@ -172,6 +179,10 @@ impl RangeIndex for HalfspaceRS2 {
         matches!(q, Query::Halfplane { .. })
     }
 
+    fn cost_hint(&self) -> CostHint {
+        HalfspaceRS2::cost_hint(self)
+    }
+
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive))),
@@ -201,6 +212,10 @@ impl RangeIndex for DynamicHalfspace2 {
         matches!(q, Query::Halfplane { .. })
     }
 
+    fn cost_hint(&self) -> CostHint {
+        DynamicHalfspace2::cost_hint(self)
+    }
+
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfplane { m, c, inclusive } => Ok(self.query_below(m, c, inclusive)),
@@ -228,6 +243,10 @@ impl RangeIndex for PartitionTree<2> {
 
     fn supports(&self, q: &Query) -> bool {
         matches!(q, Query::Halfplane { .. })
+    }
+
+    fn cost_hint(&self) -> CostHint {
+        PartitionTree::cost_hint(self)
     }
 
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
@@ -263,6 +282,10 @@ impl RangeIndex for HalfspaceRS3 {
         matches!(q, Query::Halfspace { .. })
     }
 
+    fn cost_hint(&self) -> CostHint {
+        HalfspaceRS3::cost_hint(self)
+    }
+
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfspace { u, v, w, inclusive } => {
@@ -292,6 +315,10 @@ impl RangeIndex for HybridTree3 {
 
     fn supports(&self, q: &Query) -> bool {
         matches!(q, Query::Halfspace { .. })
+    }
+
+    fn cost_hint(&self) -> CostHint {
+        HybridTree3::cost_hint(self)
     }
 
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
@@ -325,6 +352,10 @@ impl RangeIndex for ShallowTree3 {
         matches!(q, Query::Halfspace { .. })
     }
 
+    fn cost_hint(&self) -> CostHint {
+        ShallowTree3::cost_hint(self)
+    }
+
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfspace { u, v, w, inclusive } => {
@@ -356,6 +387,10 @@ impl RangeIndex for KnnStructure {
         matches!(q, Query::Knn { .. })
     }
 
+    fn cost_hint(&self) -> CostHint {
+        KnnStructure::cost_hint(self)
+    }
+
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Knn { x, y, k } => Ok(widen(self.k_nearest(x, y, k))),
@@ -381,13 +416,21 @@ impl RangeIndex for ExternalScan {
         ExternalScan::device(self)
     }
 
+    /// A 2D scan can answer anything computable from its points: both
+    /// halfplane reports and k-NN (distances sorted, ties by id — the
+    /// same order as the k-NN structure), at Θ(n/B) IOs either way.
     fn supports(&self, q: &Query) -> bool {
-        matches!(q, Query::Halfplane { .. })
+        matches!(q, Query::Halfplane { .. } | Query::Knn { .. })
+    }
+
+    fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::Scan { data_pages: self.data_pages() }, self.len())
     }
 
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive).0)),
+            Query::Knn { x, y, k } => Ok(widen(self.k_nearest(x, y, k))),
             _ => unsupported(RangeIndex::name(self), q),
         }
     }
@@ -412,6 +455,11 @@ impl RangeIndex for ExternalKdTree {
 
     fn supports(&self, q: &Query) -> bool {
         matches!(q, Query::Halfplane { .. })
+    }
+
+    fn cost_hint(&self) -> CostHint {
+        // k-d-B tree: the classic O(sqrt(n/B) + t/B) 2D envelope.
+        CostHint::new(CostShape::RootD { d: 2 }, self.len())
     }
 
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
@@ -443,6 +491,12 @@ impl RangeIndex for StrRTree {
         matches!(q, Query::Halfplane { .. })
     }
 
+    fn cost_hint(&self) -> CostHint {
+        // STR R-tree: no worst-case guarantee; behaves like the sqrt
+        // envelope on non-adversarial inputs (the constant is fitted).
+        CostHint::new(CostShape::RootD { d: 2 }, self.len())
+    }
+
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive).0)),
@@ -456,5 +510,40 @@ impl RangeIndex for StrRTree {
 
     fn save_meta(&self, w: &mut MetaWriter) {
         StrRTree::save(self, w)
+    }
+}
+
+impl RangeIndex for ExternalScan3 {
+    fn name(&self) -> &'static str {
+        "scan3"
+    }
+
+    fn device(&self) -> &DeviceHandle {
+        ExternalScan3::device(self)
+    }
+
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Halfspace { .. })
+    }
+
+    fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::Scan { data_pages: self.data_pages() }, self.len())
+    }
+
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
+        match *q {
+            Query::Halfspace { u, v, w, inclusive } => {
+                Ok(widen(self.query_below(u, v, w, inclusive).0))
+            }
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(ExternalScan3::fork_reader(self))
+    }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        ExternalScan3::save(self, w)
     }
 }

@@ -45,7 +45,14 @@ fn every_2d_impl_answers_exactly() {
         let want = count_below2(&pts, m, c);
         for idx in &indexes {
             assert!(idx.supports(&q));
-            assert!(!idx.supports(&Query::Knn { x: 0, y: 0, k: 1 }));
+            // Every 2D index answers halfplanes; only the scan (which can
+            // compute anything from its flat file) also covers k-NN.
+            assert_eq!(
+                idx.supports(&Query::Knn { x: 0, y: 0, k: 1 }),
+                idx.name() == "scan",
+                "{}",
+                idx.name()
+            );
             let (ids, io) = idx.execute_measured(&q);
             assert_eq!(ids.len(), want, "{} at t={t}", idx.name());
             assert_eq!(io.writes, 0, "{}: queries must not write", idx.name());

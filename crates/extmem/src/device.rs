@@ -3,7 +3,7 @@
 //! Storage is split into a *build phase* and a *read phase* (DESIGN.md §8):
 //! a [`Device`] starts mutable — structures allocate and write pages through
 //! it, serialized by a store-level mutex — and [`Device::freeze`] ends that
-//! phase by moving the pages into an immutable [`PageSource`] that is read
+//! phase by moving the pages into an immutable `PageSource` that is read
 //! without any lock. Cache state and [`IoStats`] do not live in the store at
 //! all: they belong to [`DeviceHandle`] scopes, so concurrent readers each
 //! get their own LRU and exact, deterministic IO attribution.
@@ -103,7 +103,7 @@ impl PageSource {
     }
 }
 
-/// Which backend a device's pages currently live on (see [`PageSource`]).
+/// Which backend a device's pages currently live on (see `PageSource`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PageBackend {
     /// Still in the mutable build phase.

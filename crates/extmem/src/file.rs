@@ -58,6 +58,24 @@ impl<A: Record, B: Record, C: Record> Record for (A, B, C) {
     }
 }
 
+impl<A: Record, B: Record, C: Record, D: Record> Record for (A, B, C, D) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE + D::SIZE;
+    fn store(&self, buf: &mut [u8]) {
+        self.0.store(&mut buf[..A::SIZE]);
+        self.1.store(&mut buf[A::SIZE..A::SIZE + B::SIZE]);
+        self.2.store(&mut buf[A::SIZE + B::SIZE..A::SIZE + B::SIZE + C::SIZE]);
+        self.3.store(&mut buf[A::SIZE + B::SIZE + C::SIZE..]);
+    }
+    fn load(buf: &[u8]) -> Self {
+        (
+            A::load(&buf[..A::SIZE]),
+            B::load(&buf[A::SIZE..A::SIZE + B::SIZE]),
+            C::load(&buf[A::SIZE + B::SIZE..A::SIZE + B::SIZE + C::SIZE]),
+            D::load(&buf[A::SIZE + B::SIZE + C::SIZE..]),
+        )
+    }
+}
+
 impl<const N: usize> Record for [i64; N] {
     const SIZE: usize = 8 * N;
     fn store(&self, buf: &mut [u8]) {

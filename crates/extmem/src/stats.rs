@@ -21,7 +21,7 @@ impl IoStats {
     /// Counter difference `self - earlier`, for scoped measurement.
     ///
     /// Saturating: if a counter went *backwards* between the snapshots
-    /// (only possible when [`crate::Device::reset_stats`] ran in between),
+    /// (only possible when [`crate::DeviceHandle::reset_stats`] ran in between),
     /// that component clamps to 0 instead of panicking in debug builds or
     /// wrapping to ~2^64 in release builds.
     pub fn since(&self, earlier: IoStats) -> IoDelta {

@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, SnapshotError};
 
+use crate::cost::{CostHint, CostShape};
 use crate::hs2d::{HalfspaceRS2, Hs2dConfig, QueryStats};
 
 /// A dynamic halfspace-reporting structure over 2D points.
@@ -73,6 +74,14 @@ impl DynamicHalfspace2 {
     /// Number of static parts currently maintained (O(log n)).
     pub fn num_parts(&self) -> usize {
         self.parts.len()
+    }
+
+    /// The Section 7 logarithmic-method query bound — one Theorem 3.5
+    /// search per live part, O(log n · log_B n + t/B) total — as a planner
+    /// hint (DESIGN.md §10). Re-read after inserts/removes: the part count
+    /// changes as the logarithmic method merges.
+    pub fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::PartsLog { parts: self.num_parts() as u32 }, self.len())
     }
 
     /// The device this structure lives on (for scoped IO measurement).

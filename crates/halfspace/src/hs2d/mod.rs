@@ -25,6 +25,7 @@ use lcrs_geom::rational::Rat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cost::{CostHint, CostShape};
 use cluster::greedy_clustering;
 
 /// A cluster-file record: (line id, slope, intercept). The id is the
@@ -464,6 +465,12 @@ impl HalfspaceRS2 {
     /// Disk pages this structure occupies (its linear-space footprint).
     pub fn pages(&self) -> u64 {
         self.pages_at_build_end
+    }
+
+    /// The Theorem 3.5 query bound — O(log_B n + t/B) — as a planner hint
+    /// (DESIGN.md §10).
+    pub fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::Logarithmic, self.len())
     }
 
     /// Report all points strictly below the line `y = m·x + c`

@@ -22,6 +22,7 @@
 //! failure probability O(δ³); a full file scan (always correct, n IOs)
 //! backstops the vanishing-probability cascade of failures.
 
+use crate::cost::{CostHint, CostShape};
 use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, Record, SnapshotError, VecFile};
 use lcrs_geom::dual::point3_to_plane;
 use lcrs_geom::hull3::{LowerHull, SnapFacet};
@@ -408,6 +409,12 @@ impl HalfspaceRS3 {
     /// Disk pages occupied.
     pub fn pages(&self) -> u64 {
         self.pages_at_build_end
+    }
+
+    /// The Theorem 4.4 query bound — O(log_B n + t/B) expected — as a
+    /// planner hint (DESIGN.md §10).
+    pub fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::Logarithmic, self.len())
     }
 
     /// The device this structure lives on (for scoped IO measurement).

@@ -9,6 +9,7 @@
 use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, SnapshotError};
 use lcrs_geom::plane3::Plane3;
 
+use crate::cost::{CostHint, CostShape};
 use crate::hs3d::{HalfspaceRS3, Hs3dConfig, QueryStats3};
 
 /// Maximum |coordinate| of k-NN input points so the lift respects the 3D
@@ -48,6 +49,12 @@ impl KnnStructure {
     /// Disk pages occupied.
     pub fn pages(&self) -> u64 {
         self.hs.pages()
+    }
+
+    /// The Theorem 4.3 query bound — O(log_B n + k/B) expected, via the
+    /// lifted 3D structure — as a planner hint (DESIGN.md §10).
+    pub fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::Logarithmic, self.len())
     }
 
     /// The device this structure lives on (for scoped IO measurement).

@@ -20,7 +20,12 @@
 //! constraint (verified against brute force in the test suites); IO costs
 //! are measured, not estimated, through the device the structure was built
 //! on.
+//!
+//! Every structure additionally self-reports its paper query bound as a
+//! [`cost::CostHint`] (the `cost_hint()` methods), which is what the
+//! cost-model query planner of `lcrs-engine` routes on (DESIGN.md §10).
 
+pub mod cost;
 pub mod dynamic;
 pub mod hs2d;
 pub mod hs3d;
@@ -28,6 +33,7 @@ pub mod knn;
 pub mod ptree;
 pub mod tradeoff;
 
+pub use cost::{CostHint, CostShape};
 pub use dynamic::DynamicHalfspace2;
 pub use hs2d::HalfspaceRS2;
 pub use hs3d::HalfspaceRS3;

@@ -25,6 +25,8 @@ pub mod hamsandwich;
 use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, Record, SnapshotError, VecFile};
 use lcrs_geom::point::{Aabb, BoxSide, HyperplaneD, PointD, Simplex, SimplexSide};
 
+use crate::cost::{CostHint, CostShape};
+
 /// On-disk node record.
 #[derive(Debug, Clone, Copy)]
 struct NodeRec<const D: usize> {
@@ -311,6 +313,12 @@ impl<const D: usize> PartitionTree<D> {
     /// Disk pages occupied (linear in n).
     pub fn pages(&self) -> u64 {
         self.pages_at_build_end
+    }
+
+    /// The Theorem 5.2 query bound — O((n/B)^(1-1/d) + t/B) from linear
+    /// space — as a planner hint (DESIGN.md §10).
+    pub fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::RootD { d: D as u32 }, self.len())
     }
 
     /// The device this structure lives on (for scoped IO measurement).

@@ -14,6 +14,7 @@
 use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, Record, SnapshotError, VecFile};
 use lcrs_geom::point::{Aabb, BoxSide, HyperplaneD, PointD};
 
+use crate::cost::{CostHint, CostShape};
 use crate::hs3d::{HalfspaceRS3, Hs3dConfig};
 use crate::ptree::{PTreeConfig, PartitionTree, Partitioner};
 
@@ -263,6 +264,13 @@ impl HybridTree3 {
 
     pub fn pages(&self) -> u64 {
         self.pages_at_build_end
+    }
+
+    /// The Theorem 6.1 hybrid-tree query bound — a shallow partition-tree
+    /// descent into Section 4 leaf structures, O(n^(1/3) polylog n + t/B)
+    /// on the paper's trade-off curve — as a planner hint (DESIGN.md §10).
+    pub fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::Tradeoff { num: 1, den: 3 }, self.len())
     }
 
     /// The device this structure lives on (for scoped IO measurement).
@@ -578,6 +586,12 @@ impl ShallowTree3 {
 
     pub fn pages(&self) -> u64 {
         self.pages_at_build_end
+    }
+
+    /// The Theorem 6.3 shallow-tree query bound — O(n^(2/3+δ) + t/B) from
+    /// near-linear space — as a planner hint (DESIGN.md §10).
+    pub fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::Tradeoff { num: 2, den: 3 }, self.len())
     }
 
     /// The device this structure lives on (for scoped IO measurement).

@@ -366,6 +366,56 @@ pub fn halfplane_mixed(
         .collect()
 }
 
+/// A seeded batch of `len` *mixed* halfspace queries `(u, v, w, inclusive)`
+/// over 3D `pts` — the 3D leg of the oracle/planner workload, mirroring
+/// [`halfplane_mixed`]: slopes from `[-slope..slope]`, selectivities from
+/// exact edge cases up to roughly half the input, strictness interleaved.
+/// Deterministic in `(pts, len, slope, seed)`.
+pub fn halfspace3_mixed(
+    pts: &[(i64, i64, i64)],
+    len: usize,
+    slope: i64,
+    seed: u64,
+) -> Vec<(i64, i64, i64, bool)> {
+    assert!(!pts.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c6);
+    (0..len)
+        .map(|i| {
+            let t = match i % 8 {
+                0 => 0,
+                1 => 1,
+                2 => pts.len().min(2),
+                _ => rng.gen_range(0..=pts.len() / 2),
+            };
+            let (u, v, w) = halfspace3_with_selectivity(pts, t, slope, seed ^ ((i as u64) << 7));
+            (u, v, w, rng.gen_range(0u32..2) == 1)
+        })
+        .collect()
+}
+
+/// A seeded batch of `len` *mixed* k-NN queries `(x, y, k)` over 2D `pts` —
+/// the k-NN leg of the oracle/planner workload: centers jittered around
+/// data points (queries land where the data lives, plus some that do not),
+/// `k` spanning 1 up to `k_max`. Deterministic in `(pts, len, k_max, seed)`.
+pub fn knn_mixed(
+    pts: &[(i64, i64)],
+    len: usize,
+    k_max: usize,
+    seed: u64,
+) -> Vec<(i64, i64, usize)> {
+    assert!(!pts.is_empty() && k_max >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c7);
+    (0..len)
+        .map(|_| {
+            let (px, py) = pts[rng.gen_range(0..pts.len())];
+            let jitter = 1 + k_max as i64;
+            let x = px + rng.gen_range(-jitter..=jitter);
+            let y = py + rng.gen_range(-jitter..=jitter);
+            (x, y, 1 + rng.gen_range(0..k_max))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +550,35 @@ mod tests {
         let counts: Vec<usize> = batch.iter().map(|&(m, c, _)| count_below2(&pts, m, c)).collect();
         assert!(counts.contains(&0), "must include an empty-answer query");
         assert!(counts.iter().any(|&t| t >= 100), "must include a heavy query");
+    }
+
+    #[test]
+    fn mixed_3d_batch_is_deterministic_and_diverse() {
+        let pts = points3(Dist3::Uniform, 300, 50_000, 13);
+        let batch = halfspace3_mixed(&pts, 64, 30, 22);
+        assert_eq!(batch.len(), 64);
+        assert_eq!(batch, halfspace3_mixed(&pts, 64, 30, 22));
+        assert!(batch.iter().any(|&(_, _, _, inc)| inc));
+        assert!(batch.iter().any(|&(_, _, _, inc)| !inc));
+        let counts: Vec<usize> =
+            batch.iter().map(|&(u, v, w, _)| count_below3(&pts, u, v, w)).collect();
+        assert!(counts.contains(&0), "must include an empty-answer query");
+        assert!(counts.iter().any(|&t| t >= 75), "must include a heavy query");
+    }
+
+    #[test]
+    fn mixed_knn_batch_is_deterministic_and_diverse() {
+        let pts = points2(Dist2::Clustered, 300, 1000, 14);
+        let batch = knn_mixed(&pts, 64, 20, 23);
+        assert_eq!(batch.len(), 64);
+        assert_eq!(batch, knn_mixed(&pts, 64, 20, 23));
+        assert!(batch.iter().all(|&(_, _, k)| (1..=20).contains(&k)));
+        let ks: std::collections::HashSet<usize> = batch.iter().map(|&(_, _, k)| k).collect();
+        assert!(ks.len() >= 5, "k must vary, saw {ks:?}");
+        // Centers stay near the data (within the jitter of some point).
+        assert!(batch.iter().all(|&(x, y, _)| pts
+            .iter()
+            .any(|&(px, py)| (x - px).abs() <= 21 && (y - py).abs() <= 21)));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! random workload of 500 mixed queries — so a future snapshot-format
 //! change can't silently corrupt answers.
 
-use lcrs::baselines::{ExternalKdTree, ExternalScan, StrRTree};
+use lcrs::baselines::{ExternalKdTree, ExternalScan, ExternalScan3, StrRTree};
 use lcrs::engine::{load_index, Query, RangeIndex};
 use lcrs::extmem::{Device, DeviceConfig, MetaReader, MetaWriter, TempDir};
 use lcrs::geom::point::{HyperplaneD, PointD};
@@ -70,6 +70,7 @@ fn all_3d_structures_agree() {
         let hs = HalfspaceRS3::build(&dev, &pts, Hs3dConfig::default());
         let hy = HybridTree3::build(&dev, &pts, HybridConfig::default());
         let sh = ShallowTree3::build(&dev, &pts, ShallowConfig::default());
+        let s3 = ExternalScan3::build(&dev, &pts);
         let ptpts: Vec<PointD<3>> = pts.iter().map(|&(x, y, z)| PointD::new([x, y, z])).collect();
         let pt = PartitionTree::build(&dev, &ptpts, PTreeConfig::default());
         let brute = |u: i64, v: i64, w: i64, inc: bool| -> Vec<u32> {
@@ -96,6 +97,7 @@ fn all_3d_structures_agree() {
                 assert_eq!(sorted(hs.query_below(u, v, w, inclusive)), want, "{dist:?} hs3d");
                 assert_eq!(sorted(hy.query_below(u, v, w, inclusive)), want, "{dist:?} hybrid");
                 assert_eq!(sorted(sh.query_below(u, v, w, inclusive)), want, "{dist:?} shallow");
+                assert_eq!(sorted(s3.query_below(u, v, w, inclusive).0), want, "{dist:?} scan3");
                 let h = HyperplaneD::new([w, u, v]);
                 assert_eq!(sorted(pt.query_halfspace(&h, inclusive)), want, "{dist:?} ptree3");
             }
@@ -219,7 +221,8 @@ fn differential_oracle_3d_and_knn_200_mixed_queries() {
     let hs = HalfspaceRS3::build(&dev3, &pts3, Hs3dConfig::default());
     let hy = HybridTree3::build(&dev3, &pts3, HybridConfig::default());
     let sh = ShallowTree3::build(&dev3, &pts3, ShallowConfig::default());
-    let in_memory3: Vec<&dyn RangeIndex> = vec![&hs, &hy, &sh];
+    let s3 = ExternalScan3::build(&dev3, &pts3);
+    let in_memory3: Vec<&dyn RangeIndex> = vec![&hs, &hy, &sh, &s3];
     let reopened3 = reopen_all(&dir, "oracle3d", &dev3, &in_memory3);
 
     let mut s = 20u64;
@@ -251,7 +254,10 @@ fn differential_oracle_3d_and_knn_200_mixed_queries() {
     let ptsk = points2(Dist2::Uniform, 400, 1000, 21);
     let devk = Device::new(DeviceConfig::new(512, 0));
     let knn = KnnStructure::build(&devk, &ptsk, Hs3dConfig::default());
-    let in_memory_k: Vec<&dyn RangeIndex> = vec![&knn];
+    // The 2D scan answers k-NN too (same reporting order), so it rides
+    // along in the ordered leg of the oracle.
+    let sck = ExternalScan::build(&devk, &ptsk);
+    let in_memory_k: Vec<&dyn RangeIndex> = vec![&knn, &sck];
     let reopened_k = reopen_all(&dir, "oraclek", &devk, &in_memory_k);
     for qi in 0..80usize {
         let (x, y) = (next() as i64 % 1000, next() as i64 % 1000);
@@ -263,7 +269,7 @@ fn differential_oracle_3d_and_knn_200_mixed_queries() {
             .iter()
             .enumerate()
             .map(|(i, &(a, b))| {
-                let (dx, dy) = ((x - a) as i128, (y - b) as i128);
+                let (dx, dy) = (x as i128 - a as i128, y as i128 - b as i128);
                 (dx * dx + dy * dy, i as u64)
             })
             .collect();
