@@ -57,6 +57,7 @@ stage bench-batched    cargo bench -q -p lcrs-bench --bench exp_batched -- --smo
 stage bench-parallel   cargo bench -q -p lcrs-bench --bench exp_parallel -- --smoke
 stage bench-persist    cargo bench -q -p lcrs-bench --bench exp_persist -- --smoke
 stage bench-planner    cargo bench -q -p lcrs-bench --bench exp_planner -- --smoke
+stage bench-shard      cargo bench -q -p lcrs-bench --bench exp_shard -- --smoke
 
 # Read-IO regression gate: smoke read counts are deterministic (seeded
 # workloads, pinned cache geometry); wall-clock is deliberately not gated.
@@ -79,9 +80,10 @@ stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 stage clippy           cargo clippy --workspace --all-targets -- -D warnings
 # Redundant with the workspace sweep, but pinned separately so the crates
-# the engine stack depends on never regress to warnings even if the
-# workspace list changes.
-stage clippy-engine    cargo clippy -p lcrs-extmem -p lcrs-engine --all-targets -- -D warnings
+# the engine stack depends on (including the partitioner behind the
+# sharded set) never regress to warnings even if the workspace list
+# changes.
+stage clippy-engine    cargo clippy -p lcrs-extmem -p lcrs-halfspace -p lcrs-engine --all-targets -- -D warnings
 
 echo
 echo "[ci] stage summary:"

@@ -10,7 +10,7 @@
 pub mod mixed;
 pub mod report;
 
-pub use mixed::{canon_answer, full_index_set, mixed_oracle, mixed_probes};
+pub use mixed::{brute_answer, canon_answer, full_index_set, mixed_oracle, mixed_probes};
 pub use report::{BenchReport, Json};
 
 /// Render an aligned text table with a title.

@@ -118,6 +118,62 @@ pub fn canon_answer(q: &Query, mut ids: Vec<u64>) -> Vec<u64> {
     ids
 }
 
+/// Host-side brute force in canonical form (sorted ids for reports,
+/// `(distance, id)` order for k-NN), with `i128` widening so no
+/// coefficient range overflows — ONE reference implementation shared by
+/// the planner and sharding differential suites. Ids are input indices
+/// (2D for halfplane/k-NN, 3D for halfspace).
+pub fn brute_answer(q: &Query, pts2: &[(i64, i64)], pts3: &[(i64, i64, i64)]) -> Vec<u64> {
+    match *q {
+        Query::Halfplane { m, c, inclusive } => {
+            let mut ids: Vec<u64> = pts2
+                .iter()
+                .enumerate()
+                .filter(|(_, &(x, y))| {
+                    let rhs = m as i128 * x as i128 + c as i128;
+                    if inclusive {
+                        y as i128 <= rhs
+                    } else {
+                        (y as i128) < rhs
+                    }
+                })
+                .map(|(i, _)| i as u64)
+                .collect();
+            ids.sort_unstable();
+            ids
+        }
+        Query::Halfspace { u, v, w, inclusive } => {
+            let mut ids: Vec<u64> = pts3
+                .iter()
+                .enumerate()
+                .filter(|(_, &(x, y, z))| {
+                    let rhs = u as i128 * x as i128 + v as i128 * y as i128 + w as i128;
+                    if inclusive {
+                        z as i128 <= rhs
+                    } else {
+                        (z as i128) < rhs
+                    }
+                })
+                .map(|(i, _)| i as u64)
+                .collect();
+            ids.sort_unstable();
+            ids
+        }
+        Query::Knn { x, y, k } => {
+            let mut d: Vec<(i128, u64)> = pts2
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| {
+                    let (dx, dy) = (x as i128 - a as i128, y as i128 - b as i128);
+                    (dx * dx + dy * dy, i as u64)
+                })
+                .collect();
+            d.sort_unstable();
+            d.into_iter().take(k).map(|(_, i)| i).collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,10 +38,13 @@ pub struct CatalogEntry {
 
 fn valid_label(label: &str) -> bool {
     // "catalog" is reserved: the entry's metadata file would collide with
-    // the manifest (catalog.meta) and silently overwrite it.
+    // the manifest (catalog.meta) and silently overwrite it. "shards" is
+    // reserved for the same reason: a sharded catalog's manifest lives at
+    // shards.meta ([`crate::shard::SHARD_MANIFEST`]) in the same directory.
     !label.is_empty()
         && label.len() <= 64
         && label != "catalog"
+        && label != "shards"
         && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
 }
 

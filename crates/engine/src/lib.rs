@@ -29,7 +29,15 @@
 //!   routes each query of a mixed batch to the cheapest capable one,
 //!   using the paper's asymptotic bounds ([`RangeIndex::cost_hint`])
 //!   calibrated by a measured probe pass; calibration constants persist
-//!   through a catalog so a reopened set plans identically.
+//!   through a catalog so a reopened set plans identically;
+//! * [`ShardedIndexSet`] — space-partitioned serving (DESIGN.md §11): the
+//!   dataset split into S geometry-aware shards by recursive ham-sandwich
+//!   cuts ([`lcrs_halfspace::partition`]), each shard a full calibrated
+//!   [`IndexSet`] on its own devices with its own sub-catalog; queries
+//!   route only to the shards whose region they can intersect
+//!   (conservative, no false negatives), scatter-gather across shard
+//!   threads, and merge to the canonical answer order with exact per-shard
+//!   IO attribution and a fan-out-aware cost model.
 //!
 //! Answers are never affected by batching, sharding, or persistence: the
 //! executors only change *when* pages happen to be resident, and a
@@ -43,6 +51,7 @@ pub mod cost;
 pub mod parallel;
 pub mod planner;
 pub mod query;
+pub mod shard;
 
 pub use batch::{BatchExecutor, BatchReport, ExecMode, QueryOutcome, QueryStatus};
 pub use catalog::{CatalogEntry, SnapshotCatalog};
@@ -50,3 +59,6 @@ pub use cost::{calibrate_index, predicted_reads, Calibration};
 pub use parallel::{ParallelExecutor, ParallelReport, WorkerReport};
 pub use planner::{IndexSet, Plan, PlanReport, RoutedReport, CALIBRATION_FILE};
 pub use query::{load_index, Query, RangeIndex, Unsupported};
+pub use shard::{
+    cheapest_tier, ShardConfig, ShardReport, ShardedIndexSet, ShardedReport, SHARD_MANIFEST,
+};

@@ -18,6 +18,11 @@
 //! reads then bypass the store lock entirely, which is where the speedup
 //! comes from. An unfrozen store still produces identical answers and
 //! counts — its reads just serialize on the build-phase mutex.
+//!
+//! This executor parallelizes *within* one device; the space-partitioned
+//! [`crate::ShardedIndexSet`] (DESIGN.md §11) parallelizes *across*
+//! shard devices, running each routed shard's sub-batch — itself
+//! executed through this machinery — on its own thread.
 
 use lcrs_extmem::IoDelta;
 

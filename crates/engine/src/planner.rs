@@ -30,6 +30,10 @@
 //! the same machinery, which is what lets the differential gates say
 //! "planned answers are bit-identical to the scan baseline, and planned
 //! read IOs strictly beat both always-scan and worst routing".
+//!
+//! One level up, [`crate::ShardedIndexSet`] holds one calibrated
+//! `IndexSet` per geometric shard and scatter-gathers mixed batches over
+//! them (DESIGN.md §11).
 
 use std::path::{Path, PathBuf};
 

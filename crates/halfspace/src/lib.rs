@@ -14,7 +14,11 @@
 //!   (Theorem 5.2), answering halfspace and simplex queries;
 //! * [`tradeoff`] — the space/query trade-offs of Section 6 (hybrid
 //!   partition tree with 3D structures at the leaves, Theorem 6.1, and the
-//!   shallow-style tree of Theorem 6.3).
+//!   shallow-style tree of Theorem 6.3);
+//! * [`partition`] — the space partitioner for sharded serving: recursive
+//!   ham-sandwich cuts into S near-even shards with explicit convex-cell
+//!   regions and conservative routing tests (the geometry behind the
+//!   `ShardedIndexSet` of `lcrs-engine`, DESIGN.md §11).
 //!
 //! All query methods report *exactly* the input points satisfying the
 //! constraint (verified against brute force in the test suites); IO costs
@@ -30,6 +34,7 @@ pub mod dynamic;
 pub mod hs2d;
 pub mod hs3d;
 pub mod knn;
+pub mod partition;
 pub mod ptree;
 pub mod tradeoff;
 
@@ -38,5 +43,6 @@ pub use dynamic::DynamicHalfspace2;
 pub use hs2d::HalfspaceRS2;
 pub use hs3d::HalfspaceRS3;
 pub use knn::KnnStructure;
+pub use partition::{partition2, partition3, Partition2, Partition3, ShardRegion2, ShardRegion3};
 pub use ptree::PartitionTree;
 pub use tradeoff::{HybridTree3, ShallowTree3};

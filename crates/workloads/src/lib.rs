@@ -393,6 +393,32 @@ pub fn halfspace3_mixed(
         .collect()
 }
 
+/// A seeded batch of `len` *narrow* halfplane queries `(m, c, inclusive)`:
+/// every query admits at most `max_t` points (selectivity drawn uniformly
+/// from `0..=max_t`), slopes drawn independently from `[-slope..slope]`.
+/// This is the shard-stressing workload of DESIGN.md §11 — narrow
+/// constraints with diverse orientations cross few cells of a balanced
+/// spatial partition, so geometric routing (`shards_intersecting`) should
+/// prune most shards; broad-selectivity batches are the adversarial
+/// opposite. Deterministic in `(pts, len, slope, max_t, seed)`.
+pub fn halfplane_narrow(
+    pts: &[(i64, i64)],
+    len: usize,
+    slope: i64,
+    max_t: usize,
+    seed: u64,
+) -> Vec<(i64, i64, bool)> {
+    assert!(!pts.is_empty() && max_t <= pts.len());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c8);
+    (0..len)
+        .map(|i| {
+            let t = rng.gen_range(0..=max_t);
+            let (m, c) = halfplane_with_selectivity(pts, t, slope, seed ^ ((i as u64) << 9));
+            (m, c, rng.gen_range(0u32..2) == 1)
+        })
+        .collect()
+}
+
 /// A seeded batch of `len` *mixed* k-NN queries `(x, y, k)` over 2D `pts` —
 /// the k-NN leg of the oracle/planner workload: centers jittered around
 /// data points (queries land where the data lives, plus some that do not),
@@ -579,6 +605,24 @@ mod tests {
         assert!(batch.iter().all(|&(x, y, _)| pts
             .iter()
             .any(|&(px, py)| (x - px).abs() <= 21 && (y - py).abs() <= 21)));
+    }
+
+    #[test]
+    fn narrow_batch_is_deterministic_and_bounded() {
+        let pts = points2(Dist2::Uniform, 400, 100_000, 15);
+        let batch = halfplane_narrow(&pts, 64, 40, 20, 31);
+        assert_eq!(batch.len(), 64);
+        assert_eq!(batch, halfplane_narrow(&pts, 64, 40, 20, 31));
+        // Every query is narrow: strictly-below count within the bound
+        // (inclusive variants can pick up boundary ties on top).
+        for &(m, c, _) in &batch {
+            assert!(count_below2(&pts, m, c) <= 20, "query admits too much");
+        }
+        // Slopes vary — the point of the workload is diverse orientations.
+        let slopes: std::collections::HashSet<i64> = batch.iter().map(|&(m, _, _)| m).collect();
+        assert!(slopes.len() >= 8, "slopes must vary, saw {}", slopes.len());
+        assert!(batch.iter().any(|&(_, _, inc)| inc));
+        assert!(batch.iter().any(|&(_, _, inc)| !inc));
     }
 
     #[test]

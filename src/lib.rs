@@ -5,7 +5,10 @@
 //! *Efficient Searching with Linear Constraints* (PODS 1998 / JCSS 2000).
 //!
 //! See `README.md` for a tour (crate map, tier-1 commands, experiment
-//! binaries) and `DESIGN.md` for the system inventory.
+//! binaries) and `DESIGN.md` for the system inventory — from the exact
+//! integer geometry up through the paper's structures, the batch /
+//! parallel / planned execution layers, snapshot catalogs, and the
+//! space-partitioned sharded serving tier.
 
 pub use lcrs_baselines as baselines;
 pub use lcrs_engine as engine;

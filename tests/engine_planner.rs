@@ -28,7 +28,7 @@ use lcrs::engine::{BatchExecutor, IndexSet, Plan, Query, QueryStatus, SnapshotCa
 use lcrs::extmem::{Device, DeviceConfig, TempDir};
 use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
 use lcrs::workloads::{points2, points3, Dist2, Dist3};
-use lcrs_bench::{canon_answer, full_index_set, mixed_oracle, mixed_probes};
+use lcrs_bench::{brute_answer, canon_answer, full_index_set, mixed_oracle, mixed_probes};
 use proptest::prelude::*;
 
 const PAGE: usize = 1024;
@@ -45,58 +45,6 @@ struct State {
     queries: Vec<Query>,
     /// Brute-force reference answer per query (sorted ids; k-NN ordered).
     reference: Vec<Vec<u64>>,
-}
-
-/// Host-side brute force: sorted ids for reports, ordered ids for k-NN.
-fn brute(q: &Query, pts2: &[(i64, i64)], pts3: &[(i64, i64, i64)]) -> Vec<u64> {
-    match *q {
-        Query::Halfplane { m, c, inclusive } => {
-            let mut ids: Vec<u64> = pts2
-                .iter()
-                .enumerate()
-                .filter(|(_, &(x, y))| {
-                    let rhs = m as i128 * x as i128 + c as i128;
-                    if inclusive {
-                        y as i128 <= rhs
-                    } else {
-                        (y as i128) < rhs
-                    }
-                })
-                .map(|(i, _)| i as u64)
-                .collect();
-            ids.sort_unstable();
-            ids
-        }
-        Query::Halfspace { u, v, w, inclusive } => {
-            let mut ids: Vec<u64> = pts3
-                .iter()
-                .enumerate()
-                .filter(|(_, &(x, y, z))| {
-                    let rhs = u as i128 * x as i128 + v as i128 * y as i128 + w as i128;
-                    if inclusive {
-                        z as i128 <= rhs
-                    } else {
-                        (z as i128) < rhs
-                    }
-                })
-                .map(|(i, _)| i as u64)
-                .collect();
-            ids.sort_unstable();
-            ids
-        }
-        Query::Knn { x, y, k } => {
-            let mut d: Vec<(i128, u64)> = pts2
-                .iter()
-                .enumerate()
-                .map(|(i, &(a, b))| {
-                    let (dx, dy) = (x as i128 - a as i128, y as i128 - b as i128);
-                    (dx * dx + dy * dy, i as u64)
-                })
-                .collect();
-            d.sort_unstable();
-            d.into_iter().take(k).map(|(_, i)| i).collect()
-        }
-    }
 }
 
 fn build_state() -> State {
@@ -118,7 +66,7 @@ fn build_state() -> State {
     // is smaller here).
     let queries = mixed_oracle(&pts2, &pts3, (300, 120, 80), 71);
     assert_eq!(queries.len(), 500);
-    let reference: Vec<Vec<u64>> = queries.iter().map(|q| brute(q, &pts2, &pts3)).collect();
+    let reference: Vec<Vec<u64>> = queries.iter().map(|q| brute_answer(q, &pts2, &pts3)).collect();
     State { devices: vec![dev2, dev3], set, queries, reference }
 }
 

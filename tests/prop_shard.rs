@@ -1,0 +1,168 @@
+//! Property suite for the space partitioner behind `ShardedIndexSet`
+//! (ISSUE 6): arbitrary point sets (duplicates, collinear runs, tiny
+//! inputs) through `partition2`/`partition3` at S ∈ {1, 2, 4, 8}.
+//!
+//! Pinned properties:
+//! * **near-even** — |max − min| shard size stays bounded (each
+//!   ham-sandwich / median split is off by at most one per level);
+//! * **disjoint cover** — the shard groups partition the input ids, and
+//!   every input point's coordinates land in *exactly* the cells of the
+//!   shards that hold a copy of that point (pure geometry: duplicates
+//!   stay together, no point is claimed by a foreign cell);
+//! * **no-false-negative routing** — for arbitrary halfplane/halfspace
+//!   constraints, every shard holding a satisfying point passes the
+//!   region's `may_intersect` test: routing never prunes an answer.
+
+use lcrs::halfspace::{partition2, partition3};
+use lcrs::workloads::{count_below2, count_below3};
+use proptest::prelude::*;
+
+/// Valid shard counts for `n` points: powers of two ≤ n.
+fn shard_counts(n: usize) -> Vec<usize> {
+    [1usize, 2, 4, 8].into_iter().filter(|&s| s <= n).collect()
+}
+
+fn satisfies2(p: (i64, i64), m: i64, c: i64, inclusive: bool) -> bool {
+    let rhs = m as i128 * p.0 as i128 + c as i128;
+    if inclusive {
+        p.1 as i128 <= rhs
+    } else {
+        (p.1 as i128) < rhs
+    }
+}
+
+fn satisfies3(p: (i64, i64, i64), u: i64, v: i64, w: i64, inclusive: bool) -> bool {
+    let rhs = u as i128 * p.0 as i128 + v as i128 * p.1 as i128 + w as i128;
+    if inclusive {
+        p.2 as i128 <= rhs
+    } else {
+        (p.2 as i128) < rhs
+    }
+}
+
+const C: std::ops::RangeInclusive<i64> = -20_000i64..=20_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partition2_is_near_even_disjoint_and_covering(
+        pts in prop::collection::vec((C, C), 1..300),
+    ) {
+        for s in shard_counts(pts.len()) {
+            let p = partition2(&pts, s);
+            prop_assert_eq!(p.groups.len(), s);
+            prop_assert_eq!(p.regions.len(), s);
+
+            // Disjoint cover of ids: every input index in exactly one group.
+            let mut seen = vec![false; pts.len()];
+            for g in &p.groups {
+                for &i in g {
+                    prop_assert!(!seen[i as usize], "id {} in two shards", i);
+                    seen[i as usize] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b), "some id unassigned");
+
+            // Near-even: each split is off by at most one per level.
+            let sizes: Vec<usize> = p.groups.iter().map(Vec::len).collect();
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            prop_assert!(max - min <= s.max(2), "S={} sizes {:?}", s, sizes);
+
+            // Geometric cover: a point's coordinates are contained in the
+            // cell of every shard holding a copy of it, and (S>1) in no
+            // other cell — cells are disjoint, duplicates stay together.
+            for (si, g) in p.groups.iter().enumerate() {
+                for &i in g {
+                    prop_assert!(
+                        p.regions[si].cell_contains(pts[i as usize]),
+                        "S={} shard {} does not contain its own point {:?}",
+                        s, si, pts[i as usize]
+                    );
+                    if s > 1 {
+                        prop_assert_eq!(p.cell_of(pts[i as usize]), Some(si));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition2_routing_has_no_false_negatives(
+        pts in prop::collection::vec((C, C), 1..300),
+        m in -60i64..=60,
+        c in -2_000_000i64..=2_000_000,
+        inclusive in any::<bool>(),
+    ) {
+        for s in shard_counts(pts.len()) {
+            let p = partition2(&pts, s);
+            for (si, g) in p.groups.iter().enumerate() {
+                let holds_answer = g.iter().any(|&i| satisfies2(pts[i as usize], m, c, inclusive));
+                if holds_answer {
+                    prop_assert!(
+                        p.regions[si].may_intersect_halfplane(m, c, inclusive),
+                        "S={} shard {} holds an answer but routing pruned it",
+                        s, si
+                    );
+                }
+            }
+            // Sanity: the union over non-pruned shards reproduces the count.
+            let routed: usize = p
+                .groups
+                .iter()
+                .zip(&p.regions)
+                .filter(|(_, r)| r.may_intersect_halfplane(m, c, inclusive))
+                .map(|(g, _)| {
+                    g.iter().filter(|&&i| satisfies2(pts[i as usize], m, c, inclusive)).count()
+                })
+                .sum();
+            let strict: usize = pts.iter().filter(|&&q| satisfies2(q, m, c, inclusive)).count();
+            prop_assert_eq!(routed, strict);
+            if !inclusive {
+                prop_assert_eq!(strict, count_below2(&pts, m, c));
+            }
+        }
+    }
+
+    #[test]
+    fn partition3_covers_and_routes_soundly(
+        pts in prop::collection::vec((C, C, C), 1..200),
+        u in -40i64..=40,
+        v in -40i64..=40,
+        w in -2_000_000i64..=2_000_000,
+        inclusive in any::<bool>(),
+    ) {
+        for s in shard_counts(pts.len()) {
+            let p = partition3(&pts, s);
+            let mut seen = vec![false; pts.len()];
+            for (si, g) in p.groups.iter().enumerate() {
+                for &i in g {
+                    prop_assert!(!seen[i as usize]);
+                    seen[i as usize] = true;
+                    prop_assert!(p.regions[si].cell_contains(pts[i as usize]));
+                    if s > 1 {
+                        prop_assert_eq!(p.cell_of(pts[i as usize]), Some(si));
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+            let sizes: Vec<usize> = p.groups.iter().map(Vec::len).collect();
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            prop_assert!(max - min <= s.max(2), "S={} sizes {:?}", s, sizes);
+
+            for (si, g) in p.groups.iter().enumerate() {
+                if g.iter().any(|&i| satisfies3(pts[i as usize], u, v, w, inclusive)) {
+                    prop_assert!(
+                        p.regions[si].may_intersect_halfspace(u, v, w, inclusive),
+                        "S={} shard {} holds an answer but routing pruned it",
+                        s, si
+                    );
+                }
+            }
+            if !inclusive {
+                let strict = pts.iter().filter(|&&q| satisfies3(q, u, v, w, inclusive)).count();
+                prop_assert_eq!(strict, count_below3(&pts, u, v, w));
+            }
+        }
+    }
+}

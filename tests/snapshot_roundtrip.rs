@@ -266,6 +266,9 @@ fn catalog_persists_and_reloads_a_batch_executors_worth() {
     // "catalog" is reserved: its metadata file would collide with the
     // manifest (catalog.meta) and silently overwrite it.
     assert!(matches!(cat.add("catalog", &kd), Err(SnapshotError::InvalidLabel { .. })));
+    // "shards" is reserved for the same reason: a sharded catalog keeps
+    // its shard manifest at shards.meta in the same directory (ISSUE 6).
+    assert!(matches!(cat.add("shards", &kd), Err(SnapshotError::InvalidLabel { .. })));
     assert!(matches!(cat.add("", &kd), Err(SnapshotError::InvalidLabel { .. })));
 
     // Reopen the whole directory in "another process".
