@@ -58,6 +58,7 @@ stage bench-parallel   cargo bench -q -p lcrs-bench --bench exp_parallel -- --sm
 stage bench-persist    cargo bench -q -p lcrs-bench --bench exp_persist -- --smoke
 stage bench-planner    cargo bench -q -p lcrs-bench --bench exp_planner -- --smoke
 stage bench-shard      cargo bench -q -p lcrs-bench --bench exp_shard -- --smoke
+stage bench-live       cargo bench -q -p lcrs-bench --bench exp_live -- --smoke
 
 # Read-IO regression gate: smoke read counts are deterministic (seeded
 # workloads, pinned cache geometry); wall-clock is deliberately not gated.

@@ -1,0 +1,249 @@
+//! EXP-LIVE — live-update serving (DESIGN.md §12): the LSM-style
+//! [`LiveIndex`] measured against the logarithmic-method cost shape from
+//! paper §7 (Remark (iii)).
+//!
+//! Three cell families, all on cache-less devices so every page touch is
+//! one IO and totals are bit-deterministic:
+//!
+//! * `ingest/N` — N one-by-one inserts. Asserted: total ingest IOs stay
+//!   within a constant factor of `levels × static-build(N)` where
+//!   `levels = ceil(log2(N/cap)) + 1` — the Bentley–Saxe amortized bound
+//!   (each record participates in at most `levels` level builds) — and
+//!   the part count stays ≤ `levels + 1` (the O(log n) query-overhead
+//!   shape).
+//! * `query/N` — a seeded fixed-selectivity batch against the ingested
+//!   index; answers pinned bit-identical to a host-side scan.
+//! * `trace/L` — an interleaved insert/delete/query `live_trace` with
+//!   background merges beginning and committing on a fixed schedule;
+//!   every 10th query differentially checked against a host model, and
+//!   the whole run's IO total reported (worker-thread build IOs land in
+//!   the same accounting scope, so the total is schedule-deterministic).
+//!
+//! Run with `--smoke` for the CI-sized variant; smoke cells are gated in
+//! `BENCH_baseline.json` on their `read_ios` metric.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use lcrs_bench::{print_table, BenchReport};
+use lcrs_engine::{LiveIndex, RangeIndex};
+use lcrs_extmem::{Device, DeviceConfig};
+use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs_workloads::{halfplane_with_selectivity, live_trace, points2, Dist2, TraceMix, TraceOp};
+
+const PAGE: usize = 1024;
+const DELTA_CAP: usize = 64;
+
+/// `ceil(log2(n/cap)) + 1`: how many level builds one record can be
+/// swept into under geometric doubling from a `cap`-sized delta.
+fn level_bound(n: usize, cap: usize) -> u64 {
+    ((n as f64 / cap as f64).log2().ceil() as u64).max(1) + 1
+}
+
+fn host_below(pts: &[(i64, i64)], m: i64, c: i64, inclusive: bool) -> Vec<u64> {
+    pts.iter()
+        .enumerate()
+        .filter(|&(_, &(x, y))| {
+            let rhs = m as i128 * x as i128 + c as i128;
+            if inclusive {
+                y as i128 <= rhs
+            } else {
+                (y as i128) < rhs
+            }
+        })
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[2048, 4096] } else { &[8192, 16384, 32768] };
+    let trace_len = if smoke { 1200 } else { 16000 };
+    let queries_per_n = 16usize;
+    let b = PAGE / 20;
+    println!(
+        "# EXP-LIVE: LSM-style live tier vs logarithmic-method bound, page={PAGE}B, \
+         cache=0, delta cap={DELTA_CAP}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let cfg = Hs2dConfig::default();
+    let mut report = BenchReport::new("exp_live", smoke);
+    let mut ingest_rows = Vec::new();
+    let mut query_rows = Vec::new();
+
+    for &n in sizes {
+        let pts = points2(Dist2::Uniform, n, 1 << 29, n as u64);
+
+        // Ingest one by one; flushes and level merges happen inline.
+        let mut live = LiveIndex::new(DeviceConfig::new(PAGE, 0), cfg, Some(DELTA_CAP));
+        let t0 = Instant::now();
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            live.insert(x, y, i as u64).unwrap();
+        }
+        let ingest_secs = t0.elapsed().as_secs_f64();
+        let st = live.device().stats();
+        let total_ios = st.reads + st.writes;
+        let merges = live.merge_epoch();
+        let parts = live.core().num_parts();
+
+        // Monolithic reference build: the per-record unit cost the
+        // amortized bound is phrased in.
+        let dev = Device::new(DeviceConfig::new(PAGE, 0));
+        let _fixed = HalfspaceRS2::build(&dev, &pts, cfg);
+        let build_ios = dev.stats().reads + dev.stats().writes;
+
+        let levels = level_bound(n, DELTA_CAP);
+        let bound = levels as f64 * build_ios as f64;
+        let ratio = total_ios as f64 / bound;
+        assert!(
+            ratio <= 3.0,
+            "n={n}: ingest cost {total_ios} IOs blows the logarithmic-method shape \
+             (levels={levels}, static build={build_ios} IOs, ratio={ratio:.2})"
+        );
+        assert!(
+            parts as u64 <= levels + 1,
+            "n={n}: {parts} parts exceeds the O(log n) level bound {levels}+1"
+        );
+
+        report
+            .cell(format!("ingest/{n}"))
+            .metric("read_ios", st.reads as f64)
+            .metric("write_ios", st.writes as f64)
+            .metric("ios_per_op", total_ios as f64 / n as f64)
+            .metric("bound_ratio", ratio)
+            .metric("merges", merges as f64)
+            .metric("parts", parts as f64);
+        ingest_rows.push(vec![
+            format!("{n}"),
+            format!("{:.1}", ingest_secs * 1e6 / n as f64),
+            format!("{:.2}", total_ios as f64 / n as f64),
+            format!("{merges}"),
+            format!("{parts}"),
+            format!("{levels}"),
+            format!("{build_ios}"),
+            format!("{:.2}", ratio),
+        ]);
+
+        // Fixed-selectivity query batch against the ingested index,
+        // differentially pinned to a host-side scan.
+        let mut q_reads = 0u64;
+        let t0 = Instant::now();
+        for q in 0..queries_per_n as u64 {
+            let (m, c) = halfplane_with_selectivity(&pts, b, 64, q);
+            live.device().reset_stats();
+            let mut got = live.query_below(m, c, false);
+            q_reads += live.device().stats().reads;
+            got.sort_unstable();
+            assert_eq!(got, host_below(&pts, m, c, false), "n={n} q={q}");
+        }
+        let q_secs = t0.elapsed().as_secs_f64();
+        report
+            .cell(format!("query/{n}"))
+            .metric("read_ios", q_reads as f64)
+            .metric("queries", queries_per_n as f64)
+            .metric("parts", parts as f64);
+        query_rows.push(vec![
+            format!("{n}"),
+            format!("{queries_per_n}"),
+            format!("{b}"),
+            format!("{:.1}", q_reads as f64 / queries_per_n as f64),
+            format!("{:.2}", q_secs * 1e3 / queries_per_n as f64),
+        ]);
+    }
+
+    print_table(
+        "one-by-one ingest vs the logarithmic-method bound (ratio = total IOs / \
+         (levels × static build IOs), asserted ≤ 3)",
+        &["N", "µs/insert", "IOs/insert", "merges", "parts", "levels", "build IOs", "ratio"],
+        &ingest_rows,
+    );
+    print_table(
+        "post-ingest queries (answers pinned to a host-side scan)",
+        &["N", "queries", "target |A|", "read IOs/query", "ms/query"],
+        &query_rows,
+    );
+
+    // Interleaved trace with background merges on a fixed schedule.
+    let trace = live_trace(TraceMix::default(), trace_len, 1 << 20, 8, 7);
+    let mut live = LiveIndex::new(DeviceConfig::new(PAGE, 0), cfg, Some(DELTA_CAP));
+    let mut model: BTreeMap<u64, (i64, i64)> = BTreeMap::new();
+    let mut queries = 0u64;
+    let mut checked = 0u64;
+    let t0 = Instant::now();
+    for (i, op) in trace.iter().enumerate() {
+        if i.is_multiple_of(61) {
+            live.begin_merge();
+        }
+        if i % 61 == 9 {
+            live.commit_merge().unwrap();
+        }
+        match *op {
+            TraceOp::Insert { x, y, tag } => {
+                live.insert(x, y, tag).unwrap();
+                model.insert(tag, (x, y));
+            }
+            TraceOp::Delete { tag } => {
+                assert!(live.remove(tag).unwrap(), "op {i}: delete missed tag {tag}");
+                model.remove(&tag);
+            }
+            TraceOp::Query { m, c, inclusive } => {
+                let got = live.query_below(m, c, inclusive);
+                if queries.is_multiple_of(10) {
+                    let mut got = got;
+                    got.sort_unstable();
+                    let want: Vec<u64> = {
+                        let mut w: Vec<u64> = model
+                            .iter()
+                            .filter(|(_, &(x, y))| {
+                                let rhs = m as i128 * x as i128 + c as i128;
+                                if inclusive {
+                                    y as i128 <= rhs
+                                } else {
+                                    (y as i128) < rhs
+                                }
+                            })
+                            .map(|(&t, _)| t)
+                            .collect();
+                        w.sort_unstable();
+                        w
+                    };
+                    assert_eq!(got, want, "op {i}: trace query diverged from the model");
+                    checked += 1;
+                }
+                queries += 1;
+            }
+        }
+    }
+    live.commit_merge().unwrap();
+    let trace_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(live.len(), model.len());
+    assert!(checked >= 10, "trace must differentially check plenty of queries");
+    let st = live.device().stats();
+    report
+        .cell(format!("trace/{trace_len}"))
+        .metric("read_ios", st.reads as f64)
+        .metric("write_ios", st.writes as f64)
+        .metric("merges", live.merge_epoch() as f64)
+        .metric("final_live", live.len() as f64)
+        .metric("parts", live.core().num_parts() as f64);
+    print_table(
+        "interleaved trace with background merges (every 10th query checked against \
+         a host model)",
+        &["ops", "queries", "checked", "merges", "final live", "parts", "read IOs", "ms total"],
+        &[vec![
+            format!("{trace_len}"),
+            format!("{queries}"),
+            format!("{checked}"),
+            format!("{}", live.merge_epoch()),
+            format!("{}", live.len()),
+            format!("{}", live.core().num_parts()),
+            format!("{}", st.reads),
+            format!("{:.1}", trace_secs * 1e3),
+        ]],
+    );
+
+    if smoke {
+        report.write_default();
+    }
+}

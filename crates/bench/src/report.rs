@@ -18,8 +18,8 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Benches whose smoke runs are gated against the baseline, in ci.sh order.
-pub const GATED_BENCHES: [&str; 5] =
-    ["exp_batched", "exp_parallel", "exp_persist", "exp_planner", "exp_shard"];
+pub const GATED_BENCHES: [&str; 6] =
+    ["exp_batched", "exp_parallel", "exp_persist", "exp_planner", "exp_shard", "exp_live"];
 
 /// The committed baseline file at the repo root.
 pub const BASELINE_FILE: &str = "BENCH_baseline.json";

@@ -5,10 +5,16 @@
 //!
 //! ```text
 //! catalog-dir/
-//!   catalog.meta      manifest: sequence of (label, kind) pairs
+//!   __catalog.meta    manifest: sequence of (label, kind) pairs
 //!   <label>.pages     page snapshot (Device::freeze_to_path format)
 //!   <label>.meta      structure metadata (RangeIndex::save_meta envelope)
 //! ```
+//!
+//! Every engine-internal file in a catalog directory (this manifest, the
+//! sharded manifest, planner calibration, live-level manifests) is named
+//! with the [`RESERVED_PREFIX`]; entry labels may not use it, so internal
+//! files and entry files can never collide no matter what internal files
+//! future engine versions add.
 //!
 //! [`SnapshotCatalog::add`] serializes one frozen index;
 //! [`SnapshotCatalog::load`] reopens an entry as a fresh file-backed
@@ -25,7 +31,13 @@ use lcrs_extmem::{Device, MetaReader, MetaWriter, SnapshotError};
 
 use crate::query::{load_index, RangeIndex};
 
-const MANIFEST: &str = "catalog.meta";
+/// Prefix reserved for engine-internal files living inside catalog
+/// directories. Catalog entry labels may not start with it
+/// ([`SnapshotError::ReservedLabel`]), which replaces the per-name
+/// blocklist that used to grow with every new internal file.
+pub const RESERVED_PREFIX: &str = "__";
+
+const MANIFEST: &str = "__catalog.meta";
 
 /// One persisted index in a [`SnapshotCatalog`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,16 +48,24 @@ pub struct CatalogEntry {
     pub kind: String,
 }
 
-fn valid_label(label: &str) -> bool {
-    // "catalog" is reserved: the entry's metadata file would collide with
-    // the manifest (catalog.meta) and silently overwrite it. "shards" is
-    // reserved for the same reason: a sharded catalog's manifest lives at
-    // shards.meta ([`crate::shard::SHARD_MANIFEST`]) in the same directory.
-    !label.is_empty()
+fn check_label(label: &str) -> Result<(), SnapshotError> {
+    let well_formed = !label.is_empty()
         && label.len() <= 64
-        && label != "catalog"
-        && label != "shards"
-        && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+    if !well_formed {
+        return Err(SnapshotError::InvalidLabel { label: label.to_string() });
+    }
+    // A label starting with the reserved prefix would collide with an
+    // engine-internal file sharing the directory (the `__catalog.meta`
+    // manifest, `__shards.meta`, `__planner.calib`, `__live.meta`, or any
+    // internal file added later) and silently overwrite it.
+    if label.starts_with(RESERVED_PREFIX) {
+        return Err(SnapshotError::ReservedLabel {
+            label: label.to_string(),
+            prefix: RESERVED_PREFIX,
+        });
+    }
+    Ok(())
 }
 
 /// A directory of persisted indexes — see the module docs for the layout.
@@ -86,11 +106,15 @@ impl SnapshotCatalog {
         &self.entries
     }
 
-    fn pages_path(&self, label: &str) -> PathBuf {
+    /// Path of an entry's page snapshot (`<label>.pages`). Public so
+    /// composite structures (the live index's leveled sub-entries) can
+    /// reopen an entry's device directly and re-scope it.
+    pub fn pages_path(&self, label: &str) -> PathBuf {
         self.dir.join(format!("{label}.pages"))
     }
 
-    fn meta_path(&self, label: &str) -> PathBuf {
+    /// Path of an entry's metadata envelope (`<label>.meta`).
+    pub fn meta_path(&self, label: &str) -> PathBuf {
         self.dir.join(format!("{label}.meta"))
     }
 
@@ -104,9 +128,7 @@ impl SnapshotCatalog {
     /// pages *each*: entries are self-contained, so any subset of the
     /// catalog can be loaded (or deleted) independently.
     pub fn add(&mut self, label: &str, index: &dyn RangeIndex) -> Result<(), SnapshotError> {
-        if !valid_label(label) {
-            return Err(SnapshotError::InvalidLabel { label: label.to_string() });
-        }
+        check_label(label)?;
         if self.entries.iter().any(|e| e.label == label) {
             return Err(SnapshotError::DuplicateEntry { label: label.to_string() });
         }
@@ -150,6 +172,24 @@ impl SnapshotCatalog {
     /// Reopen every entry, in `add` order.
     pub fn load_all(&self, cache_pages: usize) -> Result<Vec<Box<dyn RangeIndex>>, SnapshotError> {
         self.entries.iter().map(|e| self.load(&e.label, cache_pages)).collect()
+    }
+
+    /// Drop one entry: it leaves the manifest first (the commit point —
+    /// rewritten atomically), then its files are deleted best-effort. A
+    /// crash between the two leaves orphaned files no manifest references,
+    /// which a later `remove`/`add` cycle is free to overwrite — never a
+    /// manifest pointing at missing files.
+    pub fn remove(&mut self, label: &str) -> Result<(), SnapshotError> {
+        let i = self
+            .entries
+            .iter()
+            .position(|e| e.label == label)
+            .ok_or_else(|| SnapshotError::NoSuchEntry { label: label.to_string() })?;
+        self.entries.remove(i);
+        self.write_manifest()?;
+        let _ = std::fs::remove_file(self.pages_path(label));
+        let _ = std::fs::remove_file(self.meta_path(label));
+        Ok(())
     }
 
     fn write_manifest(&self) -> Result<(), SnapshotError> {

@@ -37,7 +37,15 @@
 //!   route only to the shards whose region they can intersect
 //!   (conservative, no false negatives), scatter-gather across shard
 //!   threads, and merge to the canonical answer order with exact per-shard
-//!   IO attribution and a fan-out-aware cost model.
+//!   IO attribution and a fan-out-aware cost model;
+//! * [`LiveIndex`] — live-update serving (DESIGN.md §12): an LSM-style
+//!   mutable tier over the leveled logarithmic-method core
+//!   ([`lcrs_halfspace::leveled`]), absorbing inserts and deletes while
+//!   answering queries, checkpointing every mutation through an atomic
+//!   `__live.meta` manifest swap over [`SnapshotCatalog`]-persisted frozen
+//!   levels (`lv<seq>` entries), merging levels on a background thread
+//!   while readers keep serving the pre-merge state — and itself a
+//!   [`RangeIndex`], so a reader fork plans like any frozen slot.
 //!
 //! Answers are never affected by batching, sharding, or persistence: the
 //! executors only change *when* pages happen to be resident, and a
@@ -48,14 +56,16 @@
 pub mod batch;
 pub mod catalog;
 pub mod cost;
+pub mod live;
 pub mod parallel;
 pub mod planner;
 pub mod query;
 pub mod shard;
 
 pub use batch::{BatchExecutor, BatchReport, ExecMode, QueryOutcome, QueryStatus};
-pub use catalog::{CatalogEntry, SnapshotCatalog};
+pub use catalog::{CatalogEntry, SnapshotCatalog, RESERVED_PREFIX};
 pub use cost::{calibrate_index, predicted_reads, Calibration};
+pub use live::{LiveIndex, LiveLevel, LIVE_MANIFEST};
 pub use parallel::{ParallelExecutor, ParallelReport, WorkerReport};
 pub use planner::{IndexSet, Plan, PlanReport, RoutedReport, CALIBRATION_FILE};
 pub use query::{load_index, Query, RangeIndex, Unsupported};

@@ -46,9 +46,10 @@ use crate::parallel::ParallelExecutor;
 use crate::query::{Query, RangeIndex};
 
 /// File name of the persisted calibration constants inside a catalog
-/// directory (next to `catalog.meta`; never collides with entry files,
-/// which end in `.pages`/`.meta`).
-pub const CALIBRATION_FILE: &str = "planner.calib";
+/// directory (next to the `__catalog.meta` manifest; uses the
+/// engine-internal [`crate::catalog::RESERVED_PREFIX`], so it can never
+/// collide with entry files).
+pub const CALIBRATION_FILE: &str = "__planner.calib";
 
 struct Entry {
     index: Box<dyn RangeIndex>,

@@ -140,6 +140,7 @@ pub fn load_index(
     Ok(match kind {
         "hs2d" => Box::new(HalfspaceRS2::load(h, r)?),
         "dynamic" => Box::new(DynamicHalfspace2::load(h, r)?),
+        "live-level" => Box::new(crate::live::LiveLevel::load(h, r)?),
         "ptree" => Box::new(PartitionTree::<2>::load(h, r)?),
         "hs3d" => Box::new(HalfspaceRS3::load(h, r)?),
         "tradeoff-hybrid" => Box::new(HybridTree3::load(h, r)?),

@@ -50,10 +50,10 @@ use crate::planner::{IndexSet, PlanReport};
 use crate::query::Query;
 
 /// File name of the shard manifest inside a sharded-catalog directory
-/// (next to the `shard<i>/` sub-catalogs). The label `"shards"` is
-/// reserved in [`SnapshotCatalog`] so a flat catalog sharing the
-/// directory can never overwrite this file.
-pub const SHARD_MANIFEST: &str = "shards.meta";
+/// (next to the `shard<i>/` sub-catalogs). Uses the engine-internal
+/// [`crate::catalog::RESERVED_PREFIX`], which entry labels may not start
+/// with, so a flat catalog sharing the directory can never overwrite it.
+pub const SHARD_MANIFEST: &str = "__shards.meta";
 
 /// Magic string guarding the shard manifest.
 const MANIFEST_MAGIC: &str = "lcrs-shards";
@@ -493,7 +493,7 @@ impl ShardedIndexSet {
 
     /// Persist the whole sharded set under `dir`: one
     /// [`SnapshotCatalog`] per shard in `dir/shard<i>/` (each with its
-    /// own calibration file) plus the shard manifest `shards.meta`
+    /// own calibration file) plus the shard manifest `__shards.meta`
     /// (regions, id maps, per-shard points). Devices must be frozen
     /// ([`Self::freeze`]).
     pub fn save_to_catalog(&self, dir: impl AsRef<Path>) -> Result<(), SnapshotError> {

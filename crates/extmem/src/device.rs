@@ -17,6 +17,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::snapshot::{write_snapshot, SnapshotError, SnapshotFile};
@@ -118,9 +119,19 @@ pub enum PageBackend {
 /// `freeze` moves them into `frozen`, after which every read is a plain
 /// indexed load guarded only by one atomic pointer check (`OnceLock::get`).
 struct Store {
+    /// Process-unique store identity. Scope state (cache, stats) may be
+    /// shared across stores ([`DeviceHandle::scoped_to`]), so cache entries
+    /// are keyed by `(store id, page id)` — the same `PageId` on two
+    /// different stores never aliases in the LRU.
+    id: u64,
     cfg: DeviceConfig,
     building: Mutex<Vec<Box<[u8]>>>,
     frozen: OnceLock<PageSource>,
+}
+
+fn next_store_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Store {
@@ -176,13 +187,15 @@ impl Store {
 struct HandleState {
     stats: IoStats,
     /// Clean LRU cache: pages are write-through, so eviction never writes.
-    /// `cache` maps a resident page to its last-use tick; `by_tick` is the
-    /// exact inverse (ticks are unique), kept ordered so the LRU victim is
-    /// always the first entry. Promotion and eviction are O(log cache) —
-    /// the batch engine runs with caches of thousands of pages, where a
-    /// per-access linear scan would distort wall-clock measurements.
-    cache: HashMap<PageId, u64>,
-    by_tick: BTreeMap<u64, PageId>,
+    /// `cache` maps a resident page (keyed by store id + page id, so a
+    /// scope spanning several stores never conflates their pages) to its
+    /// last-use tick; `by_tick` is the exact inverse (ticks are unique),
+    /// kept ordered so the LRU victim is always the first entry. Promotion
+    /// and eviction are O(log cache) — the batch engine runs with caches
+    /// of thousands of pages, where a per-access linear scan would distort
+    /// wall-clock measurements.
+    cache: HashMap<(u64, PageId), u64>,
+    by_tick: BTreeMap<u64, (u64, PageId)>,
     tick: u64,
 }
 
@@ -196,16 +209,16 @@ impl HandleState {
         }
     }
 
-    fn touch(&mut self, cache_pages: usize, id: PageId) {
+    fn touch(&mut self, cache_pages: usize, key: (u64, PageId)) {
         self.tick += 1;
         let tick = self.tick;
         if cache_pages == 0 {
             return;
         }
-        if let Some(t) = self.cache.get_mut(&id) {
+        if let Some(t) = self.cache.get_mut(&key) {
             self.by_tick.remove(t);
             *t = tick;
-            self.by_tick.insert(tick, id);
+            self.by_tick.insert(tick, key);
             return;
         }
         if self.cache.len() >= cache_pages {
@@ -216,22 +229,22 @@ impl HandleState {
                 self.cache.remove(&victim);
             }
         }
-        self.cache.insert(id, tick);
-        self.by_tick.insert(tick, id);
+        self.cache.insert(key, tick);
+        self.by_tick.insert(tick, key);
     }
 
-    fn account_read(&mut self, cache_pages: usize, id: PageId) {
-        if cache_pages > 0 && self.cache.contains_key(&id) {
+    fn account_read(&mut self, cache_pages: usize, key: (u64, PageId)) {
+        if cache_pages > 0 && self.cache.contains_key(&key) {
             self.stats.cache_hits += 1;
         } else {
             self.stats.reads += 1;
         }
-        self.touch(cache_pages, id);
+        self.touch(cache_pages, key);
     }
 
-    fn account_write(&mut self, cache_pages: usize, id: PageId) {
+    fn account_write(&mut self, cache_pages: usize, key: (u64, PageId)) {
         self.stats.writes += 1;
-        self.touch(cache_pages, id);
+        self.touch(cache_pages, key);
     }
 }
 
@@ -279,6 +292,22 @@ impl DeviceHandle {
             store: Arc::clone(&self.store),
             state: Arc::new(Mutex::new(HandleState::new())),
         }
+    }
+
+    /// A handle on *this* store that accounts into `scope`'s state: same
+    /// pages as `self`, but IO counters and LRU residency shared with
+    /// `scope` (cache entries are keyed by store, so pages of different
+    /// stores never alias). This is how a composite structure spread over
+    /// several devices — e.g. one frozen level per device — presents one
+    /// coherent accounting scope: every part reads through a view scoped
+    /// to a single anchor handle, and a stats bracket around that anchor
+    /// observes exactly the composite's IOs.
+    ///
+    /// The LRU capacity charged on each access is the *accessed* store's
+    /// `cache_pages`; keep it uniform across the stores sharing a scope
+    /// for a single well-defined budget.
+    pub fn scoped_to(&self, scope: &DeviceHandle) -> DeviceHandle {
+        DeviceHandle { store: Arc::clone(&self.store), state: Arc::clone(&scope.state) }
     }
 
     /// `true` once the store's build phase ended (see [`Device::freeze`]).
@@ -355,7 +384,10 @@ impl DeviceHandle {
     /// Read a page, paying one IO unless cached in this scope.
     pub fn read_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
         self.store.with_page(id, "read", |page| {
-            self.state.lock().unwrap().account_read(self.store.cfg.cache_pages, id);
+            self.state
+                .lock()
+                .unwrap()
+                .account_read(self.store.cfg.cache_pages, (self.store.id, id));
             f(page)
         })
     }
@@ -364,7 +396,10 @@ impl DeviceHandle {
     /// frozen store.
     pub fn write_page(&self, id: PageId, f: impl FnOnce(&mut [u8])) {
         self.store.with_page_mut(id, "write", |page| {
-            self.state.lock().unwrap().account_write(self.store.cfg.cache_pages, id);
+            self.state
+                .lock()
+                .unwrap()
+                .account_write(self.store.cfg.cache_pages, (self.store.id, id));
             f(page)
         })
     }
@@ -376,8 +411,8 @@ impl DeviceHandle {
             {
                 let mut state = self.state.lock().unwrap();
                 let cache_pages = self.store.cfg.cache_pages;
-                state.account_read(cache_pages, id);
-                state.account_write(cache_pages, id);
+                state.account_read(cache_pages, (self.store.id, id));
+                state.account_write(cache_pages, (self.store.id, id));
             }
             f(page)
         })
@@ -424,6 +459,7 @@ impl Device {
         Device {
             primary: DeviceHandle {
                 store: Arc::new(Store {
+                    id: next_store_id(),
                     cfg,
                     building: Mutex::new(Vec::new()),
                     frozen: OnceLock::new(),
@@ -488,7 +524,12 @@ impl Device {
             .unwrap_or_else(|_| unreachable!("freshly created OnceLock"));
         Ok(Device {
             primary: DeviceHandle {
-                store: Arc::new(Store { cfg, building: Mutex::new(Vec::new()), frozen }),
+                store: Arc::new(Store {
+                    id: next_store_id(),
+                    cfg,
+                    building: Mutex::new(Vec::new()),
+                    frozen,
+                }),
                 state: Arc::new(Mutex::new(HandleState::new())),
             },
         })
@@ -884,6 +925,70 @@ mod tests {
         assert_eq!(re.pages_allocated(), 0);
         assert_eq!(re.page_bytes(), 256);
         assert!(re.is_frozen());
+    }
+
+    #[test]
+    fn scoped_to_shares_stats_across_stores() {
+        // Two independent stores, one accounting scope: the anchor sees
+        // every IO either part pays, which is what lets a multi-device
+        // composite structure be measured through a single handle.
+        let a = Device::new(DeviceConfig::new(128, 0));
+        let b = Device::new(DeviceConfig::new(128, 0));
+        let pa = a.alloc_pages(1);
+        let pb = b.alloc_pages(2);
+        let vb = (*b).scoped_to(&a);
+        assert!(vb.same_store(&b) && !vb.same_store(&a));
+        a.read_page(pa, |_| ());
+        vb.read_page(pb, |_| ());
+        vb.read_page(PageId(pb.0 + 1), |_| ());
+        assert_eq!(a.stats().reads, 3, "view IOs must land on the anchor scope");
+        assert_eq!(b.stats().reads, 0, "the viewed store's own scope stays untouched");
+    }
+
+    #[test]
+    fn scoped_cache_never_aliases_equal_page_ids() {
+        // Page 0 of store A and page 0 of store B are different pages; a
+        // shared scope must cache them under distinct keys.
+        let a = Device::new(DeviceConfig::new(128, 4));
+        let b = Device::new(DeviceConfig::new(128, 4));
+        let pa = a.alloc_pages(1);
+        let pb = b.alloc_pages(1);
+        a.write_page(pa, |buf| buf[0] = 1);
+        b.write_page(pb, |buf| buf[0] = 2);
+        a.freeze();
+        b.freeze();
+        let vb = (*b).scoped_to(&a);
+        a.clear_cache();
+        a.reset_stats();
+        a.read_page(pa, |_| ());
+        vb.read_page(pb, |_| ());
+        let s = a.stats();
+        assert_eq!((s.reads, s.cache_hits), (2, 0), "same PageId on two stores must both miss");
+        a.read_page(pa, |_| ());
+        vb.read_page(pb, |_| ());
+        let s = a.stats();
+        assert_eq!((s.reads, s.cache_hits), (2, 2), "…and both stay resident");
+        assert_eq!(a.cached_pages(), 2);
+    }
+
+    #[test]
+    fn scoped_view_shares_lru_budget_and_fork_detaches() {
+        let a = Device::new(DeviceConfig::new(128, 1));
+        let b = Device::new(DeviceConfig::new(128, 1));
+        let pa = a.alloc_pages(1);
+        let pb = b.alloc_pages(1);
+        let vb = (*b).scoped_to(&a);
+        // One shared slot: alternating stores evicts every time.
+        a.read_page(pa, |_| ());
+        vb.read_page(pb, |_| ());
+        a.read_page(pa, |_| ());
+        assert_eq!(a.stats().reads, 3, "a shared 1-page budget thrashes across stores");
+        // A fork of the view opens a fresh scope over store B only.
+        let f = vb.fork();
+        assert!(f.same_store(&b));
+        f.read_page(pb, |_| ());
+        assert_eq!(f.stats().reads, 1);
+        assert_eq!(a.stats().reads, 3, "fork IOs must not leak into the shared scope");
     }
 
     #[test]

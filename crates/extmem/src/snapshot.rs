@@ -108,6 +108,9 @@ pub enum SnapshotError {
     Meta { offset: u64, detail: String },
     /// A catalog label is empty, too long, or not `[A-Za-z0-9_-]`.
     InvalidLabel { label: String },
+    /// A catalog label starts with the prefix reserved for engine-internal
+    /// files (manifests, calibration data) living in the same directory.
+    ReservedLabel { label: String, prefix: &'static str },
     /// A catalog already holds an entry with this label.
     DuplicateEntry { label: String },
     /// A catalog holds no entry with this label.
@@ -153,6 +156,11 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::InvalidLabel { label } => write!(
                 f,
                 "invalid catalog label {label:?} (1..=64 chars of [A-Za-z0-9_-] required)"
+            ),
+            SnapshotError::ReservedLabel { label, prefix } => write!(
+                f,
+                "catalog label {label:?} uses the prefix {prefix:?} reserved for \
+                 engine-internal files"
             ),
             SnapshotError::DuplicateEntry { label } => {
                 write!(f, "catalog already holds an entry labeled {label:?}")

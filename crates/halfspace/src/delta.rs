@@ -1,0 +1,177 @@
+//! The mutable delta tier of the leveled dynamization (DESIGN.md §12).
+//!
+//! All mutation the leveled structure accepts lands here first: inserts go
+//! into a bounded in-memory buffer (the one internal-memory block every
+//! external structure is allowed — scanning it costs no IOs), and deletes
+//! of points already baked into a frozen level become tombstones in a
+//! shared set. The leveled core drains the buffer into a new frozen level
+//! when it fills and drops tombstones when the points they shadow are
+//! merged away; the delta itself never touches the device.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The mutable tier: an insert buffer plus the tombstone set.
+///
+/// The tombstones are `Arc`-shared with reader forks (copy-on-write via
+/// `Arc::make_mut` on the writer's update paths), so forking is O(buffer),
+/// never O(n).
+pub struct DeltaTier {
+    buf: Vec<(i64, i64, u64)>,
+    cap: usize,
+    dead: Arc<HashSet<u64>>,
+}
+
+impl DeltaTier {
+    /// An empty delta accepting up to `cap` buffered inserts before the
+    /// core flushes it into a level.
+    pub fn new(cap: usize) -> DeltaTier {
+        DeltaTier { buf: Vec::new(), cap, dead: Arc::new(HashSet::new()) }
+    }
+
+    /// Reassemble a delta from persisted state.
+    pub fn restore(buf: Vec<(i64, i64, u64)>, cap: usize, dead: HashSet<u64>) -> DeltaTier {
+        DeltaTier { buf, cap, dead: Arc::new(dead) }
+    }
+
+    /// A reader view: buffer copied, tombstones `Arc`-shared.
+    pub fn clone_for_reader(&self) -> DeltaTier {
+        DeltaTier { buf: self.buf.clone(), cap: self.cap, dead: Arc::clone(&self.dead) }
+    }
+
+    /// Number of buffered (not yet leveled) inserts.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// `true` once the buffer reached its capacity and should be drained.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() >= self.cap
+    }
+
+    /// Buffer capacity (the flush threshold).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The buffered inserts, in arrival order.
+    pub fn buffer(&self) -> &[(i64, i64, u64)] {
+        &self.buf
+    }
+
+    /// Buffer an insert. The delta never flushes itself — the leveled core
+    /// checks [`DeltaTier::is_full`] and drains via [`DeltaTier::drain`].
+    pub fn push(&mut self, x: i64, y: i64, tag: u64) {
+        self.buf.push((x, y, tag));
+    }
+
+    /// Position of `tag` in the buffer, if present.
+    pub fn position(&self, tag: u64) -> Option<usize> {
+        self.buf.iter().position(|p| p.2 == tag)
+    }
+
+    /// Remove the buffered insert at `i` (order not preserved).
+    pub fn swap_remove(&mut self, i: usize) -> (i64, i64, u64) {
+        self.buf.swap_remove(i)
+    }
+
+    /// Take the whole buffer, leaving it empty.
+    pub fn drain(&mut self) -> Vec<(i64, i64, u64)> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// `true` if `tag` is tombstoned.
+    pub fn is_dead(&self, tag: u64) -> bool {
+        self.dead.contains(&tag)
+    }
+
+    /// Tombstone `tag` (a delete of a point living in some frozen level).
+    pub fn tombstone(&mut self, tag: u64) {
+        Arc::make_mut(&mut self.dead).insert(tag);
+    }
+
+    /// Drop one tombstone — called when the point it shadowed was filtered
+    /// out of a level merge and no longer exists anywhere.
+    pub fn absolve(&mut self, tag: u64) {
+        Arc::make_mut(&mut self.dead).remove(&tag);
+    }
+
+    /// Drop every tombstone (global rebuilds start from a clean slate).
+    pub fn clear_dead(&mut self) {
+        self.dead = Arc::new(HashSet::new());
+    }
+
+    /// Number of tombstones currently held.
+    pub fn dead_len(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// The tombstone set (shared with reader forks).
+    pub fn dead(&self) -> &HashSet<u64> {
+        &self.dead
+    }
+
+    /// Scan the buffer for points below `y = m·x + c`, appending their
+    /// tags to `out`. Free in the IO model: the buffer is the structure's
+    /// internal-memory block.
+    pub fn scan_below(&self, m: i64, c: i64, inclusive: bool, out: &mut Vec<u64>) {
+        for &(x, y, tag) in &self.buf {
+            let rhs = m as i128 * x as i128 + c as i128;
+            let hit = if inclusive { y as i128 <= rhs } else { (y as i128) < rhs };
+            if hit {
+                out.push(tag);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_roundtrip_and_scan() {
+        let mut d = DeltaTier::new(4);
+        d.push(0, -5, 1);
+        d.push(0, 5, 2);
+        d.push(1, 0, 3);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_full());
+        let mut out = Vec::new();
+        d.scan_below(0, 0, false, &mut out);
+        assert_eq!(out, vec![1]);
+        out.clear();
+        d.scan_below(0, 0, true, &mut out);
+        assert_eq!(out, vec![1, 3]);
+        assert_eq!(d.position(2), Some(1));
+        d.swap_remove(1);
+        assert_eq!(d.position(2), None);
+        d.push(9, 9, 9);
+        d.push(8, 8, 8);
+        assert!(d.is_full());
+        let taken = d.drain();
+        assert_eq!(taken.len(), 4);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn tombstones_are_cow_shared_with_readers() {
+        let mut d = DeltaTier::new(8);
+        d.tombstone(7);
+        let reader = d.clone_for_reader();
+        assert!(reader.is_dead(7));
+        // Writer-side updates after the fork must not be visible to the
+        // reader (copy-on-write), and vice versa.
+        d.tombstone(8);
+        d.absolve(7);
+        assert!(reader.is_dead(7) && !reader.is_dead(8));
+        assert!(d.is_dead(8) && !d.is_dead(7));
+        d.clear_dead();
+        assert_eq!(d.dead_len(), 0);
+        assert_eq!(reader.dead_len(), 1);
+    }
+}

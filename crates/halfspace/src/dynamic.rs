@@ -10,14 +10,20 @@
 //! when half the elements are dead, preserving the query bound at
 //! O(log₂ n · (log_B n + t)) worst case (each of the O(log n) static parts
 //! pays its own O(log_B n) search).
-
-use std::collections::HashSet;
-use std::sync::Arc;
+//!
+//! The mechanics live in [`crate::leveled::LeveledHalfspace2`] (delta tier,
+//! frozen levels, merge policy — DESIGN.md §12); this type is its
+//! in-process configuration: every level on the one caller-provided device
+//! ([`crate::leveled::LevelBacking::Shared`]), synchronous merges, the
+//! original `DynamicHalfspace2` API and serialization format unchanged.
+//! The engine's `LiveIndex` is the other configuration of the same core —
+//! per-level frozen devices persisted through a snapshot catalog.
 
 use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, SnapshotError};
 
-use crate::cost::{CostHint, CostShape};
-use crate::hs2d::{HalfspaceRS2, Hs2dConfig, QueryStats};
+use crate::cost::CostHint;
+use crate::hs2d::{Hs2dConfig, QueryStats};
+use crate::leveled::{LevelBacking, LeveledHalfspace2};
 
 /// A dynamic halfspace-reporting structure over 2D points.
 ///
@@ -25,55 +31,29 @@ use crate::hs2d::{HalfspaceRS2, Hs2dConfig, QueryStats};
 /// tag (stable across rebuilds; duplicates allowed).
 pub struct DynamicHalfspace2 {
     dev: DeviceHandle,
-    cfg: Hs2dConfig,
-    /// Static parts, geometrically increasing; `parts[i]` holds its build
-    /// input so rebuilds can merge (kept on the host side like any
-    /// database catalog would).
-    parts: Vec<Part>,
-    buffer: Vec<(i64, i64, u64)>,
-    buffer_cap: usize,
-    /// Tombstones. `Arc`-shared with reader forks (copy-on-write through
-    /// `Arc::make_mut` on the writer's update paths).
-    dead: Arc<HashSet<u64>>,
-    live: usize,
-    total_slots: usize,
-}
-
-struct Part {
-    structure: HalfspaceRS2,
-    /// Build input, `Arc`-shared with reader forks: a fork is O(parts),
-    /// not O(n) — rebuilds reclaim the vector with `Arc::try_unwrap` when
-    /// no fork holds it, and clone only then.
-    points: Arc<Vec<(i64, i64, u64)>>,
+    core: LeveledHalfspace2,
 }
 
 impl DynamicHalfspace2 {
     pub fn new(dev: &DeviceHandle, cfg: Hs2dConfig) -> DynamicHalfspace2 {
-        let b = dev.records_per_page(20).max(8);
         DynamicHalfspace2 {
             dev: dev.clone(),
-            cfg,
-            parts: Vec::new(),
-            buffer: Vec::new(),
-            buffer_cap: b,
-            dead: Arc::new(HashSet::new()),
-            live: 0,
-            total_slots: 0,
+            core: LeveledHalfspace2::new(dev, cfg, LevelBacking::Shared, None),
         }
     }
 
     /// Number of live points.
     pub fn len(&self) -> usize {
-        self.live
+        self.core.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.core.is_empty()
     }
 
     /// Number of static parts currently maintained (O(log n)).
     pub fn num_parts(&self) -> usize {
-        self.parts.len()
+        self.core.num_parts()
     }
 
     /// The Section 7 logarithmic-method query bound — one Theorem 3.5
@@ -81,7 +61,7 @@ impl DynamicHalfspace2 {
     /// hint (DESIGN.md §10). Re-read after inserts/removes: the part count
     /// changes as the logarithmic method merges.
     pub fn cost_hint(&self) -> CostHint {
-        CostHint::new(CostShape::PartsLog { parts: self.num_parts() as u32 }, self.len())
+        self.core.cost_hint()
     }
 
     /// The device this structure lives on (for scoped IO measurement).
@@ -95,23 +75,7 @@ impl DynamicHalfspace2 {
     /// at fork time in O(parts) work; updates belong to the original
     /// single-writer handle.
     pub fn with_handle(&self, h: &DeviceHandle) -> DynamicHalfspace2 {
-        DynamicHalfspace2 {
-            dev: h.clone(),
-            cfg: self.cfg,
-            parts: self
-                .parts
-                .iter()
-                .map(|p| Part {
-                    structure: p.structure.with_handle(h),
-                    points: Arc::clone(&p.points),
-                })
-                .collect(),
-            buffer: self.buffer.clone(),
-            buffer_cap: self.buffer_cap,
-            dead: Arc::clone(&self.dead),
-            live: self.live,
-            total_slots: self.total_slots,
-        }
+        DynamicHalfspace2 { dev: h.clone(), core: self.core.with_scope(h) }
     }
 
     /// A reader clone on a fresh handle scope over the same pages — each
@@ -128,35 +92,7 @@ impl DynamicHalfspace2 {
     /// serialize to equal bytes). Page data is captured by
     /// [`lcrs_extmem::Device::freeze_to_path`].
     pub fn save(&self, w: &mut MetaWriter) {
-        w.usize(self.cfg.cluster_factor);
-        w.usize(self.cfg.final_cutoff_factor);
-        w.usize(self.cfg.beta_override);
-        w.u64(self.cfg.seed);
-        w.seq(self.parts.len());
-        for p in &self.parts {
-            p.structure.save(w);
-            w.seq(p.points.len());
-            for &(x, y, tag) in p.points.iter() {
-                w.i64(x);
-                w.i64(y);
-                w.u64(tag);
-            }
-        }
-        w.seq(self.buffer.len());
-        for &(x, y, tag) in &self.buffer {
-            w.i64(x);
-            w.i64(y);
-            w.u64(tag);
-        }
-        w.usize(self.buffer_cap);
-        let mut dead: Vec<u64> = self.dead.iter().copied().collect();
-        dead.sort_unstable();
-        w.seq(dead.len());
-        for t in dead {
-            w.u64(t);
-        }
-        w.usize(self.live);
-        w.usize(self.total_slots);
+        self.core.save(w);
     }
 
     /// Rebuild from metadata written by [`Self::save`]. A structure loaded
@@ -164,159 +100,28 @@ impl DynamicHalfspace2 {
     /// updates that would flush or rebuild panic at the device layer
     /// (writes on a frozen store), so treat the result as a reader.
     pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<DynamicHalfspace2, SnapshotError> {
-        let cfg = Hs2dConfig {
-            cluster_factor: r.usize()?,
-            final_cutoff_factor: r.usize()?,
-            beta_override: r.usize()?,
-            seed: r.u64()?,
-        };
-        let n_parts = r.seq()?;
-        let mut parts = Vec::with_capacity(n_parts);
-        for _ in 0..n_parts {
-            let structure = HalfspaceRS2::load(h, r)?;
-            let n_pts = r.seq()?;
-            let mut points = Vec::with_capacity(n_pts);
-            for _ in 0..n_pts {
-                points.push((r.i64()?, r.i64()?, r.u64()?));
-            }
-            if points.len() != structure.len() {
-                return Err(r.error("part input length must match its structure"));
-            }
-            parts.push(Part { structure, points: Arc::new(points) });
-        }
-        let n_buf = r.seq()?;
-        let mut buffer = Vec::with_capacity(n_buf);
-        for _ in 0..n_buf {
-            buffer.push((r.i64()?, r.i64()?, r.u64()?));
-        }
-        let buffer_cap = r.usize()?;
-        let n_dead = r.seq()?;
-        let mut dead = HashSet::with_capacity(n_dead);
-        for _ in 0..n_dead {
-            dead.insert(r.u64()?);
-        }
-        Ok(DynamicHalfspace2 {
-            dev: h.clone(),
-            cfg,
-            parts,
-            buffer,
-            buffer_cap,
-            dead: Arc::new(dead),
-            live: r.usize()?,
-            total_slots: r.usize()?,
-        })
+        Ok(DynamicHalfspace2 { dev: h.clone(), core: LeveledHalfspace2::load(h, r)? })
     }
 
     /// Insert a point with a caller-chosen tag (must be unique among live
     /// points if deletion by tag is used).
     pub fn insert(&mut self, x: i64, y: i64, tag: u64) {
-        self.buffer.push((x, y, tag));
-        self.live += 1;
-        self.total_slots += 1;
-        if self.buffer.len() >= self.buffer_cap {
-            self.flush_buffer();
-        }
+        self.core.insert(x, y, tag);
     }
 
     /// Delete by tag; `true` if a live point was removed (lazy tombstone).
     pub fn remove(&mut self, tag: u64) -> bool {
-        if let Some(i) = self.buffer.iter().position(|p| p.2 == tag) {
-            self.buffer.swap_remove(i);
-            self.live -= 1;
-            self.total_slots -= 1;
-            return true;
-        }
-        let exists = self.parts.iter().any(|p| p.points.iter().any(|q| q.2 == tag))
-            && !self.dead.contains(&tag);
-        if !exists {
-            return false;
-        }
-        Arc::make_mut(&mut self.dead).insert(tag);
-        self.live -= 1;
-        if self.live * 2 < self.total_slots {
-            self.rebuild_all();
-        }
-        true
-    }
-
-    fn flush_buffer(&mut self) {
-        // Logarithmic merge: gather the buffer plus every part not larger
-        // than the accumulated size, rebuild one structure from the union.
-        let mut batch: Vec<(i64, i64, u64)> = std::mem::take(&mut self.buffer);
-        loop {
-            let acc = batch.len();
-            match self.parts.iter().position(|p| p.points.len() <= acc) {
-                Some(i) => {
-                    let part = self.parts.swap_remove(i);
-                    // Reclaim the vector when no reader fork holds it.
-                    batch.extend(Arc::try_unwrap(part.points).unwrap_or_else(|a| (*a).clone()));
-                }
-                None => break,
-            }
-        }
-        let dead = Arc::make_mut(&mut self.dead);
-        batch.retain(|p| !dead.remove(&p.2));
-        self.total_slots = self.parts.iter().map(|p| p.points.len()).sum::<usize>()
-            + batch.len()
-            + self.buffer.len();
-        if batch.is_empty() {
-            return;
-        }
-        let coords: Vec<(i64, i64)> = batch.iter().map(|p| (p.0, p.1)).collect();
-        let structure = HalfspaceRS2::build(&self.dev, &coords, self.cfg);
-        self.parts.push(Part { structure, points: Arc::new(batch) });
-        self.parts.sort_by_key(|p| std::cmp::Reverse(p.points.len()));
-    }
-
-    fn rebuild_all(&mut self) {
-        let mut all: Vec<(i64, i64, u64)> = std::mem::take(&mut self.buffer);
-        for p in std::mem::take(&mut self.parts) {
-            all.extend(Arc::try_unwrap(p.points).unwrap_or_else(|a| (*a).clone()));
-        }
-        all.retain(|p| !self.dead.contains(&p.2));
-        self.dead = Arc::new(HashSet::new());
-        self.total_slots = all.len();
-        self.live = all.len();
-        if all.is_empty() {
-            return;
-        }
-        let coords: Vec<(i64, i64)> = all.iter().map(|p| (p.0, p.1)).collect();
-        let structure = HalfspaceRS2::build(&self.dev, &coords, self.cfg);
-        self.parts.push(Part { structure, points: Arc::new(all) });
+        self.core.remove(tag)
     }
 
     /// Report the tags of all live points strictly below `y = m·x + c`
     /// (`inclusive` adds on-line points).
     pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> Vec<u64> {
-        self.query_below_stats(m, c, inclusive).0
+        self.core.query_below(m, c, inclusive)
     }
 
     pub fn query_below_stats(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u64>, QueryStats) {
-        let mut out = Vec::new();
-        let mut stats = QueryStats::default();
-        for part in &self.parts {
-            let (ids, st) = part.structure.query_below_stats(m, c, inclusive);
-            stats.ios += st.ios;
-            stats.clusterings_visited += st.clusterings_visited;
-            stats.clusters_read += st.clusters_read;
-            for id in ids {
-                let p = part.points[id as usize];
-                if !self.dead.contains(&p.2) {
-                    out.push(p.2);
-                }
-            }
-        }
-        // The in-memory buffer is scanned for free (it models the one
-        // internal-memory block every external structure is allowed).
-        for &(x, y, tag) in &self.buffer {
-            let rhs = m as i128 * x as i128 + c as i128;
-            let hit = if inclusive { y as i128 <= rhs } else { (y as i128) < rhs };
-            if hit {
-                out.push(tag);
-            }
-        }
-        stats.reported = out.len();
-        (out, stats)
+        self.core.query_below_stats(m, c, inclusive)
     }
 }
 
@@ -415,8 +220,34 @@ mod tests {
         }
         assert_eq!(d.len(), 100);
         // After compaction the dead set must have been flushed.
-        assert!(d.dead.len() < 200);
+        assert!(d.core.delta().dead_len() < 200);
         let got = d.query_below(0, i64::MAX / 4, false);
         assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn wrapper_format_equals_leveled_core_format() {
+        // The thin wrapper must serialize byte-identically to its core:
+        // the `dynamic` catalog kind is pinned to this format.
+        use crate::leveled::{LevelBacking, LeveledHalfspace2};
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let mut d = DynamicHalfspace2::new(&dev, Hs2dConfig::default());
+        let dev2 = Device::new(DeviceConfig::new(256, 0));
+        let mut core =
+            LeveledHalfspace2::new(&dev2, Hs2dConfig::default(), LevelBacking::Shared, None);
+        for t in 0..120u64 {
+            let (x, y) = ((t as i64 * 13) % 300 - 150, (t as i64 * 29) % 300 - 150);
+            d.insert(x, y, t);
+            core.insert(x, y, t);
+            if t % 5 == 4 {
+                assert!(d.remove(t - 2));
+                assert!(core.remove(t - 2));
+            }
+        }
+        let mut wa = lcrs_extmem::MetaWriter::new();
+        d.save(&mut wa);
+        let mut wb = lcrs_extmem::MetaWriter::new();
+        core.save(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes(), "wrapper and core must serialize identically");
     }
 }

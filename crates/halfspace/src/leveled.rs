@@ -1,0 +1,779 @@
+//! The leveled core of the logarithmic-method dynamization (DESIGN.md §12).
+//!
+//! One [`DeltaTier`] absorbs all mutation; behind it sits a stack of
+//! *levels*, each an ordinary static [`HalfspaceRS2`] of geometrically
+//! increasing size — the classic Bentley–Saxe scheme of the paper's
+//! Section 7. The core is generic over where level pages live
+//! ([`LevelBacking`]): `Shared` keeps every level on the one device the
+//! caller provided (the in-process [`crate::DynamicHalfspace2`]
+//! configuration), `PerLevel` builds each level on its own fresh `Device`
+//! and freezes it — the configuration the engine's `LiveIndex` persists
+//! level-by-level through its snapshot catalog.
+//!
+//! Whatever the backing, every level reads through handles scoped to one
+//! *anchor* scope (`DeviceHandle::scoped_to`), so a stats bracket around
+//! that single scope observes exactly the composite's IOs — the invariant
+//! the batch executor, the calibrated planner, and the bench gates measure
+//! through.
+//!
+//! Merges can run synchronously ([`LeveledHalfspace2::flush`]) or on a
+//! background thread ([`LeveledHalfspace2::begin_background_merge`] /
+//! [`commit_background_merge`](LeveledHalfspace2::commit_background_merge)):
+//! while a merge is in flight the drained delta buffer and the drained
+//! levels stay visible to queries (and to reader forks) untouched, and the
+//! merge result replaces them atomically at commit.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use lcrs_extmem::{Device, DeviceConfig, DeviceHandle, MetaReader, MetaWriter, SnapshotError};
+
+use crate::cost::{CostHint, CostShape};
+use crate::delta::DeltaTier;
+use crate::hs2d::{HalfspaceRS2, Hs2dConfig, QueryStats};
+
+/// Where the pages of each level live.
+#[derive(Clone)]
+pub enum LevelBacking {
+    /// Every level is built on the one (unfrozen) device the core was
+    /// created over — the in-process configuration.
+    Shared,
+    /// Each level gets its own fresh `Device` with this geometry, frozen
+    /// as soon as the level is built. Frozen levels can be snapshotted and
+    /// reopened individually — the persistent configuration.
+    PerLevel {
+        /// Geometry of each level device (page size, cache budget).
+        geometry: DeviceConfig,
+    },
+}
+
+/// One frozen level: a static structure plus its build input (kept on the
+/// host side like any database catalog would — rebuilds merge from it).
+pub struct Level {
+    /// Lifecycle owner of this level's pages under `PerLevel` backing;
+    /// `None` under `Shared` backing.
+    device: Option<Device>,
+    structure: HalfspaceRS2,
+    /// `Arc`-shared with reader forks: a fork is O(levels), not O(n).
+    points: Arc<Vec<(i64, i64, u64)>>,
+    /// Stable identity across merges — the engine persists levels under
+    /// `lv<seq>` labels and uses the sequence to tell survivors from
+    /// drained levels when it garbage-collects its catalog.
+    seq: u64,
+}
+
+impl Level {
+    /// Reassemble a level from persisted parts. The structure must read
+    /// through a handle scoped to the owning core's anchor scope.
+    pub fn restore(
+        device: Option<Device>,
+        structure: HalfspaceRS2,
+        points: Vec<(i64, i64, u64)>,
+        seq: u64,
+    ) -> Level {
+        assert_eq!(points.len(), structure.len(), "level input must match its structure");
+        Level { device, structure, points: Arc::new(points), seq }
+    }
+
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn structure(&self) -> &HalfspaceRS2 {
+        &self.structure
+    }
+
+    pub fn points(&self) -> &[(i64, i64, u64)] {
+        &self.points
+    }
+
+    /// The build input behind its shared `Arc` (O(1) — what the engine's
+    /// live persistence clones instead of copying the vector).
+    pub fn points_arc(&self) -> Arc<Vec<(i64, i64, u64)>> {
+        Arc::clone(&self.points)
+    }
+
+    /// The level's own device (`PerLevel` backing only).
+    pub fn device(&self) -> Option<&Device> {
+        self.device.as_ref()
+    }
+
+    fn view(&self, scope: &DeviceHandle) -> Level {
+        let h = match &self.device {
+            Some(dev) => (**dev).scoped_to(scope),
+            None => scope.clone(),
+        };
+        Level {
+            device: self.device.clone(),
+            structure: self.structure.with_handle(&h),
+            points: Arc::clone(&self.points),
+            seq: self.seq,
+        }
+    }
+
+    fn take_points(self) -> Vec<(i64, i64, u64)> {
+        Arc::try_unwrap(self.points).unwrap_or_else(|a| (*a).clone())
+    }
+}
+
+/// In-flight merge state: everything the merge consumes stays visible to
+/// queries, immutably, until commit.
+struct Draining {
+    /// The delta buffer as of merge begin (still scanned by queries;
+    /// deletes of these points tombstone instead of mutating).
+    buffer: Vec<(i64, i64, u64)>,
+    /// The levels being merged away (still served).
+    levels: Vec<Level>,
+    /// Tombstones whose points were filtered out of the merge input —
+    /// dropped from the delta's dead set at commit, when the points they
+    /// shadowed no longer exist anywhere.
+    consumed: Vec<u64>,
+}
+
+/// A background level build in flight. Returned by
+/// [`LeveledHalfspace2::begin_background_merge`]; hand it back to
+/// [`LeveledHalfspace2::commit_background_merge`] to join and install the
+/// result.
+pub struct MergeHandle {
+    worker: JoinHandle<Option<Level>>,
+}
+
+/// The leveled logarithmic-method structure (see the module docs).
+pub struct LeveledHalfspace2 {
+    scope: DeviceHandle,
+    cfg: Hs2dConfig,
+    backing: LevelBacking,
+    delta: DeltaTier,
+    levels: Vec<Level>,
+    draining: Option<Draining>,
+    live: usize,
+    total_slots: usize,
+    next_seq: u64,
+    /// Bumped every time the level set changes (merge commit or global
+    /// rebuild) — how the engine's live persistence knows a checkpoint is
+    /// due, and what the benches report as the merge count.
+    epoch: u64,
+    /// A mass deletion crossed the global-rebuild threshold while a merge
+    /// was in flight; run the rebuild at commit.
+    rebuild_pending: bool,
+}
+
+impl LeveledHalfspace2 {
+    /// An empty structure. `scope` is the anchor every level reads
+    /// through; `buffer_cap` defaults to one page worth of records
+    /// (min 8), the same threshold the pre-split `DynamicHalfspace2` used.
+    pub fn new(
+        scope: &DeviceHandle,
+        cfg: Hs2dConfig,
+        backing: LevelBacking,
+        buffer_cap: Option<usize>,
+    ) -> LeveledHalfspace2 {
+        let cap = buffer_cap.unwrap_or_else(|| scope.records_per_page(20).max(8));
+        LeveledHalfspace2 {
+            scope: scope.clone(),
+            cfg,
+            backing,
+            delta: DeltaTier::new(cap),
+            levels: Vec::new(),
+            draining: None,
+            live: 0,
+            total_slots: 0,
+            next_seq: 0,
+            epoch: 0,
+            rebuild_pending: false,
+        }
+    }
+
+    /// Reassemble a core from persisted parts (levels already scoped to
+    /// `scope`). `next_seq` must exceed every level's sequence.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        scope: &DeviceHandle,
+        cfg: Hs2dConfig,
+        backing: LevelBacking,
+        delta: DeltaTier,
+        mut levels: Vec<Level>,
+        live: usize,
+        total_slots: usize,
+    ) -> LeveledHalfspace2 {
+        let next_seq = levels.iter().map(|l| l.seq + 1).max().unwrap_or(0);
+        levels.sort_by_key(|l| std::cmp::Reverse(l.len()));
+        LeveledHalfspace2 {
+            scope: scope.clone(),
+            cfg,
+            backing,
+            delta,
+            levels,
+            draining: None,
+            live,
+            total_slots,
+            next_seq,
+            epoch: 0,
+            rebuild_pending: false,
+        }
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of static levels a query visits (O(log n)) — includes
+    /// levels currently being drained by an in-flight merge, which still
+    /// serve queries.
+    pub fn num_parts(&self) -> usize {
+        self.levels.len() + self.draining.as_ref().map_or(0, |d| d.levels.len())
+    }
+
+    /// The Section 7 logarithmic-method query bound — one Theorem 3.5
+    /// search per level, O(log n · log_B n + t/B) total — as a planner
+    /// hint (DESIGN.md §10). Re-read after inserts/removes: the level
+    /// count changes as the logarithmic method merges.
+    pub fn cost_hint(&self) -> CostHint {
+        CostHint::new(CostShape::PartsLog { parts: self.num_parts() as u32 }, self.len())
+    }
+
+    /// The anchor scope: all level IOs are accounted here.
+    pub fn scope(&self) -> &DeviceHandle {
+        &self.scope
+    }
+
+    /// The structure's configuration.
+    pub fn config(&self) -> Hs2dConfig {
+        self.cfg
+    }
+
+    /// The mutable tier (buffered inserts + tombstones).
+    pub fn delta(&self) -> &DeltaTier {
+        &self.delta
+    }
+
+    /// The frozen levels, largest first. Excludes levels being drained by
+    /// an in-flight merge.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Total slots across levels and buffer, counting tombstoned points.
+    pub fn total_slots(&self) -> usize {
+        self.total_slots
+    }
+
+    /// `true` while a [`MergeHandle`] is outstanding.
+    pub fn merge_in_progress(&self) -> bool {
+        self.draining.is_some()
+    }
+
+    /// How many times the level set has changed (merge commits plus global
+    /// rebuilds) since this core was created or restored.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The same structure viewed through `scope` (own cache + stats):
+    /// level handles re-scoped, catalog state `Arc`-shared, buffer copied.
+    /// The view answers queries exactly like `self` does right now — even
+    /// mid-merge, when it serves the draining buffer and levels the same
+    /// way the writer does. Updates belong to the original single writer.
+    pub fn with_scope(&self, scope: &DeviceHandle) -> LeveledHalfspace2 {
+        LeveledHalfspace2 {
+            scope: scope.clone(),
+            cfg: self.cfg,
+            backing: self.backing.clone(),
+            delta: self.delta.clone_for_reader(),
+            levels: self.levels.iter().map(|l| l.view(scope)).collect(),
+            draining: self.draining.as_ref().map(|d| Draining {
+                buffer: d.buffer.clone(),
+                levels: d.levels.iter().map(|l| l.view(scope)).collect(),
+                consumed: d.consumed.clone(),
+            }),
+            live: self.live,
+            total_slots: self.total_slots,
+            next_seq: self.next_seq,
+            epoch: self.epoch,
+            rebuild_pending: false,
+        }
+    }
+
+    /// A reader clone on a fresh scope over the same pages.
+    pub fn fork_reader(&self) -> LeveledHalfspace2 {
+        self.with_scope(&self.scope.fork())
+    }
+
+    /// Insert a point with a caller-chosen tag (must be unique among live
+    /// points if deletion by tag is used). Flushes the delta synchronously
+    /// when it fills — unless a background merge is in flight, in which
+    /// case the buffer keeps growing until the merge commits (queries
+    /// scan it for free either way).
+    pub fn insert(&mut self, x: i64, y: i64, tag: u64) {
+        self.delta.push(x, y, tag);
+        self.live += 1;
+        self.total_slots += 1;
+        if self.delta.is_full() && self.draining.is_none() {
+            self.flush();
+        }
+    }
+
+    /// Delete by tag; `true` if a live point was removed (lazy tombstone).
+    pub fn remove(&mut self, tag: u64) -> bool {
+        if let Some(i) = self.delta.position(tag) {
+            self.delta.swap_remove(i);
+            self.live -= 1;
+            self.total_slots -= 1;
+            return true;
+        }
+        let in_static = self.levels.iter().any(|l| l.points.iter().any(|p| p.2 == tag))
+            || self.draining.as_ref().is_some_and(|d| {
+                d.levels.iter().any(|l| l.points.iter().any(|p| p.2 == tag))
+                    || d.buffer.iter().any(|p| p.2 == tag)
+            });
+        if !in_static || self.delta.is_dead(tag) {
+            return false;
+        }
+        self.delta.tombstone(tag);
+        self.live -= 1;
+        if self.live * 2 < self.total_slots {
+            if self.draining.is_some() {
+                self.rebuild_pending = true;
+            } else {
+                self.rebuild_all();
+            }
+        }
+        true
+    }
+
+    /// Drain the delta and every level the logarithmic policy selects,
+    /// build the merged level, and commit — all synchronously.
+    pub fn flush(&mut self) {
+        assert!(self.draining.is_none(), "flush during an in-flight background merge");
+        let batch = self.begin_merge();
+        let level = self.build_merged_level(batch);
+        self.commit(level);
+    }
+
+    /// Start a background merge: the merge input is chosen and filtered
+    /// now (so the cut is well-defined), the level build runs on a worker
+    /// thread, and queries keep serving the pre-merge state. Returns
+    /// `None` when there is nothing to merge or a merge is already in
+    /// flight. Build IOs are accounted to this structure's scope as the
+    /// worker runs.
+    pub fn begin_background_merge(&mut self) -> Option<MergeHandle> {
+        if self.draining.is_some() {
+            return None;
+        }
+        let batch = self.begin_merge();
+        if batch.is_empty() {
+            self.commit(None);
+            return None;
+        }
+        let scope = self.scope.clone();
+        let backing = self.backing.clone();
+        let cfg = self.cfg;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let worker = std::thread::spawn(move || build_level(&scope, &backing, cfg, batch, seq));
+        Some(MergeHandle { worker })
+    }
+
+    /// Join a background merge and install its level: the drained buffer
+    /// and levels are dropped, the merged level takes their place, and
+    /// consumed tombstones are absolved — one atomic switch from the
+    /// query path's point of view.
+    pub fn commit_background_merge(&mut self, h: MergeHandle) {
+        assert!(self.draining.is_some(), "no merge in flight");
+        let level = h.worker.join().expect("level-merge worker panicked");
+        self.commit(level);
+    }
+
+    /// Choose and take the merge input: the whole delta buffer plus every
+    /// level no larger than the accumulated batch (the logarithmic
+    /// policy), tombstone-filtered. Leaves the taken state in `draining`,
+    /// still serving queries.
+    fn begin_merge(&mut self) -> Vec<(i64, i64, u64)> {
+        let buffer = self.delta.drain();
+        let mut drained_levels: Vec<Level> = Vec::new();
+        let mut batch: Vec<(i64, i64, u64)> = buffer.clone();
+        loop {
+            let acc = batch.len();
+            match self.levels.iter().position(|l| l.len() <= acc) {
+                Some(i) => {
+                    let level = self.levels.swap_remove(i);
+                    batch.extend_from_slice(&level.points);
+                    drained_levels.push(level);
+                }
+                None => break,
+            }
+        }
+        let mut consumed = Vec::new();
+        batch.retain(|p| {
+            if self.delta.is_dead(p.2) {
+                consumed.push(p.2);
+                false
+            } else {
+                true
+            }
+        });
+        self.draining = Some(Draining { buffer, levels: drained_levels, consumed });
+        batch
+    }
+
+    fn build_merged_level(&mut self, batch: Vec<(i64, i64, u64)>) -> Option<Level> {
+        if batch.is_empty() {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        build_level(&self.scope, &self.backing, self.cfg, batch, seq)
+    }
+
+    fn commit(&mut self, level: Option<Level>) {
+        let draining = self.draining.take().expect("commit without a merge in flight");
+        let changed = level.is_some() || !draining.levels.is_empty();
+        drop(draining.levels); // level devices (PerLevel) release their pages
+        for tag in draining.consumed {
+            self.delta.absolve(tag);
+        }
+        if let Some(level) = level {
+            self.levels.push(level);
+        }
+        if changed {
+            self.epoch += 1;
+        }
+        self.levels.sort_by_key(|l| std::cmp::Reverse(l.len()));
+        self.total_slots = self.levels.iter().map(|l| l.len()).sum::<usize>() + self.delta.len();
+        if self.rebuild_pending {
+            self.rebuild_pending = false;
+            if self.live * 2 < self.total_slots {
+                self.rebuild_all();
+            }
+        } else if self.delta.is_full() {
+            // The buffer overfilled while the merge ran; drain it now.
+            self.flush();
+        }
+    }
+
+    /// Global rebuild (half the slots are tombstoned): collapse everything
+    /// live into one level and clear the tombstones.
+    fn rebuild_all(&mut self) {
+        assert!(self.draining.is_none(), "rebuild during an in-flight background merge");
+        let mut all: Vec<(i64, i64, u64)> = self.delta.drain();
+        for level in std::mem::take(&mut self.levels) {
+            all.extend(level.take_points());
+        }
+        all.retain(|p| !self.delta.is_dead(p.2));
+        self.delta.clear_dead();
+        self.epoch += 1;
+        self.total_slots = all.len();
+        self.live = all.len();
+        if all.is_empty() {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let level = build_level(&self.scope, &self.backing, self.cfg, all, seq)
+            .expect("non-empty rebuild input");
+        self.levels.push(level);
+    }
+
+    /// Report the tags of all live points strictly below `y = m·x + c`
+    /// (`inclusive` adds on-line points).
+    pub fn query_below(&self, m: i64, c: i64, inclusive: bool) -> Vec<u64> {
+        self.query_below_stats(m, c, inclusive).0
+    }
+
+    pub fn query_below_stats(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u64>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        let draining_levels = self.draining.iter().flat_map(|d| d.levels.iter());
+        for level in self.levels.iter().chain(draining_levels) {
+            let (ids, st) = level.structure.query_below_stats(m, c, inclusive);
+            stats.ios += st.ios;
+            stats.clusterings_visited += st.clusterings_visited;
+            stats.clusters_read += st.clusters_read;
+            for id in ids {
+                let p = level.points[id as usize];
+                if !self.delta.is_dead(p.2) {
+                    out.push(p.2);
+                }
+            }
+        }
+        if let Some(d) = &self.draining {
+            // The drained buffer is still in memory (free to scan) but its
+            // points can be tombstoned: deletes during a merge never
+            // mutate it.
+            for &(x, y, tag) in &d.buffer {
+                let rhs = m as i128 * x as i128 + c as i128;
+                let hit = if inclusive { y as i128 <= rhs } else { (y as i128) < rhs };
+                if hit && !self.delta.is_dead(tag) {
+                    out.push(tag);
+                }
+            }
+        }
+        self.delta.scan_below(m, c, inclusive, &mut out);
+        stats.reported = out.len();
+        (out, stats)
+    }
+
+    /// Serialize the catalog state: every level (its structure *and* its
+    /// build input, which rebuilds need), the insert buffer, and the
+    /// tombstone set (sorted so equal states serialize to equal bytes).
+    /// Page data is captured separately per backing. Panics mid-merge:
+    /// commit the outstanding [`MergeHandle`] first.
+    pub fn save(&self, w: &mut MetaWriter) {
+        assert!(self.draining.is_none(), "save during an in-flight background merge");
+        w.usize(self.cfg.cluster_factor);
+        w.usize(self.cfg.final_cutoff_factor);
+        w.usize(self.cfg.beta_override);
+        w.u64(self.cfg.seed);
+        w.seq(self.levels.len());
+        for level in &self.levels {
+            level.structure.save(w);
+            w.seq(level.points.len());
+            for &(x, y, tag) in level.points.iter() {
+                w.i64(x);
+                w.i64(y);
+                w.u64(tag);
+            }
+        }
+        w.seq(self.delta.len());
+        for &(x, y, tag) in self.delta.buffer() {
+            w.i64(x);
+            w.i64(y);
+            w.u64(tag);
+        }
+        w.usize(self.delta.cap());
+        let mut dead: Vec<u64> = self.delta.dead().iter().copied().collect();
+        dead.sort_unstable();
+        w.seq(dead.len());
+        for t in dead {
+            w.u64(t);
+        }
+        w.usize(self.live);
+        w.usize(self.total_slots);
+    }
+
+    /// Rebuild from metadata written by [`Self::save`], with every level
+    /// structure reading through `h` (`Shared` backing — the format the
+    /// catalog stores for the `dynamic` kind).
+    pub fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<LeveledHalfspace2, SnapshotError> {
+        let cfg = Hs2dConfig {
+            cluster_factor: r.usize()?,
+            final_cutoff_factor: r.usize()?,
+            beta_override: r.usize()?,
+            seed: r.u64()?,
+        };
+        let n_levels = r.seq()?;
+        let mut levels = Vec::with_capacity(n_levels);
+        for seq in 0..n_levels {
+            let structure = HalfspaceRS2::load(h, r)?;
+            let n_pts = r.seq()?;
+            let mut points = Vec::with_capacity(n_pts);
+            for _ in 0..n_pts {
+                points.push((r.i64()?, r.i64()?, r.u64()?));
+            }
+            if points.len() != structure.len() {
+                return Err(r.error("level input length must match its structure"));
+            }
+            levels.push(Level {
+                device: None,
+                structure,
+                points: Arc::new(points),
+                seq: seq as u64,
+            });
+        }
+        let n_buf = r.seq()?;
+        let mut buffer = Vec::with_capacity(n_buf);
+        for _ in 0..n_buf {
+            buffer.push((r.i64()?, r.i64()?, r.u64()?));
+        }
+        let cap = r.usize()?;
+        let n_dead = r.seq()?;
+        let mut dead = HashSet::with_capacity(n_dead);
+        for _ in 0..n_dead {
+            dead.insert(r.u64()?);
+        }
+        let delta = DeltaTier::restore(buffer, cap, dead);
+        let live = r.usize()?;
+        let total_slots = r.usize()?;
+        Ok(LeveledHalfspace2::restore(
+            h,
+            cfg,
+            LevelBacking::Shared,
+            delta,
+            levels,
+            live,
+            total_slots,
+        ))
+    }
+}
+
+/// Build one level from `batch` (the merged, tombstone-filtered input).
+/// Runs on the caller thread for synchronous merges and on the worker for
+/// background merges; either way the build reads and writes through a
+/// handle scoped to `scope`, so build IOs land in the owner's accounting.
+fn build_level(
+    scope: &DeviceHandle,
+    backing: &LevelBacking,
+    cfg: Hs2dConfig,
+    batch: Vec<(i64, i64, u64)>,
+    seq: u64,
+) -> Option<Level> {
+    if batch.is_empty() {
+        return None;
+    }
+    let coords: Vec<(i64, i64)> = batch.iter().map(|p| (p.0, p.1)).collect();
+    match backing {
+        LevelBacking::Shared => {
+            let structure = HalfspaceRS2::build(scope, &coords, cfg);
+            Some(Level { device: None, structure, points: Arc::new(batch), seq })
+        }
+        LevelBacking::PerLevel { geometry } => {
+            let device = Device::new(*geometry);
+            let build_handle = (*device).scoped_to(scope);
+            let structure = HalfspaceRS2::build(&build_handle, &coords, cfg);
+            device.freeze();
+            Some(Level { device: Some(device), structure, points: Arc::new(batch), seq })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrs_extmem::DeviceConfig;
+    use std::collections::BTreeMap;
+
+    fn check(core: &LeveledHalfspace2, model: &BTreeMap<u64, (i64, i64)>) {
+        for (m, c, inclusive) in [(3i64, 500i64, false), (-2, -100, true), (0, 0, false)] {
+            let mut got = core.query_below(m, c, inclusive);
+            got.sort_unstable();
+            let mut want: Vec<u64> = model
+                .iter()
+                .filter(|(_, &(x, y))| {
+                    let rhs = m as i128 * x as i128 + c as i128;
+                    if inclusive {
+                        y as i128 <= rhs
+                    } else {
+                        (y as i128) < rhs
+                    }
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "m={m} c={c}");
+        }
+    }
+
+    fn per_level_core() -> (Device, LeveledHalfspace2) {
+        let anchor = Device::new(DeviceConfig::new(256, 0));
+        anchor.freeze();
+        let core = LeveledHalfspace2::new(
+            &anchor,
+            Hs2dConfig::default(),
+            LevelBacking::PerLevel { geometry: DeviceConfig::new(256, 0) },
+            None,
+        );
+        (anchor, core)
+    }
+
+    #[test]
+    fn per_level_backing_matches_model() {
+        let (anchor, mut core) = per_level_core();
+        let mut model = BTreeMap::new();
+        let mut s = 41u64;
+        for round in 0..700u64 {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            if round % 4 == 3 && !model.is_empty() {
+                let k = *model.keys().nth((s as usize) % model.len()).unwrap();
+                assert!(core.remove(k));
+                model.remove(&k);
+            } else {
+                let (x, y) = (((s >> 33) as i64) % 800 - 400, ((s >> 11) as i64) % 800 - 400);
+                core.insert(x, y, round);
+                model.insert(round, (x, y));
+            }
+            if round % 113 == 0 {
+                check(&core, &model);
+                assert_eq!(core.len(), model.len());
+            }
+        }
+        check(&core, &model);
+        // Every level sits on its own frozen device; all query IOs land on
+        // the anchor scope.
+        for level in core.levels() {
+            assert!(level.device().expect("per-level device").is_frozen());
+        }
+        let before = anchor.stats();
+        let _ = core.query_below(1, 0, false);
+        assert!(anchor.stats().since(before).total() > 0, "query IOs must hit the anchor scope");
+    }
+
+    #[test]
+    fn background_merge_serves_old_state_until_commit() {
+        let (_anchor, mut core) = per_level_core();
+        let mut model = BTreeMap::new();
+        // 303 is not a multiple of the flush cap, so the delta buffer is
+        // non-empty when the merge begins.
+        for t in 0..303u64 {
+            let (x, y) = ((t as i64 * 37) % 500 - 250, (t as i64 * 91) % 500 - 250);
+            core.insert(x, y, t);
+            model.insert(t, (x, y));
+        }
+        check(&core, &model);
+        let handle = core.begin_background_merge().expect("merge should have input");
+        assert!(core.merge_in_progress());
+        // Mid-merge: queries serve the old levels + drained buffer, and
+        // mutation keeps working against the delta.
+        check(&core, &model);
+        for t in 400..440u64 {
+            core.insert(t as i64, -(t as i64), t);
+            model.insert(t, (t as i64, -(t as i64)));
+        }
+        assert!(core.remove(5));
+        model.remove(&5);
+        assert!(core.remove(420)); // a post-begin buffered insert
+        model.remove(&420);
+        check(&core, &model);
+        // A reader forked mid-merge sees the same answers.
+        let fork = core.fork_reader();
+        check(&fork, &model);
+        core.commit_background_merge(handle);
+        assert!(!core.merge_in_progress());
+        check(&core, &model);
+        assert_eq!(core.len(), model.len());
+        // The fork taken before commit still answers from the old state.
+        check(&fork, &model);
+    }
+
+    #[test]
+    fn deferred_rebuild_runs_after_commit() {
+        let (_anchor, mut core) = per_level_core();
+        for t in 0..200u64 {
+            core.insert(t as i64, -(t as i64), t);
+        }
+        let handle = core.begin_background_merge().expect("merge input");
+        // Mass deletion while the merge runs: the rebuild must defer.
+        for t in 0..150u64 {
+            assert!(core.remove(t));
+        }
+        assert!(core.merge_in_progress());
+        core.commit_background_merge(handle);
+        assert_eq!(core.len(), 50);
+        // The deferred global rebuild collapsed the tombstones.
+        assert!(core.delta().dead_len() < 100, "rebuild must flush tombstones");
+        assert_eq!(core.query_below(0, i64::MAX / 4, false).len(), 50);
+    }
+}

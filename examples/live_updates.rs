@@ -1,0 +1,71 @@
+//! Live-update serving: a `LiveIndex` absorbs an interleaved stream of
+//! inserts, deletes, and queries while checkpointing every mutation to a
+//! snapshot directory. Halfway through, the writer is dropped on the
+//! floor — simulating a crash — and a fresh process reopens the directory
+//! and continues the stream from the exact committed state, background
+//! merges and all.
+//!
+//! Run with: `cargo run --release --example live_updates`
+
+use lcrs::engine::LiveIndex;
+use lcrs::extmem::{DeviceConfig, TempDir};
+use lcrs::halfspace::hs2d::Hs2dConfig;
+use lcrs::workloads::{live_trace, TraceMix, TraceOp};
+
+fn main() {
+    let dir = TempDir::new("lcrs-live-updates");
+    let trace = live_trace(TraceMix::default(), 2_000, 100_000, 6, 42);
+
+    // ---- process 1: serve the first half, checkpointing as we go --------
+    let mut live = LiveIndex::new(DeviceConfig::new(4096, 64), Hs2dConfig::default(), None);
+    live.save_to_dir(dir.path()).expect("attach snapshot directory");
+    let mut answered = 0usize;
+    for (i, op) in trace.iter().take(1_000).enumerate() {
+        if i.is_multiple_of(250) {
+            live.commit_merge().expect("commit merge");
+            live.begin_merge(); // the next level merge runs on a worker thread
+        }
+        match *op {
+            TraceOp::Insert { x, y, tag } => live.insert(x, y, tag).expect("insert"),
+            TraceOp::Delete { tag } => {
+                live.remove(tag).expect("remove");
+            }
+            TraceOp::Query { m, c, inclusive } => {
+                answered += live.query_below(m, c, inclusive).len();
+            }
+        }
+    }
+    live.commit_merge().expect("final merge");
+    println!(
+        "process 1: {} ops served, {} live points, {} level merges, {} parts — \
+         then the process dies without any shutdown handshake.",
+        1_000,
+        live.len(),
+        live.merge_epoch(),
+        live.core().num_parts()
+    );
+    let committed = live.len();
+    drop(live); // no flush, no goodbye: every mutation already committed
+
+    // ---- process 2: reopen and keep serving ------------------------------
+    let mut live = LiveIndex::open_dir(dir.path(), 64).expect("reopen live directory");
+    assert_eq!(live.len(), committed, "reopen resumes from the committed state");
+    for op in trace.iter().skip(1_000) {
+        match *op {
+            TraceOp::Insert { x, y, tag } => live.insert(x, y, tag).expect("insert"),
+            TraceOp::Delete { tag } => {
+                live.remove(tag).expect("remove");
+            }
+            TraceOp::Query { m, c, inclusive } => {
+                answered += live.query_below(m, c, inclusive).len();
+            }
+        }
+    }
+    println!(
+        "process 2: resumed at {committed} points, finished the {}-op trace with {} \
+         live points and {} total answer rows across both halves.",
+        trace.len(),
+        live.len(),
+        answered
+    );
+}

@@ -1,0 +1,190 @@
+//! Acceptance suite for live-update serving (DESIGN.md §12): the
+//! differential oracle over an interleaved insert/delete/query trace, and
+//! the crash-consistency story of the checkpoint protocol.
+//!
+//! Pinned here:
+//! * over a 600-op `live_trace`, every query's answer is bit-identical to
+//!   a host-side scan of the live set — while the index is in-memory,
+//!   after it attaches a directory mid-stream, after it is *reopened*
+//!   from that directory mid-stream, and with background merges beginning
+//!   and committing throughout;
+//! * the same index fork answers identically when routed through
+//!   [`IndexSet`] planning (sequential and parallel execution), with
+//!   per-query IO attribution summing exactly to the aggregate;
+//! * a torn merge — output level snapshotted, manifest swap never reached,
+//!   plus a garbage `.tmp` beside the manifest — leaves a directory that
+//!   reopens to exactly the last committed state, and a later checkpoint
+//!   collects the orphan level;
+//! * a truncated manifest fails with a typed error, never a wrong answer.
+
+use std::collections::BTreeMap;
+
+use lcrs::engine::{IndexSet, LiveIndex, LiveLevel, Query, RangeIndex, SnapshotCatalog};
+use lcrs::extmem::{Device, DeviceConfig, TempDir};
+use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs::workloads::{live_trace, TraceMix, TraceOp};
+
+fn cfg() -> Hs2dConfig {
+    Hs2dConfig { seed: 1998, ..Hs2dConfig::default() }
+}
+
+fn model_below(model: &BTreeMap<u64, (i64, i64)>, m: i64, c: i64, inclusive: bool) -> Vec<u64> {
+    let mut out: Vec<u64> = model
+        .iter()
+        .filter(|(_, &(x, y))| {
+            let rhs = m as i128 * x as i128 + c as i128;
+            if inclusive {
+                y as i128 <= rhs
+            } else {
+                (y as i128) < rhs
+            }
+        })
+        .map(|(&tag, _)| tag)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn live_trace_oracle_in_memory_reopened_and_planner_routed() {
+    let trace = live_trace(TraceMix::default(), 600, 1200, 6, 2024);
+    let dir = TempDir::new("lcrs-live-oracle");
+    let mut live = LiveIndex::new(DeviceConfig::new(1024, 8), cfg(), Some(24));
+    let mut model: BTreeMap<u64, (i64, i64)> = BTreeMap::new();
+    let mut checked = 0usize;
+
+    for (i, op) in trace.iter().enumerate() {
+        // Phase changes: attach a directory a quarter in, then throw the
+        // writer away and continue from the reopened copy at 400.
+        if i == 150 {
+            live.commit_merge().unwrap();
+            live.save_to_dir(dir.path()).unwrap();
+        }
+        if i == 400 {
+            live.commit_merge().unwrap();
+            live = LiveIndex::open_dir(dir.path(), 8).unwrap();
+        }
+        // Background merges weave through all three phases.
+        if i % 97 == 0 {
+            live.begin_merge();
+        }
+        if i % 97 == 13 {
+            live.commit_merge().unwrap();
+        }
+        match *op {
+            TraceOp::Insert { x, y, tag } => {
+                live.insert(x, y, tag).unwrap();
+                assert!(model.insert(tag, (x, y)).is_none());
+            }
+            TraceOp::Delete { tag } => {
+                assert!(live.remove(tag).unwrap(), "op {i}: delete of live tag {tag} missed");
+                assert!(model.remove(&tag).is_some());
+            }
+            TraceOp::Query { m, c, inclusive } => {
+                let mut got = live.query_below(m, c, inclusive);
+                got.sort_unstable();
+                assert_eq!(got, model_below(&model, m, c, inclusive), "op {i}: m={m} c={c}");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 120, "trace must probe plenty of intermediate states, saw {checked}");
+    assert_eq!(live.len(), model.len());
+    assert!(live.merge_epoch() > 0, "the trace must have merged");
+
+    // Planner routing: a reader fork of the final state inside an
+    // IndexSet answers the trace's queries identically, sequentially and
+    // across parallel workers.
+    let batch: Vec<Query> = trace
+        .iter()
+        .filter_map(|op| match *op {
+            TraceOp::Query { m, c, inclusive } => Some(Query::Halfplane { m, c, inclusive }),
+            _ => None,
+        })
+        .collect();
+    let mut set = IndexSet::new();
+    let slot = set.add(RangeIndex::fork_reader(&live));
+    set.calibrate(&batch[..24.min(batch.len())]);
+    let plan = set.plan(&batch);
+    assert_eq!(plan.unrouted(), 0);
+    assert_eq!(plan.routed_to(slot), batch.len());
+    let seq = set.execute_plan(&batch, &plan, true);
+    assert_eq!(seq.attributed_total(), seq.total);
+    let par = set.execute_parallel_plan(&batch, &plan, 3, true);
+    let (seq_answers, par_answers) = (seq.answers.unwrap(), par.answers.unwrap());
+    for (qi, q) in batch.iter().enumerate() {
+        let Query::Halfplane { m, c, inclusive } = *q else { unreachable!() };
+        let want = model_below(&model, m, c, inclusive);
+        let mut got = seq_answers[qi].clone();
+        got.sort_unstable();
+        assert_eq!(got, want, "routed q{qi}");
+        let mut gotp = par_answers[qi].clone();
+        gotp.sort_unstable();
+        assert_eq!(gotp, want, "parallel-routed q{qi}");
+    }
+}
+
+#[test]
+fn torn_merge_serves_the_old_manifest_and_collects_the_orphan() {
+    let dir = TempDir::new("lcrs-live-crash");
+    let mut live = LiveIndex::new(DeviceConfig::new(512, 4), cfg(), Some(12));
+    live.save_to_dir(dir.path()).unwrap();
+    for i in 0..180u64 {
+        let (x, y) = ((i as i64 * 53) % 701 - 350, (i as i64 * 29) % 503 - 250);
+        live.insert(x, y, i).unwrap();
+        if i % 9 == 5 {
+            live.remove(i - 3).unwrap();
+        }
+    }
+    let reference: Vec<Vec<u64>> = [(2i64, 60i64, false), (-3, -10, true), (0, 0, true)]
+        .iter()
+        .map(|&(m, c, inc)| {
+            let mut a = live.query_below(m, c, inc);
+            a.sort_unstable();
+            a
+        })
+        .collect();
+    let committed_len = live.len();
+    drop(live);
+
+    // Emulate a merge that crashed after snapshotting its output level
+    // but before the manifest swap: an orphan `lv<seq>` entry the live
+    // manifest never references...
+    let mut cat = SnapshotCatalog::open(dir.path()).unwrap();
+    let dev = Device::new(DeviceConfig::new(512, 4));
+    let junk_coords: Vec<(i64, i64)> = (0..30).map(|i| (i * 11 - 160, i * 7 - 100)).collect();
+    let hs = HalfspaceRS2::build(&dev, &junk_coords, cfg());
+    dev.freeze();
+    let junk_points: Vec<(i64, i64, u64)> =
+        junk_coords.iter().enumerate().map(|(i, &(x, y))| (x, y, 9000 + i as u64)).collect();
+    cat.add("lv999", &LiveLevel::new(hs, junk_points)).unwrap();
+    drop(cat);
+    // ...and a torn manifest rewrite beside the real one.
+    std::fs::write(dir.path().join("__live.meta.tmp"), b"torn mid-rename").unwrap();
+
+    let mut back = LiveIndex::open_dir(dir.path(), 4).unwrap();
+    assert_eq!(back.len(), committed_len, "reopen serves the last committed state");
+    for (j, &(m, c, inc)) in
+        [(2i64, 60i64, false), (-3, -10, true), (0, 0, true)].iter().enumerate()
+    {
+        let mut a = back.query_below(m, c, inc);
+        a.sort_unstable();
+        assert_eq!(a, reference[j], "query {j} after the torn merge");
+        assert!(!a.iter().any(|&t| t >= 9000), "orphan-level tags must stay invisible");
+    }
+
+    // The next checkpoint garbage-collects the orphan entry.
+    assert!(back.checkpoint().unwrap());
+    let cat = SnapshotCatalog::open(dir.path()).unwrap();
+    assert!(
+        !cat.entries().iter().any(|e| e.label == "lv999"),
+        "checkpoint must collect unreferenced levels"
+    );
+    drop(back);
+
+    // A truncated manifest is a typed failure, never a wrong answer.
+    let manifest = dir.path().join(lcrs::engine::LIVE_MANIFEST);
+    let bytes = std::fs::read(&manifest).unwrap();
+    std::fs::write(&manifest, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(LiveIndex::open_dir(dir.path(), 4).is_err());
+}

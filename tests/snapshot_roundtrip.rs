@@ -263,13 +263,24 @@ fn catalog_persists_and_reloads_a_batch_executors_worth() {
     cat.add("sc", &sc).unwrap();
     assert!(matches!(cat.add("hs", &kd), Err(SnapshotError::DuplicateEntry { .. })));
     assert!(matches!(cat.add("bad/label", &kd), Err(SnapshotError::InvalidLabel { .. })));
-    // "catalog" is reserved: its metadata file would collide with the
-    // manifest (catalog.meta) and silently overwrite it.
-    assert!(matches!(cat.add("catalog", &kd), Err(SnapshotError::InvalidLabel { .. })));
-    // "shards" is reserved for the same reason: a sharded catalog keeps
-    // its shard manifest at shards.meta in the same directory (ISSUE 6).
-    assert!(matches!(cat.add("shards", &kd), Err(SnapshotError::InvalidLabel { .. })));
     assert!(matches!(cat.add("", &kd), Err(SnapshotError::InvalidLabel { .. })));
+    // The "__" prefix is reserved for engine-internal files sharing the
+    // directory: a colliding entry must fail typed for every internal
+    // file the engine currently keeps (and any added later), replacing
+    // the per-name blocklist that used to grow with each new file.
+    for internal in ["__catalog", "__shards", "__planner", "__live", "__anything-future"] {
+        assert!(
+            matches!(
+                cat.add(internal, &kd),
+                Err(SnapshotError::ReservedLabel { prefix: lcrs_engine::RESERVED_PREFIX, .. })
+            ),
+            "label {internal:?} must be rejected as reserved"
+        );
+    }
+    // The old single-underscore and plain names are ordinary labels now.
+    cat.add("catalog", &kd).unwrap();
+    cat.remove("catalog").unwrap();
+    assert!(matches!(cat.remove("catalog"), Err(SnapshotError::NoSuchEntry { .. })));
 
     // Reopen the whole directory in "another process".
     let reopened = SnapshotCatalog::open(dir.file("cat")).unwrap();
