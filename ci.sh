@@ -59,9 +59,12 @@ stage bench-persist    cargo bench -q -p lcrs-bench --bench exp_persist -- --smo
 stage bench-planner    cargo bench -q -p lcrs-bench --bench exp_planner -- --smoke
 stage bench-shard      cargo bench -q -p lcrs-bench --bench exp_shard -- --smoke
 stage bench-live       cargo bench -q -p lcrs-bench --bench exp_live -- --smoke
+stage bench-mmap       cargo bench -q -p lcrs-bench --bench exp_mmap -- --smoke
 
 # Read-IO regression gate: smoke read counts are deterministic (seeded
-# workloads, pinned cache geometry); wall-clock is deliberately not gated.
+# workloads, pinned cache geometry); wall-clock is recorded in every
+# result and mirrored into the baseline but not gated here (noisy on CI;
+# opt in locally with `bench_gate check --gate-wall`).
 if [ "$UPDATE_BASELINE" = 1 ]; then
     stage bench-baseline cargo run -q -p lcrs-bench --bin bench_gate -- update
 else
@@ -80,11 +83,10 @@ fi
 stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 stage clippy           cargo clippy --workspace --all-targets -- -D warnings
-# Redundant with the workspace sweep, but pinned separately so the crates
-# the engine stack depends on (including the partitioner behind the
-# sharded set) never regress to warnings even if the workspace list
-# changes.
-stage clippy-engine    cargo clippy -p lcrs-extmem -p lcrs-halfspace -p lcrs-engine --all-targets -- -D warnings
+# Redundant with the workspace sweep, but pinned separately — every crate
+# named explicitly — so none of them regresses to warnings even if the
+# workspace member list changes.
+stage clippy-pinned    cargo clippy -p lcrs-geom -p lcrs-extmem -p lcrs-halfspace -p lcrs-baselines -p lcrs-workloads -p lcrs-engine -p lcrs-bench --all-targets -- -D warnings
 
 echo
 echo "[ci] stage summary:"

@@ -25,6 +25,7 @@ use lcrs_halfspace::KnnStructure;
 use lcrs_workloads::{
     halfplane_batch, halfspace3_batch, knn_batch, points2, points3, BatchShape, Dist2, Dist3,
 };
+use std::time::{Duration, Instant};
 
 const PAGE: usize = 4096;
 const CACHE_PAGES: usize = 1024;
@@ -37,6 +38,7 @@ struct Row {
     cold_reads: u64,
     batched_reads: u64,
     batched_hits: u64,
+    wall: Duration,
 }
 
 fn shape_name(s: &BatchShape) -> &'static str {
@@ -47,11 +49,14 @@ fn shape_name(s: &BatchShape) -> &'static str {
 }
 
 /// Run one (structure, batch) cell: cold then batched, with the attribution
-/// and savings invariants asserted.
-fn run_cell(index: &dyn RangeIndex, queries: &[Query]) -> (u64, u64, u64) {
+/// and savings invariants asserted. Returns cold reads, batched reads,
+/// batched cache hits, and the batched run's wall-clock.
+fn run_cell(index: &dyn RangeIndex, queries: &[Query]) -> (u64, u64, u64, Duration) {
     let ex = BatchExecutor::new(index);
     let cold = ex.run_cold(queries);
+    let t0 = Instant::now();
     let batched = ex.run_batched(queries);
+    let wall = t0.elapsed();
     for report in [&cold, &batched] {
         assert_eq!(
             report.attributed_total(),
@@ -67,7 +72,7 @@ fn run_cell(index: &dyn RangeIndex, queries: &[Query]) -> (u64, u64, u64) {
         batched.reads(),
         cold.reads()
     );
-    (cold.reads(), batched.reads(), batched.total.cache_hits)
+    (cold.reads(), batched.reads(), batched.total.cache_hits, wall)
 }
 
 fn main() {
@@ -99,7 +104,7 @@ fn main() {
                 .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
                 .collect();
             for idx in &indexes {
-                let (cold, batched, hits) = run_cell(*idx, &qs);
+                let (cold, batched, hits, wall) = run_cell(*idx, &qs);
                 rows.push(Row {
                     structure: idx.name(),
                     dist: format!("{dist:?}"),
@@ -108,6 +113,7 @@ fn main() {
                     cold_reads: cold,
                     batched_reads: batched,
                     batched_hits: hits,
+                    wall,
                 });
             }
         }
@@ -127,7 +133,7 @@ fn main() {
                 .map(|(u, v, w)| Query::Halfspace { u, v, w, inclusive: false })
                 .collect();
             for idx in &indexes {
-                let (cold, batched, hits) = run_cell(*idx, &qs);
+                let (cold, batched, hits, wall) = run_cell(*idx, &qs);
                 rows.push(Row {
                     structure: idx.name(),
                     dist: format!("{dist:?}"),
@@ -136,6 +142,7 @@ fn main() {
                     cold_reads: cold,
                     batched_reads: batched,
                     batched_hits: hits,
+                    wall,
                 });
             }
         }
@@ -152,7 +159,7 @@ fn main() {
                 .into_iter()
                 .map(|(x, y, k)| Query::Knn { x, y, k })
                 .collect();
-            let (cold, batched, hits) = run_cell(&knn, &qs);
+            let (cold, batched, hits, wall) = run_cell(&knn, &qs);
             rows.push(Row {
                 structure: RangeIndex::name(&knn),
                 dist: format!("{dist:?}"),
@@ -161,6 +168,7 @@ fn main() {
                 cold_reads: cold,
                 batched_reads: batched,
                 batched_hits: hits,
+                wall,
             });
         }
     }
@@ -198,7 +206,8 @@ fn main() {
                 .metric("queries", r.queries as f64)
                 .metric("read_ios", r.batched_reads as f64)
                 .metric("cold_reads", r.cold_reads as f64)
-                .metric("cache_hits", r.batched_hits as f64);
+                .metric("cache_hits", r.batched_hits as f64)
+                .report_wall(r.wall);
         }
         report.write_default();
     }

@@ -23,7 +23,7 @@
 //! `BENCH_baseline.json` on their `read_ios` metric.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lcrs_bench::{print_table, BenchReport};
 use lcrs_engine::{LiveIndex, RangeIndex};
@@ -113,7 +113,8 @@ fn main() {
             .metric("ios_per_op", total_ios as f64 / n as f64)
             .metric("bound_ratio", ratio)
             .metric("merges", merges as f64)
-            .metric("parts", parts as f64);
+            .metric("parts", parts as f64)
+            .report_wall(Duration::from_secs_f64(ingest_secs));
         ingest_rows.push(vec![
             format!("{n}"),
             format!("{:.1}", ingest_secs * 1e6 / n as f64),
@@ -142,7 +143,8 @@ fn main() {
             .cell(format!("query/{n}"))
             .metric("read_ios", q_reads as f64)
             .metric("queries", queries_per_n as f64)
-            .metric("parts", parts as f64);
+            .metric("parts", parts as f64)
+            .report_wall(Duration::from_secs_f64(q_secs));
         query_rows.push(vec![
             format!("{n}"),
             format!("{queries_per_n}"),
@@ -226,7 +228,8 @@ fn main() {
         .metric("write_ios", st.writes as f64)
         .metric("merges", live.merge_epoch() as f64)
         .metric("final_live", live.len() as f64)
-        .metric("parts", live.core().num_parts() as f64);
+        .metric("parts", live.core().num_parts() as f64)
+        .report_wall(Duration::from_secs_f64(trace_secs));
     print_table(
         "interleaved trace with background merges (every 10th query checked against \
          a host model)",

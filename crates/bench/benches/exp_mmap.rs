@@ -1,0 +1,261 @@
+//! EXP-MMAP — wall-clock as a first-class number (DESIGN.md §13): build an
+//! index, freeze it to a snapshot, reopen it through both storage backends
+//! — pread (copy into a pooled buffer per access) and mmap (checksums
+//! validated once at open, every later read a pointer offset) — and put
+//! wall ns/query next to the model read-IO count for each.
+//!
+//! Invariants asserted on every cell: answers and model read-IO totals are
+//! bit-identical across the in-memory original, the pread reopen, and the
+//! mmap reopen — the backend moves bytes, never the cost model. Traffic
+//! covers the repeat-heavy (zipf), sorted-sweep, and sequential page-sweep
+//! shapes (the last is the prefetch showcase: nested-prefix answer sets
+//! walk the pages front to back), plus a planner-driven mixed cell where
+//! [`IndexSet::execute_plan`] issues its per-group `PrefetchHint`s.
+//!
+//! The wall gate — mmap total ≤ pread total over best-of-3 runs — is
+//! enforced only when `available_parallelism() ≥ 2`; on a 1-core CI
+//! container wall numbers are informational and only the IO/answer parity
+//! asserts. Run with `--smoke` for the CI-sized variant.
+
+use std::time::{Duration, Instant};
+
+use lcrs_baselines::{ExternalKdTree, ExternalScan};
+use lcrs_bench::{print_table, BenchReport};
+use lcrs_engine::{load_index, BatchExecutor, IndexSet, Query, RangeIndex, SnapshotCatalog};
+use lcrs_extmem::{
+    Device, DeviceConfig, IoStats, MetaReader, MetaWriter, PageBackend, ReopenBackend, TempDir,
+};
+use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs_halfspace::hs3d::Hs3dConfig;
+use lcrs_halfspace::KnnStructure;
+use lcrs_workloads::{
+    halfplane_batch, halfplane_page_sweep, knn_batch, points2, BatchShape, Dist2,
+};
+
+const PAGE: usize = 4096;
+const CACHE_PAGES: usize = 512;
+/// Best-of-N wall timing per backend: the minimum of several runs filters
+/// scheduler noise without averaging away the real difference.
+const TIMING_RUNS: usize = 3;
+
+struct Row {
+    cell: String,
+    queries: usize,
+    reads: u64,
+    pread_wall: Duration,
+    mmap_wall: Duration,
+}
+
+fn ns_per_query(wall: Duration, queries: usize) -> f64 {
+    wall.as_nanos() as f64 / queries as f64
+}
+
+fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("runs > 0")
+}
+
+/// One standalone cell: persist `index`, reopen through both backends,
+/// pin answer/IO parity against the in-memory original, time both.
+fn run_cell(
+    dir: &TempDir,
+    dev: &Device,
+    index: &dyn RangeIndex,
+    queries: &[Query],
+    cell: String,
+) -> Row {
+    let mem = BatchExecutor::new(index).keep_answers(true).run_batched(queries);
+
+    let path = dir.file(&format!("{}.pages", cell.replace('/', "-")));
+    dev.freeze_to_path(&path).expect("freeze_to_path");
+    let mut w = MetaWriter::new();
+    index.save_meta(&mut w);
+    let meta = w.into_bytes();
+
+    let mut walls = [Duration::ZERO; 2];
+    for (i, backend) in [ReopenBackend::Pread, ReopenBackend::Mmap].into_iter().enumerate() {
+        let re_dev =
+            Device::open_snapshot_as(&path, CACHE_PAGES, backend).expect("open_snapshot_as");
+        match backend {
+            ReopenBackend::Pread => assert_eq!(re_dev.backend(), PageBackend::File, "{cell}"),
+            #[cfg(unix)]
+            ReopenBackend::Mmap => assert_eq!(re_dev.backend(), PageBackend::Mmap, "{cell}"),
+            #[cfg(not(unix))]
+            ReopenBackend::Mmap => {}
+        }
+        assert_eq!(re_dev.stats(), IoStats::default(), "{cell}: cold reopen starts zeroed");
+        let mut r = MetaReader::from_bytes(meta.clone()).expect("metadata envelope");
+        let re = load_index(index.name(), &re_dev, &mut r).expect("load_index");
+        let rep = BatchExecutor::new(&*re).keep_answers(true).run_batched(queries);
+        assert_eq!(
+            rep.answers, mem.answers,
+            "{cell}/{backend:?}: answers must be bit-identical to the in-memory original"
+        );
+        assert_eq!(rep.total, mem.total, "{cell}/{backend:?}: IO totals must be identical");
+        walls[i] = best_of(TIMING_RUNS, || BatchExecutor::new(&*re).run_batched(queries));
+    }
+
+    Row {
+        cell,
+        queries: queries.len(),
+        reads: mem.total.reads,
+        pread_wall: walls[0],
+        mmap_wall: walls[1],
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n2, nk, batch_len) = if smoke { (3000, 800, 150) } else { (40_000, 8_192, 600) };
+    let dir = TempDir::new("lcrs-exp-mmap");
+    println!(
+        "# EXP-MMAP: pread vs mmap reopen, wall ns/query next to model read IOs, \
+         page={PAGE}B, cache={CACHE_PAGES} pages, best-of-{TIMING_RUNS} timing{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let pts = points2(Dist2::Uniform, n2, 1 << 29, 521);
+    let to_hp = |batch: Vec<(i64, i64)>| -> Vec<Query> {
+        batch.into_iter().map(|(m, c)| Query::Halfplane { m, c, inclusive: false }).collect()
+    };
+    let zipf = to_hp(halfplane_batch(
+        &pts,
+        BatchShape::ZipfRepeat { distinct: 16, s: 1.1 },
+        batch_len,
+        48,
+        3,
+    ));
+    let sweep = to_hp(halfplane_batch(&pts, BatchShape::SortedSweep, batch_len, 48, 4));
+    // The prefetch showcase: nested-prefix answer sets advancing a fixed
+    // record stride per query — a rank-ordered layout reads its pages
+    // strictly front to back across the batch.
+    let pagesweep = to_hp(halfplane_page_sweep(&pts, batch_len, n2 / batch_len, 48, 5));
+
+    let dev_hs = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+    let hs2d = HalfspaceRS2::build(&dev_hs, &pts, Hs2dConfig::default());
+    let dev_scan = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+    let scan = ExternalScan::build(&dev_scan, &pts);
+    let dev_kd = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+    let kd = ExternalKdTree::build(&dev_kd, &pts);
+
+    let kpts = points2(Dist2::Clustered, nk, 1000, 523);
+    let dev_knn = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+    let knn = KnnStructure::build(&dev_knn, &kpts, Hs3dConfig::default());
+    let kqueries: Vec<Query> = knn_batch(&kpts, BatchShape::SortedSweep, batch_len, 16, 6)
+        .into_iter()
+        .map(|(x, y, k)| Query::Knn { x, y, k })
+        .collect();
+
+    let mut rows = vec![
+        run_cell(&dir, &dev_hs, &hs2d, &zipf, "hs2d/zipf".to_string()),
+        run_cell(&dir, &dev_hs, &hs2d, &sweep, "hs2d/sweep".to_string()),
+        run_cell(&dir, &dev_hs, &hs2d, &pagesweep, "hs2d/pagesweep".to_string()),
+        run_cell(&dir, &dev_scan, &scan, &pagesweep, "scan/pagesweep".to_string()),
+        run_cell(&dir, &dev_kd, &kd, &zipf, "kdtree/zipf".to_string()),
+        run_cell(&dir, &dev_knn, &knn, &kqueries, "knn/sweep".to_string()),
+    ];
+
+    // The planner-driven mixed cell: a catalog of the three 2D structures
+    // reopened as an IndexSet per backend; execute_plan issues one
+    // PrefetchHint per plan group (madvise under mmap, warm-read under
+    // pread) before running it.
+    {
+        let mut cat = SnapshotCatalog::create(dir.file("cat")).expect("catalog");
+        for (label, index) in
+            [("hs", &hs2d as &dyn RangeIndex), ("kd", &kd as &dyn RangeIndex), ("sc", &scan)]
+        {
+            cat.add(label, index).expect("catalog add");
+        }
+        let cat = SnapshotCatalog::open(dir.file("cat")).expect("catalog reopen");
+        let mixed: Vec<Query> = zipf.iter().zip(&pagesweep).flat_map(|(a, b)| [*a, *b]).collect();
+
+        let mut walls = [Duration::ZERO; 2];
+        let mut totals = Vec::new();
+        let mut answers = Vec::new();
+        for (i, backend) in [ReopenBackend::Pread, ReopenBackend::Mmap].into_iter().enumerate() {
+            let set =
+                IndexSet::from_catalog_as(&cat, CACHE_PAGES, backend).expect("from_catalog_as");
+            let plan = set.plan(&mixed);
+            assert_eq!(plan.unrouted(), 0, "the set covers every mixed query");
+            let rep = set.execute_plan(&mixed, &plan, true);
+            totals.push(rep.total);
+            answers.push(rep.answers);
+            walls[i] = best_of(TIMING_RUNS, || set.execute_plan(&mixed, &plan, false));
+        }
+        assert_eq!(answers[0], answers[1], "planner/mixed: answers identical across backends");
+        assert_eq!(totals[0], totals[1], "planner/mixed: IO totals identical across backends");
+        rows.push(Row {
+            cell: "planner/mixed".to_string(),
+            queries: mixed.len(),
+            reads: totals[0].reads,
+            pread_wall: walls[0],
+            mmap_wall: walls[1],
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.cell.clone(),
+                format!("{}", r.queries),
+                format!("{}", r.reads),
+                format!("{:.0}", ns_per_query(r.pread_wall, r.queries)),
+                format!("{:.0}", ns_per_query(r.mmap_wall, r.queries)),
+                format!(
+                    "{:.2}x",
+                    r.pread_wall.as_nanos() as f64 / r.mmap_wall.as_nanos().max(1) as f64
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "pread vs mmap reopen: model read IOs and wall ns/query (best-of-3)",
+        &["cell", "queries", "read IOs", "pread ns/q", "mmap ns/q", "speedup"],
+        &table,
+    );
+
+    // The wall gate: aggregated across cells (less flaky than per-cell),
+    // active only off the 1-core containers where wall is pure noise.
+    let pread_total: Duration = rows.iter().map(|r| r.pread_wall).sum();
+    let mmap_total: Duration = rows.iter().map(|r| r.mmap_wall).sum();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores >= 2 {
+        assert!(
+            mmap_total <= pread_total,
+            "mmap total wall {mmap_total:?} must not exceed pread total {pread_total:?} \
+             ({cores} cores; answers and IO totals were bit-identical)"
+        );
+        println!(
+            "\nWall gate: mmap {mmap_total:?} <= pread {pread_total:?} ({cores} cores) — PASS"
+        );
+    } else {
+        println!(
+            "\nWall gate: informational on 1 core — mmap {mmap_total:?} vs pread {pread_total:?}"
+        );
+    }
+    println!(
+        "Parity gates: answers and model read-IO totals bit-identical across memory, \
+         pread, and mmap on every cell (including the planner-driven mixed batch)."
+    );
+
+    if smoke {
+        let mut report = BenchReport::new("exp_mmap", smoke);
+        for r in &rows {
+            report
+                .cell(r.cell.clone())
+                .metric("queries", r.queries as f64)
+                .metric("read_ios", r.reads as f64)
+                .metric("pread_ns_per_q", ns_per_query(r.pread_wall, r.queries))
+                .metric("mmap_ns_per_q", ns_per_query(r.mmap_wall, r.queries))
+                .report_wall(r.mmap_wall);
+        }
+        report.write_default();
+    }
+}

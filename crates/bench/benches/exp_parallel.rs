@@ -13,7 +13,7 @@
 //! Run with `--smoke` for the CI-sized variant (assertions only — wall
 //! clock on a loaded CI box is noise).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lcrs_baselines::{ExternalKdTree, ExternalScan};
 use lcrs_bench::{print_table, BenchReport};
@@ -248,7 +248,8 @@ fn main() {
             let cell = report.cell(format!("{}/{}/{}", r.structure, r.dist, r.shape));
             cell.metric("queries", r.queries as f64)
                 .metric("read_ios", r.seq_reads as f64)
-                .metric("seq_wall_s", r.seq_ms / 1e3);
+                .metric("seq_wall_s", r.seq_ms / 1e3)
+                .report_wall(Duration::from_secs_f64(r.seq_ms / 1e3));
             for (w, ms) in WORKER_COUNTS.iter().zip(&r.wall_ms) {
                 cell.metric(&format!("w{w}_wall_s"), ms / 1e3);
             }

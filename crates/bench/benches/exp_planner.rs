@@ -15,7 +15,7 @@
 //! Run with `--smoke` for the CI-sized variant (which also emits
 //! `BENCH_exp_planner.json` for the read-IO regression gate).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lcrs_bench::{
     canon_answer, full_index_set, mixed_oracle, mixed_probes, print_table, BenchReport,
@@ -175,7 +175,8 @@ fn main() {
             .cell(format!("plan/{kind}"))
             .metric("queries", queries.len() as f64)
             .metric("read_ios", rep.reads() as f64)
-            .metric("wall_s", wall);
+            .metric("wall_s", wall)
+            .report_wall(Duration::from_secs_f64(wall));
     }
     print_table(
         "Routing policies on the mixed workload (answers pinned identical)",

@@ -14,7 +14,7 @@
 //! Run with `--smoke` for the CI-sized variant (which also emits
 //! `BENCH_exp_shard.json` for the read-IO regression gate).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lcrs_bench::{
     canon_answer, full_index_set, mixed_oracle, mixed_probes, print_table, BenchReport,
@@ -146,7 +146,8 @@ fn main() {
                 .metric("queries", queries.len() as f64)
                 .metric("read_ios", run.reads() as f64)
                 .metric("mean_fanout", run.mean_fanout())
-                .metric("wall_s", wall);
+                .metric("wall_s", wall)
+                .report_wall(Duration::from_secs_f64(wall));
         }
     }
     print_table(

@@ -2,21 +2,28 @@
 //!
 //! `bench_gate check` compares every gated bench's `BENCH_<name>.json`
 //! against the committed `BENCH_baseline.json` (>2% read-IO regression on
-//! any cell fails); `bench_gate update` regenerates the baseline from the
-//! current results. Run the smoke benches first — ci.sh sequences this.
+//! any cell fails); `bench_gate check --gate-wall` additionally gates the
+//! recorded wall-clock cells (regressions only, wide tolerance — opt in on
+//! quiet hardware, CI leaves it off); `bench_gate update` regenerates the
+//! baseline from the current results. Run the smoke benches first — ci.sh
+//! sequences this.
 
 use lcrs_bench::report::{bench_dir, check_baseline, update_baseline};
 
 const TOLERANCE: f64 = 0.02;
+/// Wall-clock tolerance for `--gate-wall`: wide on purpose — even a quiet
+/// machine jitters far more than the deterministic IO counts do.
+const WALL_TOLERANCE: f64 = 0.50;
 
 fn main() {
-    let mode = std::env::args().nth(1);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gate_wall = args.iter().any(|a| a == "--gate-wall");
     let dir = bench_dir();
-    let outcome = match mode.as_deref() {
-        Some("check") => check_baseline(&dir, TOLERANCE),
+    let outcome = match args.first().map(String::as_str) {
+        Some("check") => check_baseline(&dir, TOLERANCE, gate_wall.then_some(WALL_TOLERANCE)),
         Some("update") => update_baseline(&dir),
         _ => {
-            eprintln!("usage: bench_gate <check|update>");
+            eprintln!("usage: bench_gate <check [--gate-wall] | update>");
             std::process::exit(2);
         }
     };

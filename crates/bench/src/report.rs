@@ -6,9 +6,13 @@
 //! prints a one-line summary for the CI log. `ci.sh` then runs the
 //! `bench_gate` binary, which compares the `read_ios` metric of every cell
 //! against the committed `BENCH_baseline.json` and fails on a >2%
-//! regression. Only read-IO counts are gated: they are deterministic (all
-//! workloads are seeded), while wall-clock is noise on shared 1-core CI
-//! containers. Refresh the baseline with `./ci.sh --update-baseline`.
+//! regression. Read-IO counts are gated by default: they are deterministic
+//! (all workloads are seeded), while wall-clock is noise on shared 1-core
+//! CI containers. Wall-clock is still *recorded* — benches emit a
+//! [`WALL_METRIC`] cell via [`BenchCell::report_wall`] and the baseline
+//! keeps a `"wall"` mirror — so `bench_gate check --gate-wall` can opt in
+//! to a wide-tolerance, regressions-only wall gate on quiet hardware.
+//! Refresh the baseline with `./ci.sh --update-baseline`.
 //!
 //! Everything here is std-only (hand-rolled JSON subset writer/parser), so
 //! the gate binary builds without the workspace's bench dev-dependencies.
@@ -18,14 +22,25 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Benches whose smoke runs are gated against the baseline, in ci.sh order.
-pub const GATED_BENCHES: [&str; 6] =
-    ["exp_batched", "exp_parallel", "exp_persist", "exp_planner", "exp_shard", "exp_live"];
+pub const GATED_BENCHES: [&str; 7] = [
+    "exp_batched",
+    "exp_parallel",
+    "exp_persist",
+    "exp_planner",
+    "exp_shard",
+    "exp_live",
+    "exp_mmap",
+];
 
 /// The committed baseline file at the repo root.
 pub const BASELINE_FILE: &str = "BENCH_baseline.json";
 
 /// The gated metric: deterministic read-IO counts.
 pub const READ_METRIC: &str = "read_ios";
+
+/// The recorded-but-ungated-by-default wall-clock metric (whole nanoseconds),
+/// written by [`BenchCell::report_wall`]; gated only by `--gate-wall`.
+pub const WALL_METRIC: &str = "wall_ns";
 
 /// Where bench JSON lives: `$LCRS_BENCH_DIR` if set, else the repo root
 /// (two levels up from the lcrs-bench manifest).
@@ -56,6 +71,14 @@ impl BenchCell {
     pub fn metric(&mut self, key: &str, value: impl Into<f64>) -> &mut BenchCell {
         self.metrics.push((key.to_string(), value.into()));
         self
+    }
+
+    /// Record the cell's wall-clock under the canonical [`WALL_METRIC`]
+    /// key (whole nanoseconds). Every smoke bench reports one so the wall
+    /// column lands in every `BENCH_*.json`; it stays out of the default
+    /// gate (see [`check_baseline`]).
+    pub fn report_wall(&mut self, wall: std::time::Duration) -> &mut BenchCell {
+        self.metric(WALL_METRIC, wall.as_nanos() as f64)
     }
 }
 
@@ -358,10 +381,17 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
 // The regression gate.
 // ---------------------------------------------------------------------------
 
-/// `bench -> cell id -> read IOs`, extracted from a result file.
+/// `cell id -> metric value`, extracted from a result file.
 type ReadMap = BTreeMap<String, f64>;
 
-fn read_result(dir: &Path, bench: &str) -> Result<ReadMap, String> {
+/// One bench's extracted smoke cells: the gated read IOs plus the
+/// recorded (default-ungated) wall-clock values.
+struct ResultCells {
+    reads: ReadMap,
+    walls: ReadMap,
+}
+
+fn read_result(dir: &Path, bench: &str) -> Result<ResultCells, String> {
     let path = result_path(dir, bench);
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("{}: {e} (run the smoke benches first)", path.display()))?;
@@ -376,26 +406,41 @@ fn read_result(dir: &Path, bench: &str) -> Result<ReadMap, String> {
             path.display()
         ));
     }
-    let mut out = ReadMap::new();
+    let mut out = ResultCells { reads: ReadMap::new(), walls: ReadMap::new() };
     for cell in json.get("cells").and_then(Json::as_arr).unwrap_or(&[]) {
         let id = cell.get("id").and_then(Json::as_str).ok_or("cell without id")?;
         if let Some(reads) = cell.get(READ_METRIC).and_then(Json::as_f64) {
-            out.insert(id.to_string(), reads);
+            out.reads.insert(id.to_string(), reads);
+        }
+        if let Some(wall) = cell.get(WALL_METRIC).and_then(Json::as_f64) {
+            out.walls.insert(id.to_string(), wall);
         }
     }
-    if out.is_empty() {
+    if out.reads.is_empty() {
         return Err(format!("{}: no {READ_METRIC} cells", path.display()));
     }
     Ok(out)
 }
 
 /// Compare every gated bench's current smoke results against the committed
-/// baseline. `tolerance` is fractional (0.02 = 2%). Any cell off baseline
-/// by more than the tolerance fails — regressions because they are
+/// baseline. `tolerance` is fractional (0.02 = 2%). Any read-IO cell off
+/// baseline by more than the tolerance fails — regressions because they are
 /// regressions, improvements because a stale-high baseline would mask the
 /// next regression (the fix for either is `./ci.sh --update-baseline`).
+///
+/// `wall_tolerance` opts in to gating the recorded [`WALL_METRIC`] cells
+/// too (`bench_gate check --gate-wall`): only *regressions* beyond the
+/// (deliberately wide) tolerance fail, only for cells present in both the
+/// baseline's `"wall"` mirror and the current run — wall-clock is noisy,
+/// so an unexpectedly fast run is never an error. `None` leaves wall
+/// recorded but ungated (the CI default).
+///
 /// Returns a printable summary, or a printable failure report.
-pub fn check_baseline(dir: &Path, tolerance: f64) -> Result<String, String> {
+pub fn check_baseline(
+    dir: &Path,
+    tolerance: f64,
+    wall_tolerance: Option<f64>,
+) -> Result<String, String> {
     let baseline_path = dir.join(BASELINE_FILE);
     let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
         format!("{}: {e} (create it with ./ci.sh --update-baseline)", baseline_path.display())
@@ -428,7 +473,7 @@ pub fn check_baseline(dir: &Path, tolerance: f64) -> Result<String, String> {
         let mut improvements = 0usize;
         for (id, want) in base {
             let want = want.as_f64().unwrap_or(f64::NAN);
-            match current.get(id) {
+            match current.reads.get(id) {
                 Some(&got) if got <= want * (1.0 + tolerance) => {
                     // An improvement beyond tolerance also fails: left
                     // unrefreshed, the stale-high baseline would let a
@@ -456,7 +501,7 @@ pub fn check_baseline(dir: &Path, tolerance: f64) -> Result<String, String> {
                 None => failures.push(format!("{bench}/{id}: cell vanished from the smoke run")),
             }
         }
-        for id in current.keys() {
+        for id in current.reads.keys() {
             if !base.contains_key(id) {
                 failures.push(format!(
                     "{bench}/{id}: new cell not in the baseline \
@@ -464,10 +509,42 @@ pub fn check_baseline(dir: &Path, tolerance: f64) -> Result<String, String> {
                 ));
             }
         }
+        // The opt-in wall gate: regressions only, cells present on both
+        // sides only — see the function docs.
+        let mut wall_regressions = 0usize;
+        if let Some(wt) = wall_tolerance {
+            let wall_base = baseline.get("wall").and_then(|w| w.get(bench));
+            if let Some(Json::Obj(wall_base)) = wall_base {
+                for (id, want) in wall_base {
+                    let want = want.as_f64().unwrap_or(f64::NAN);
+                    if let Some(&got) = current.walls.get(id) {
+                        if got > want * (1.0 + wt) {
+                            wall_regressions += 1;
+                            failures.push(format!(
+                                "{bench}/{id}: {got} ns wall vs baseline {want} \
+                                 (+{:.1}% > {:.0}% wall tolerance)",
+                                100.0 * (got / want - 1.0),
+                                100.0 * wt
+                            ));
+                        }
+                    }
+                }
+            } else if !current.walls.is_empty() {
+                failures.push(format!(
+                    "{bench}: wall cells present but no \"wall\" baseline \
+                     (refresh with ./ci.sh --update-baseline)"
+                ));
+            }
+        }
         summary.push(format!(
             "{bench}: {} cells vs baseline, {regressions} regressions, \
-             {improvements} improved beyond tolerance",
-            base.len()
+             {improvements} improved beyond tolerance{}",
+            base.len(),
+            if wall_tolerance.is_some() {
+                format!(", {wall_regressions} wall regressions")
+            } else {
+                String::new()
+            }
         ));
     }
     if failures.is_empty() {
@@ -477,32 +554,50 @@ pub fn check_baseline(dir: &Path, tolerance: f64) -> Result<String, String> {
     }
 }
 
-/// Regenerate the baseline from the current smoke results.
+/// Regenerate the baseline from the current smoke results: the gated
+/// read-IO cells under `"benches"` plus a `"wall"` mirror of the recorded
+/// wall-clock cells (ungated unless `--gate-wall`).
 pub fn update_baseline(dir: &Path) -> Result<String, String> {
+    let results: Vec<(&str, ResultCells)> = GATED_BENCHES
+        .iter()
+        .map(|b| read_result(dir, b).map(|c| (*b, c)))
+        .collect::<Result<_, _>>()?;
     let mut s = String::from("{\n");
     s.push_str(
-        "  \"note\": \"read-IO baseline for the smoke benches; wall-clock is deliberately \
-         not gated (noisy on CI). Refresh with ./ci.sh --update-baseline\",\n",
+        "  \"note\": \"read-IO baseline for the smoke benches; the wall mirror is \
+         not gated by default (noisy on CI; opt in with bench_gate check --gate-wall). \
+         Refresh with ./ci.sh --update-baseline\",\n",
     );
-    s.push_str("  \"benches\": {");
-    for (i, bench) in GATED_BENCHES.iter().enumerate() {
-        let current = read_result(dir, bench)?;
+    let reads: Vec<(&str, &ReadMap)> = results.iter().map(|(b, c)| (*b, &c.reads)).collect();
+    let walls: Vec<(&str, &ReadMap)> =
+        results.iter().filter(|(_, c)| !c.walls.is_empty()).map(|(b, c)| (*b, &c.walls)).collect();
+    write_section(&mut s, "benches", &reads);
+    s.push_str(",\n");
+    write_section(&mut s, "wall", &walls);
+    s.push_str("\n}\n");
+    let path = dir.join(BASELINE_FILE);
+    std::fs::write(&path, s).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(format!("[bench-gate] baseline refreshed -> {}", path.display()))
+}
+
+/// Write one `"name": {bench: {cell: value, …}, …}` baseline section
+/// (no trailing newline or comma — the caller joins sections).
+fn write_section(s: &mut String, name: &str, benches: &[(&str, &ReadMap)]) {
+    let _ = write!(s, "  {}: {{", json_str(name));
+    for (i, (bench, cells)) in benches.iter().enumerate() {
         let _ = write!(s, "{}\n    {}: {{", if i > 0 { "," } else { "" }, json_str(bench));
-        for (j, (id, reads)) in current.iter().enumerate() {
+        for (j, (id, v)) in cells.iter().enumerate() {
             let _ = write!(
                 s,
                 "{}\n      {}: {}",
                 if j > 0 { "," } else { "" },
                 json_str(id),
-                json_num(*reads)
+                json_num(*v)
             );
         }
         let _ = write!(s, "\n    }}");
     }
-    s.push_str("\n  }\n}\n");
-    let path = dir.join(BASELINE_FILE);
-    std::fs::write(&path, s).map_err(|e| format!("{}: {e}", path.display()))?;
-    Ok(format!("[bench-gate] baseline refreshed -> {}", path.display()))
+    s.push_str("\n  }");
 }
 
 #[cfg(test)]
@@ -539,9 +634,22 @@ mod tests {
     }
 
     fn write_result(dir: &Path, bench: &str, cells: &[(&str, f64)], smoke: bool) {
+        write_result_wall(dir, bench, cells, smoke, None);
+    }
+
+    fn write_result_wall(
+        dir: &Path,
+        bench: &str,
+        cells: &[(&str, f64)],
+        smoke: bool,
+        wall_ns: Option<f64>,
+    ) {
         let mut rep = BenchReport::new(bench, smoke);
         for (id, reads) in cells {
-            rep.cell(*id).metric(READ_METRIC, *reads);
+            let cell = rep.cell(*id).metric(READ_METRIC, *reads);
+            if let Some(ns) = wall_ns {
+                cell.report_wall(std::time::Duration::from_nanos(ns as u64));
+            }
         }
         std::fs::write(result_path(dir, bench), rep.to_json()).unwrap();
     }
@@ -554,37 +662,74 @@ mod tests {
             write_result(&dir, bench, &[("cell/a", 100.0), ("cell/b", 50.0)], true);
         }
         update_baseline(&dir).unwrap();
-        assert!(check_baseline(&dir, 0.02).is_ok());
+        assert!(check_baseline(&dir, 0.02, None).is_ok());
 
         // +1% on one cell: within the 2% tolerance.
         write_result(&dir, "exp_batched", &[("cell/a", 101.0), ("cell/b", 50.0)], true);
-        assert!(check_baseline(&dir, 0.02).is_ok());
+        assert!(check_baseline(&dir, 0.02, None).is_ok());
 
         // +5%: gate fails and names the offender.
         write_result(&dir, "exp_batched", &[("cell/a", 105.0), ("cell/b", 50.0)], true);
-        let err = check_baseline(&dir, 0.02).unwrap_err();
+        let err = check_baseline(&dir, 0.02, None).unwrap_err();
         assert!(err.contains("exp_batched/cell/a"), "{err}");
 
         // -20%: an improvement beyond tolerance fails too — the baseline
         // must be refreshed so later regressions can't hide below it.
         write_result(&dir, "exp_batched", &[("cell/a", 80.0), ("cell/b", 50.0)], true);
-        let err = check_baseline(&dir, 0.02).unwrap_err();
+        let err = check_baseline(&dir, 0.02, None).unwrap_err();
         assert!(err.contains("update-baseline"), "{err}");
 
         // A vanished cell fails; a new unbaselined cell fails.
         write_result(&dir, "exp_batched", &[("cell/a", 100.0)], true);
-        assert!(check_baseline(&dir, 0.02).unwrap_err().contains("vanished"));
+        assert!(check_baseline(&dir, 0.02, None).unwrap_err().contains("vanished"));
         write_result(
             &dir,
             "exp_batched",
             &[("cell/a", 100.0), ("cell/b", 50.0), ("cell/new", 1.0)],
             true,
         );
-        assert!(check_baseline(&dir, 0.02).unwrap_err().contains("cell/new"));
+        assert!(check_baseline(&dir, 0.02, None).unwrap_err().contains("cell/new"));
 
         // Non-smoke results are rejected outright.
         write_result(&dir, "exp_batched", &[("cell/a", 100.0), ("cell/b", 50.0)], false);
-        assert!(check_baseline(&dir, 0.02).unwrap_err().contains("smoke"));
+        assert!(check_baseline(&dir, 0.02, None).unwrap_err().contains("smoke"));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wall_cells_are_recorded_but_gated_only_on_request() {
+        let dir = std::env::temp_dir().join(format!("lcrs-wall-gate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for bench in GATED_BENCHES {
+            write_result_wall(&dir, bench, &[("cell/a", 100.0)], true, Some(1_000_000.0));
+        }
+        update_baseline(&dir).unwrap();
+        let baseline = std::fs::read_to_string(dir.join(BASELINE_FILE)).unwrap();
+        let parsed = parse_json(&baseline).unwrap();
+        assert_eq!(
+            parsed.get("wall").and_then(|w| w.get("exp_mmap")).and_then(|b| b.get("cell/a")),
+            Some(&Json::Num(1_000_000.0)),
+            "the baseline must carry the wall mirror"
+        );
+        assert!(check_baseline(&dir, 0.02, Some(0.5)).is_ok());
+
+        // A 3x wall blowup passes the default gate (wall ungated) but
+        // fails the opt-in one, naming the cell.
+        write_result_wall(&dir, "exp_mmap", &[("cell/a", 100.0)], true, Some(3_000_000.0));
+        assert!(check_baseline(&dir, 0.02, None).is_ok(), "wall is ungated by default");
+        let err = check_baseline(&dir, 0.02, Some(0.5)).unwrap_err();
+        assert!(err.contains("exp_mmap/cell/a") && err.contains("wall"), "{err}");
+
+        // A faster run never fails the wall gate (noise cuts both ways).
+        write_result_wall(&dir, "exp_mmap", &[("cell/a", 100.0)], true, Some(100_000.0));
+        assert!(check_baseline(&dir, 0.02, Some(0.5)).is_ok());
+
+        // Wall cells without a wall baseline demand a refresh.
+        let no_wall = baseline.replace("\"wall\"", "\"wall-renamed\"");
+        std::fs::write(dir.join(BASELINE_FILE), no_wall).unwrap();
+        let err = check_baseline(&dir, 0.02, Some(0.5)).unwrap_err();
+        assert!(err.contains("update-baseline"), "{err}");
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -27,7 +27,7 @@
 
 use std::path::{Path, PathBuf};
 
-use lcrs_extmem::{Device, MetaReader, MetaWriter, SnapshotError};
+use lcrs_extmem::{Device, MetaReader, MetaWriter, ReopenBackend, SnapshotError};
 
 use crate::query::{load_index, RangeIndex};
 
@@ -150,12 +150,24 @@ impl SnapshotCatalog {
         label: &str,
         cache_pages: usize,
     ) -> Result<Box<dyn RangeIndex>, SnapshotError> {
+        self.load_as(label, cache_pages, ReopenBackend::Pread)
+    }
+
+    /// [`Self::load`] with an explicit storage backend
+    /// ([`ReopenBackend::Mmap`] for the zero-copy mapping, DESIGN.md §13).
+    /// Answers and model read-IO counts are bit-identical across backends.
+    pub fn load_as(
+        &self,
+        label: &str,
+        cache_pages: usize,
+        backend: ReopenBackend,
+    ) -> Result<Box<dyn RangeIndex>, SnapshotError> {
         let entry = self
             .entries
             .iter()
             .find(|e| e.label == label)
             .ok_or_else(|| SnapshotError::NoSuchEntry { label: label.to_string() })?;
-        let device = Device::open_snapshot(self.pages_path(label), cache_pages)?;
+        let device = Device::open_snapshot_as(self.pages_path(label), cache_pages, backend)?;
         let mut r = MetaReader::open(&self.meta_path(label))?;
         let kind = r.str()?;
         if kind != entry.kind {
@@ -171,7 +183,16 @@ impl SnapshotCatalog {
 
     /// Reopen every entry, in `add` order.
     pub fn load_all(&self, cache_pages: usize) -> Result<Vec<Box<dyn RangeIndex>>, SnapshotError> {
-        self.entries.iter().map(|e| self.load(&e.label, cache_pages)).collect()
+        self.load_all_as(cache_pages, ReopenBackend::Pread)
+    }
+
+    /// [`Self::load_all`] with an explicit storage backend.
+    pub fn load_all_as(
+        &self,
+        cache_pages: usize,
+        backend: ReopenBackend,
+    ) -> Result<Vec<Box<dyn RangeIndex>>, SnapshotError> {
+        self.entries.iter().map(|e| self.load_as(&e.label, cache_pages, backend)).collect()
     }
 
     /// Drop one entry: it leaves the manifest first (the commit point —

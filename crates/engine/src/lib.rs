@@ -67,7 +67,9 @@ pub use catalog::{CatalogEntry, SnapshotCatalog, RESERVED_PREFIX};
 pub use cost::{calibrate_index, predicted_reads, Calibration};
 pub use live::{LiveIndex, LiveLevel, LIVE_MANIFEST};
 pub use parallel::{ParallelExecutor, ParallelReport, WorkerReport};
-pub use planner::{IndexSet, Plan, PlanReport, RoutedReport, CALIBRATION_FILE};
+pub use planner::{
+    IndexSet, Plan, PlanReport, PrefetchHint, RoutedReport, CALIBRATION_FILE, NO_PREFETCH_ENV,
+};
 pub use query::{load_index, Query, RangeIndex, Unsupported};
 pub use shard::{
     cheapest_tier, ShardConfig, ShardReport, ShardedIndexSet, ShardedReport, SHARD_MANIFEST,

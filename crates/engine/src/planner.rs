@@ -37,7 +37,9 @@
 
 use std::path::{Path, PathBuf};
 
-use lcrs_extmem::{IoDelta, MetaReader, MetaWriter, SnapshotError};
+use lcrs_extmem::{
+    DeviceHandle, IoDelta, MetaReader, MetaWriter, PageId, ReopenBackend, SnapshotError,
+};
 
 use crate::batch::{BatchExecutor, QueryOutcome, QueryStatus};
 use crate::catalog::SnapshotCatalog;
@@ -50,6 +52,53 @@ use crate::query::{Query, RangeIndex};
 /// engine-internal [`crate::catalog::RESERVED_PREFIX`], so it can never
 /// collide with entry files).
 pub const CALIBRATION_FILE: &str = "__planner.calib";
+
+/// Environment variable that disables planner prefetch hints process-wide
+/// (any value). The programmatic switch is [`IndexSet::set_prefetch`];
+/// both must leave answers and model IO counts untouched (pinned by the
+/// oracle suite) — hints only move real-hardware wall time.
+pub const NO_PREFETCH_ENV: &str = "LCRS_NO_PREFETCH";
+
+/// A planner-issued readahead hint for one routed plan group
+/// (DESIGN.md §13).
+///
+/// Before a group runs, the planner knows which structure will serve it
+/// and what the calibrated cost model predicts the group will read
+/// ([`Plan::predicted`]). Page identity inside a structure is opaque at
+/// this layer, so the hint is a budget-sized sequential window over the
+/// structure's device, anchored at the front: exact for scan-class
+/// structures (their files are read front to back in locality order) and
+/// a root/metadata cluster warm-up for tree-shaped ones. The window is
+/// issued through [`DeviceHandle::prefetch`] — `madvise(MADV_WILLNEED)`
+/// on an mmap store, a sequential warm read on a pread store, a no-op in
+/// memory — and is *purely advisory*: no model IO is charged, no cache is
+/// touched, answers are bit-identical with hints on or off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchHint {
+    /// Slot of the structure the group is routed to.
+    pub slot: usize,
+    /// First page of the predicted window.
+    pub first_page: u64,
+    /// Window length in pages: the ceiling of the group's summed
+    /// calibrated predicted reads, capped at the device's allocated pages.
+    pub pages: u64,
+}
+
+impl PrefetchHint {
+    /// The hint for a group with `predicted_reads` summed model reads on
+    /// a device of `device_pages` allocated pages.
+    pub fn new(slot: usize, predicted_reads: f64, device_pages: u64) -> PrefetchHint {
+        let want = predicted_reads.max(0.0).ceil();
+        let pages = if want >= device_pages as f64 { device_pages } else { want as u64 };
+        PrefetchHint { slot, first_page: 0, pages }
+    }
+
+    /// Issue the advisory readahead on `device`. Never panics, never
+    /// errors, never charges model IO.
+    pub fn issue(&self, device: &DeviceHandle) {
+        device.prefetch(PageId(self.first_page), self.pages);
+    }
+}
 
 struct Entry {
     index: Box<dyn RangeIndex>,
@@ -132,12 +181,29 @@ impl PlanReport {
 #[derive(Default)]
 pub struct IndexSet {
     entries: Vec<Entry>,
+    /// Prefetch hints are on by default (`false` here); flipped by
+    /// [`Self::set_prefetch`], overridden process-wide by
+    /// [`NO_PREFETCH_ENV`].
+    prefetch_disabled: bool,
 }
 
 impl IndexSet {
     /// An empty set.
     pub fn new() -> IndexSet {
-        IndexSet { entries: Vec::new() }
+        IndexSet::default()
+    }
+
+    /// Enable or disable planner prefetch hints for this set. A disabled
+    /// set executes identically (same answers, same model IO counts) —
+    /// only the advisory readahead before each routed group is skipped.
+    pub fn set_prefetch(&mut self, enabled: bool) {
+        self.prefetch_disabled = !enabled;
+    }
+
+    /// Whether executing a plan will issue [`PrefetchHint`]s: on unless
+    /// disabled by [`Self::set_prefetch`] or [`NO_PREFETCH_ENV`].
+    pub fn prefetch_enabled(&self) -> bool {
+        !self.prefetch_disabled && std::env::var_os(NO_PREFETCH_ENV).is_none()
     }
 
     /// Add a built structure; returns its slot. Uncalibrated until
@@ -155,8 +221,20 @@ impl IndexSet {
         cat: &SnapshotCatalog,
         cache_pages: usize,
     ) -> Result<IndexSet, SnapshotError> {
+        Self::from_catalog_as(cat, cache_pages, ReopenBackend::Pread)
+    }
+
+    /// [`Self::from_catalog`] with an explicit storage backend for every
+    /// reopened device ([`ReopenBackend::Mmap`] for zero-copy serving).
+    /// Plans, answers, and model IO counts are bit-identical across
+    /// backends (pinned by the oracle suite).
+    pub fn from_catalog_as(
+        cat: &SnapshotCatalog,
+        cache_pages: usize,
+        backend: ReopenBackend,
+    ) -> Result<IndexSet, SnapshotError> {
         let mut set = IndexSet::new();
-        for index in cat.load_all(cache_pages)? {
+        for index in cat.load_all_as(cache_pages, backend)? {
             set.add(index);
         }
         let calib = Self::calibration_path(cat);
@@ -402,12 +480,22 @@ impl IndexSet {
             if keep_answers { vec![Vec::new(); queries.len()] } else { Vec::new() };
         let mut per_index = Vec::new();
         let mut total = IoDelta::default();
+        let prefetch = self.prefetch_enabled();
         for (slot, group) in groups.iter().enumerate() {
             if group.is_empty() {
                 continue;
             }
             let sub: Vec<Query> = group.iter().map(|&qi| queries[qi]).collect();
             let index = &*self.entries[slot].index;
+            if prefetch {
+                // Both execution paths (sequential BatchExecutor,
+                // sharded ParallelExecutor) and the per-shard sets of
+                // ShardedIndexSet funnel through here, so one hint per
+                // routed group covers all of them.
+                let predicted: f64 = group.iter().map(|&qi| plan.predicted[qi]).sum();
+                PrefetchHint::new(slot, predicted, index.device().pages_allocated())
+                    .issue(index.device());
+            }
             let (sub_outcomes, sub_total, sub_answers) = exec(index, &sub, keep_answers);
             let attributed: IoDelta = crate::batch::sum_outcome_io(&sub_outcomes);
             assert_eq!(

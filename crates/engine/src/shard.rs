@@ -39,7 +39,8 @@
 use std::path::{Path, PathBuf};
 
 use lcrs_extmem::{
-    Device, DeviceConfig, DeviceHandle, IoDelta, MetaReader, MetaWriter, SnapshotError,
+    Device, DeviceConfig, DeviceHandle, IoDelta, MetaReader, MetaWriter, ReopenBackend,
+    SnapshotError,
 };
 use lcrs_halfspace::partition::{partition2, partition3, Partition2, Partition3};
 use lcrs_halfspace::{ShardRegion2, ShardRegion3};
@@ -531,6 +532,18 @@ impl ShardedIndexSet {
         dir: impl AsRef<Path>,
         cache_pages: usize,
     ) -> Result<ShardedIndexSet, SnapshotError> {
+        Self::from_catalog_as(dir, cache_pages, ReopenBackend::Pread)
+    }
+
+    /// [`Self::from_catalog`] with an explicit storage backend for every
+    /// shard's reopened devices ([`ReopenBackend::Mmap`] for zero-copy
+    /// serving) — the same guarantees, backend choice plumbed through
+    /// every sub-catalog.
+    pub fn from_catalog_as(
+        dir: impl AsRef<Path>,
+        cache_pages: usize,
+        backend: ReopenBackend,
+    ) -> Result<ShardedIndexSet, SnapshotError> {
         let dir = dir.as_ref();
         let mut r = MetaReader::open(&Self::manifest_path(dir))?;
         let magic = r.str()?;
@@ -574,7 +587,7 @@ impl ShardedIndexSet {
         let mut loaded = Vec::with_capacity(shards);
         for (s, pts2) in all_pts2.into_iter().enumerate() {
             let cat = SnapshotCatalog::open(dir.join(format!("shard{s}")))?;
-            let set = IndexSet::from_catalog(&cat, cache_pages)?;
+            let set = IndexSet::from_catalog_as(&cat, cache_pages, backend)?;
             loaded.push(Shard {
                 set,
                 region2: p2.regions[s].clone(),

@@ -20,6 +20,8 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+#[cfg(unix)]
+use crate::snapshot::MappedSnapshot;
 use crate::snapshot::{write_snapshot, SnapshotError, SnapshotFile};
 use crate::stats::IoStats;
 
@@ -52,14 +54,34 @@ impl DeviceConfig {
     }
 }
 
+/// Per-thread pool of page buffers for the pread backend. A stack (not a
+/// single slot): a page closure that nests another frozen read — allowed
+/// after freeze — pops a *second* buffer instead of degrading to a fresh
+/// heap allocation per access, and both go back for reuse. The pool holds
+/// at most `PAGE_BUF_POOL_CAP` buffers, so steady state allocates exactly
+/// once per nesting depth per thread (pinned by regression test).
+const PAGE_BUF_POOL_CAP: usize = 8;
+thread_local! {
+    static PAGE_BUF_POOL: std::cell::RefCell<Vec<Vec<u8>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+#[cfg(test)]
+fn page_buf_pool_len() -> usize {
+    PAGE_BUF_POOL.with(|pool| pool.borrow().len())
+}
+
 /// Where a frozen store's page data lives: the build-phase vector moved in
-/// place ([`Device::freeze`]) or a validated snapshot file reopened from
-/// disk ([`Device::open_snapshot`]). Both are immutable and read without a
-/// lock, so the choice of backend never changes `Send + Sync` reads, fork
+/// place ([`Device::freeze`]), a validated snapshot file read positionally
+/// ([`ReopenBackend::Pread`]), or the same file memory-mapped once
+/// ([`ReopenBackend::Mmap`]). All are immutable and read without a lock,
+/// so the choice of backend never changes `Send + Sync` reads, fork
 /// semantics, or IO accounting — only where the bytes come from.
 enum PageSource {
     Memory(Vec<Box<[u8]>>),
     File(SnapshotFile),
+    #[cfg(unix)]
+    Mmap(MappedSnapshot),
 }
 
 impl PageSource {
@@ -74,24 +96,29 @@ impl PageSource {
             PageSource::Memory(pages) => f(Store::page(pages, id, op)),
             PageSource::File(sf) => {
                 assert!(id.0 < sf.page_count(), "{op} of unallocated page {id:?}");
-                // One reusable buffer per thread: file-backed page access
-                // is one pread, not one heap allocation + one pread. The
-                // buffer is *taken* out of the slot for the duration of
-                // `f`, so a page closure that nests another frozen read
-                // (allowed after freeze) simply allocates afresh instead
-                // of panicking on a re-borrow.
-                thread_local! {
-                    static PAGE_BUF: std::cell::Cell<Vec<u8>> =
-                        const { std::cell::Cell::new(Vec::new()) };
-                }
-                PAGE_BUF.with(|cell| {
-                    let mut buf = cell.take();
-                    buf.resize(page_bytes, 0);
-                    sf.read_page_into(id.0, &mut buf);
-                    let r = f(&buf);
-                    cell.set(buf);
-                    r
-                })
+                // Reuse a pooled buffer: file-backed page access is one
+                // pread, not one heap allocation + one pread. The borrow
+                // on the pool is released while `f` runs, so nested
+                // frozen reads pop further buffers (see PAGE_BUF_POOL).
+                let mut buf =
+                    PAGE_BUF_POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_default();
+                buf.resize(page_bytes, 0);
+                sf.read_page_into(id.0, &mut buf);
+                let r = f(&buf);
+                PAGE_BUF_POOL.with(|pool| {
+                    let mut pool = pool.borrow_mut();
+                    if pool.len() < PAGE_BUF_POOL_CAP {
+                        pool.push(buf);
+                    }
+                });
+                r
+            }
+            // Zero-copy: the page is a slice of the validated mapping —
+            // no syscall, no checksum pass, no buffer shuffle.
+            #[cfg(unix)]
+            PageSource::Mmap(m) => {
+                assert!(id.0 < m.page_count(), "{op} of unallocated page {id:?}");
+                f(m.page(id.0))
             }
         }
     }
@@ -100,6 +127,32 @@ impl PageSource {
         match self {
             PageSource::Memory(pages) => pages.len() as u64,
             PageSource::File(sf) => sf.page_count(),
+            #[cfg(unix)]
+            PageSource::Mmap(m) => m.page_count(),
+        }
+    }
+
+    /// Advisory readahead over `count` pages starting at `first`: kernel
+    /// `madvise(MADV_WILLNEED)` on the mmap backend, a sequential warm
+    /// read into a scratch buffer on the pread backend (heats the OS page
+    /// cache the preads will hit), nothing on the memory backend. Clamped
+    /// to the store; never a panic, never an error.
+    fn prefetch(&self, page_bytes: usize, first: PageId, count: u64) {
+        match self {
+            PageSource::Memory(_) => {}
+            PageSource::File(sf) => {
+                let lo = first.0.min(sf.page_count());
+                let hi = first.0.saturating_add(count).min(sf.page_count());
+                if lo >= hi {
+                    return;
+                }
+                let mut buf = vec![0u8; page_bytes];
+                for i in lo..hi {
+                    sf.read_page_into(i, &mut buf);
+                }
+            }
+            #[cfg(unix)]
+            PageSource::Mmap(m) => m.advise_pages(first.0, count),
         }
     }
 }
@@ -111,8 +164,26 @@ pub enum PageBackend {
     Building,
     /// Frozen in memory ([`Device::freeze`]).
     Memory,
-    /// Frozen on disk ([`Device::open_snapshot`]).
+    /// Frozen on disk, read by positional `pread` ([`Device::open_snapshot`]).
     File,
+    /// Frozen on disk, memory-mapped once and read zero-copy
+    /// ([`Device::open_snapshot_as`] with [`ReopenBackend::Mmap`]).
+    Mmap,
+}
+
+/// Which storage backend [`Device::open_snapshot_as`] should put the
+/// reopened pages on. Answers and model read-IO counts are bit-identical
+/// across backends — the choice only moves real-hardware wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReopenBackend {
+    /// One positional `pread` into a pooled per-thread buffer per page
+    /// miss. The portable default.
+    #[default]
+    Pread,
+    /// Map the validated file once; every page read is a pointer offset
+    /// into the mapping (unix only — silently falls back to
+    /// [`ReopenBackend::Pread`] elsewhere).
+    Mmap,
 }
 
 /// The shared page store. While building, pages live behind `building`;
@@ -321,6 +392,24 @@ impl DeviceHandle {
             None => PageBackend::Building,
             Some(PageSource::Memory(_)) => PageBackend::Memory,
             Some(PageSource::File(_)) => PageBackend::File,
+            #[cfg(unix)]
+            Some(PageSource::Mmap(_)) => PageBackend::Mmap,
+        }
+    }
+
+    /// Advisory readahead for `count` pages starting at `first` — the
+    /// device half of a planner prefetch hint: on the mmap
+    /// backend this is `madvise(MADV_WILLNEED)` over the page range, on
+    /// the pread backend a sequential warm read that heats the OS page
+    /// cache, on the memory backend (and during the build phase) nothing.
+    ///
+    /// A pure hint: it never touches this scope's LRU or [`IoStats`] —
+    /// model IO counts and answers are bit-identical with prefetching on,
+    /// off, or unsupported (pinned by regression test). Out-of-range
+    /// ranges are clamped, never a panic.
+    pub fn prefetch(&self, first: PageId, count: u64) {
+        if let Some(src) = self.store.frozen.get() {
+            src.prefetch(self.store.cfg.page_bytes, first, count);
         }
     }
 
@@ -344,6 +433,12 @@ impl DeviceHandle {
             Some(PageSource::File(sf)) => {
                 write_snapshot(path.as_ref(), page_bytes, sf.page_count(), |i, buf| {
                     sf.read_page_into(i, buf)
+                })
+            }
+            #[cfg(unix)]
+            Some(PageSource::Mmap(m)) => {
+                write_snapshot(path.as_ref(), page_bytes, m.page_count(), |i, buf| {
+                    buf.copy_from_slice(m.page(i))
                 })
             }
         }
@@ -516,12 +611,36 @@ impl Device {
         path: impl AsRef<Path>,
         cache_pages: usize,
     ) -> Result<Device, SnapshotError> {
+        Device::open_snapshot_as(path, cache_pages, ReopenBackend::Pread)
+    }
+
+    /// [`Device::open_snapshot`] with an explicit storage backend.
+    ///
+    /// Both backends validate through the identical code path
+    /// ([`SnapshotFile::open`]), so every corruption case surfaces as the
+    /// same typed [`SnapshotError`] no matter which backend was requested
+    /// — and never as a fault at read time. With [`ReopenBackend::Mmap`]
+    /// the validated file is then mapped once and each page read is a
+    /// pointer offset into the mapping (zero-copy); answers and model
+    /// read-IO counts stay bit-identical to the pread backend, only real
+    /// wall time changes. On non-unix platforms an mmap request silently
+    /// uses the portable pread backend.
+    pub fn open_snapshot_as(
+        path: impl AsRef<Path>,
+        cache_pages: usize,
+        backend: ReopenBackend,
+    ) -> Result<Device, SnapshotError> {
         let sf = SnapshotFile::open(path.as_ref())?;
         let cfg = DeviceConfig::new(sf.page_bytes(), cache_pages);
+        let src = match backend {
+            ReopenBackend::Pread => PageSource::File(sf),
+            #[cfg(unix)]
+            ReopenBackend::Mmap => PageSource::Mmap(MappedSnapshot::from_snapshot_file(sf)?),
+            #[cfg(not(unix))]
+            ReopenBackend::Mmap => PageSource::File(sf),
+        };
         let frozen = OnceLock::new();
-        frozen
-            .set(PageSource::File(sf))
-            .unwrap_or_else(|_| unreachable!("freshly created OnceLock"));
+        frozen.set(src).unwrap_or_else(|_| unreachable!("freshly created OnceLock"));
         Ok(Device {
             primary: DeviceHandle {
                 store: Arc::new(Store {
@@ -1018,5 +1137,156 @@ mod tests {
                 .collect()
         });
         assert_eq!(totals, vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn nested_file_reads_reuse_pooled_buffers() {
+        // ISSUE 8 regression: the pread backend used a single per-thread
+        // buffer slot, so *nested* frozen reads (outer closure reading
+        // another page) degraded to one fresh heap allocation per access.
+        // The pool must instead stabilize at one buffer per nesting depth.
+        let dir = crate::snapshot::TempDir::new("lcrs-device-bufpool");
+        let dev = Device::new(DeviceConfig::new(128, 0));
+        let p = dev.alloc_pages(4);
+        for i in 0..4 {
+            dev.write_page(PageId(p.0 + i), |b| b[0] = 10 + i as u8);
+        }
+        let path = dir.file("pool.pages");
+        dev.freeze_to_path(&path).unwrap();
+        let re = Device::open_snapshot(&path, 0).unwrap();
+        let re2 = Device::open_snapshot(&path, 0).unwrap();
+        // A fresh thread starts with an empty pool, so the count below is
+        // exact regardless of what other tests ran on this thread.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(page_buf_pool_len(), 0);
+                for round in 0..10 {
+                    let v = re.read_page(PageId(0), |outer| {
+                        let inner = re2.read_page(PageId(3), |b| b[0]);
+                        // The outer borrow must survive the nested read:
+                        // distinct buffers, no clobbering.
+                        (outer[0], inner)
+                    });
+                    assert_eq!(v, (10, 13), "round {round}");
+                    assert_eq!(
+                        page_buf_pool_len(),
+                        2,
+                        "round {round}: depth-2 nesting must settle at exactly 2 pooled \
+                         buffers, not allocate per access"
+                    );
+                }
+            });
+        });
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_reopen_is_bit_identical_to_pread() {
+        let dir = crate::snapshot::TempDir::new("lcrs-device-mmap");
+        let dev = Device::new(DeviceConfig::new(128, 2));
+        let p = dev.alloc_pages(6);
+        for i in 0..6 {
+            dev.write_page(PageId(p.0 + i), |b| {
+                b[0] = i as u8;
+                b[127] = 0xB0 + i as u8;
+            });
+        }
+        let path = dir.file("m.pages");
+        dev.freeze_to_path(&path).unwrap();
+        let pread = Device::open_snapshot_as(&path, 2, ReopenBackend::Pread).unwrap();
+        let mmap = Device::open_snapshot_as(&path, 2, ReopenBackend::Mmap).unwrap();
+        assert_eq!(pread.backend(), PageBackend::File);
+        assert_eq!(mmap.backend(), PageBackend::Mmap);
+        assert!(mmap.is_frozen());
+        assert_eq!(mmap.page_bytes(), 128);
+        assert_eq!(mmap.pages_allocated(), 6);
+        assert_eq!(mmap.stats(), IoStats::default(), "mmap reopen starts cold");
+        // Same access trace on both: identical bytes AND identical model
+        // IO accounting (the LRU sees the same key stream).
+        let trace = [0u64, 1, 0, 5, 2, 0, 5, 3];
+        for &i in &trace {
+            let a = pread.read_page(PageId(i), |b| (b[0], b[127]));
+            let b = mmap.read_page(PageId(i), |b| (b[0], b[127]));
+            assert_eq!(a, b);
+            assert_eq!(a, (i as u8, 0xB0 + i as u8));
+        }
+        assert_eq!(pread.stats(), mmap.stats(), "model IOs must not depend on the backend");
+        // Re-snapshotting from the mapping reproduces the file bit-exactly.
+        mmap.snapshot_to_path(dir.file("copy.pages")).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(dir.file("copy.pages")).unwrap(),
+            "snapshot of an mmap store must be byte-identical to its source"
+        );
+        // OOB reads panic exactly like the other backends.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mmap.read_page(PageId(6), |_| ());
+        }));
+        assert!(r.is_err(), "OOB read on mmap backend must panic, not fault");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_reads_are_lock_free_across_threads() {
+        let dir = crate::snapshot::TempDir::new("lcrs-device-mmap-mt");
+        let dev = Device::new(DeviceConfig::new(128, 0));
+        let p = dev.alloc_pages(8);
+        for i in 0..8 {
+            dev.write_page(PageId(p.0 + i), |b| b[0] = i as u8);
+        }
+        dev.freeze_to_path(dir.file("mt.pages")).unwrap();
+        let re = Device::open_snapshot_as(dir.file("mt.pages"), 0, ReopenBackend::Mmap).unwrap();
+        let totals: Vec<u64> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let h = re.handle();
+                    s.spawn(move || {
+                        for i in 0..8u64 {
+                            assert_eq!(h.read_page(PageId(i), |b| b[0]), i as u8);
+                        }
+                        h.stats().reads
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .collect()
+        });
+        assert_eq!(totals, vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn prefetch_is_invisible_to_the_cost_model() {
+        // Prefetch must not touch stats or the LRU on any backend, and
+        // must accept any range (including out of bounds) on any phase.
+        let dir = crate::snapshot::TempDir::new("lcrs-device-prefetch");
+        let dev = Device::new(DeviceConfig::new(128, 4));
+        let p = dev.alloc_pages(4);
+        for i in 0..4 {
+            dev.write_page(PageId(p.0 + i), |b| b[0] = i as u8);
+        }
+        dev.prefetch(PageId(0), 4); // build phase: no-op
+        let path = dir.file("pf.pages");
+        dev.freeze_to_path(&path).unwrap();
+
+        let mut devices = vec![Device::open_snapshot_as(&path, 4, ReopenBackend::Pread).unwrap()];
+        #[cfg(unix)]
+        devices.push(Device::open_snapshot_as(&path, 4, ReopenBackend::Mmap).unwrap());
+        devices.push(dev); // memory backend
+        for d in &devices {
+            d.reset_stats();
+            d.clear_cache();
+            d.prefetch(PageId(0), 4);
+            d.prefetch(PageId(2), u64::MAX); // clamped
+            d.prefetch(PageId(99), 7); // fully out of range
+            d.prefetch(PageId(1), 0); // empty
+            assert_eq!(d.stats(), IoStats::default(), "prefetch must never be model IO");
+            assert_eq!(d.cached_pages(), 0, "prefetch must never touch the LRU");
+            // The subsequent reads still pay full, deterministic IOs.
+            for i in 0..4u64 {
+                assert_eq!(d.read_page(PageId(i), |b| b[0]), i as u8);
+            }
+            assert_eq!(d.stats().reads, 4);
+        }
     }
 }

@@ -28,8 +28,10 @@ pub mod file;
 pub mod snapshot;
 pub mod sort;
 pub mod stats;
+#[cfg(unix)]
+pub(crate) mod sys;
 
-pub use device::{Device, DeviceConfig, DeviceHandle, PageBackend, PageId};
+pub use device::{Device, DeviceConfig, DeviceHandle, PageBackend, PageId, ReopenBackend};
 pub use file::{FileBuilder, Record, VecFile};
 pub use snapshot::{MetaReader, MetaWriter, SnapshotError, TempDir};
 pub use stats::{IoDelta, IoStats};

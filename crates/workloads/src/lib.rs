@@ -442,6 +442,46 @@ pub fn knn_mixed(
         .collect()
 }
 
+/// A sequential *page-sweep* trace of `len` halfplane queries `(m, c)`:
+/// one shared slope, selectivity climbing by a constant `stride` per query
+/// from 0 (clamped at n), emitted in submission order. Consecutive answer
+/// sets are nested prefixes growing `stride` records at a time, so an
+/// index laid out in rank order reads its pages strictly front to back
+/// across the batch — the prefetch-friendliest traffic there is (the
+/// `exp_mmap` readahead showcase), the opposite extreme from the cold
+/// random access of a wide [`BatchShape::ZipfRepeat`]. Differs from
+/// [`BatchShape::SortedSweep`] in pacing: the sweep spreads `len` queries
+/// over the whole selectivity range, the page sweep advances a fixed
+/// number of *records* (hence pages) per query. Deterministic in
+/// `(pts, len, stride, slope, seed)`.
+pub fn halfplane_page_sweep(
+    pts: &[(i64, i64)],
+    len: usize,
+    stride: usize,
+    slope: i64,
+    seed: u64,
+) -> Vec<(i64, i64)> {
+    assert!(!pts.is_empty() && stride > 0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c9);
+    let m = rng.gen_range(-slope..=slope);
+    let mut vals: Vec<i128> = pts.iter().map(|&(x, y)| y as i128 - m as i128 * x as i128).collect();
+    vals.sort_unstable();
+    let n = vals.len();
+    (0..len)
+        .map(|j| {
+            let t = (j * stride).min(n);
+            let c = if t == 0 {
+                vals[0] - 1
+            } else if t == n {
+                vals[n - 1] + 1
+            } else {
+                vals[t]
+            };
+            (m, i64::try_from(c).expect("intercept fits i64"))
+        })
+        .collect()
+}
+
 /// One operation of a live-update trace (the workload of the engine's
 /// `LiveIndex`: mutation and queries interleaved on one timeline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -701,6 +741,27 @@ mod tests {
         assert!(slopes.len() >= 8, "slopes must vary, saw {}", slopes.len());
         assert!(batch.iter().any(|&(_, _, inc)| inc));
         assert!(batch.iter().any(|&(_, _, inc)| !inc));
+    }
+
+    #[test]
+    fn page_sweep_is_pinned_and_strictly_paced() {
+        let pts = points2(Dist2::Uniform, 300, 100_000, 16);
+        let batch = halfplane_page_sweep(&pts, 40, 10, 40, 33);
+        assert_eq!(batch.len(), 40);
+        assert_eq!(batch, halfplane_page_sweep(&pts, 40, 10, 40, 33), "deterministic");
+        assert_ne!(batch, halfplane_page_sweep(&pts, 40, 10, 40, 34), "seed must matter");
+        // One shared slope; intercepts never descend (nested prefixes).
+        let m = batch[0].0;
+        assert!(batch.iter().all(|&(bm, _)| bm == m), "page sweep shares one slope");
+        assert!(batch.windows(2).all(|w| w[0].1 <= w[1].1), "intercepts ascend");
+        // Exact pacing: query j admits exactly min(j·stride, n) points —
+        // a constant number of fresh records (hence pages) per query.
+        for (j, &(bm, c)) in batch.iter().enumerate() {
+            assert_eq!(count_below2(&pts, bm, c), (j * 10).min(pts.len()), "query {j}");
+        }
+        // Prefixes of one seed agree whatever the length (the pinning
+        // contract every trace generator keeps).
+        assert_eq!(&batch[..5], &halfplane_page_sweep(&pts, 5, 10, 40, 33)[..]);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use lcrs::baselines::ExternalScan;
 use lcrs::engine::{BatchExecutor, IndexSet, Plan, Query, QueryStatus, SnapshotCatalog};
-use lcrs::extmem::{Device, DeviceConfig, TempDir};
+use lcrs::extmem::{Device, DeviceConfig, ReopenBackend, TempDir};
 use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
 use lcrs::workloads::{points2, points3, Dist2, Dist3};
 use lcrs_bench::{brute_answer, canon_answer, full_index_set, mixed_oracle, mixed_probes};
@@ -230,6 +230,67 @@ fn calibration_roundtrips_through_the_catalog_with_identical_plans() {
         );
     }
     assert_eq!(original.total, re_run.total, "reopened IO totals must be identical");
+}
+
+#[test]
+fn oracle_is_bit_identical_across_memory_pread_and_mmap_backends() {
+    // The ISSUE 8 backend-parity oracle: the full 500-query mixed workload
+    // through the in-memory set and through catalog reopens on both
+    // storage backends — identical routing, answers, per-query outcomes,
+    // and model read-IO totals, sequentially and in parallel; and the
+    // prefetch hints the plan runner issues are pure (turning them off
+    // changes neither answers nor IO counts).
+    let dir = TempDir::new("lcrs-planner-backends");
+    let st = state();
+    let (set, queries) = (&st.set, &st.queries);
+    for dev in &st.devices {
+        dev.freeze();
+    }
+    let mut cat = SnapshotCatalog::create(dir.path()).unwrap();
+    for slot in 0..set.len() {
+        cat.add(&format!("s{slot}"), set.structure(slot)).unwrap();
+    }
+    set.save_calibration_to_catalog(&cat).unwrap();
+    let cat = SnapshotCatalog::open(dir.path()).unwrap();
+
+    let plan = set.plan(queries);
+    let memory = set.execute_plan(queries, &plan, true);
+
+    let pread = IndexSet::from_catalog(&cat, CACHE_PAGES).unwrap();
+    let mut mmap = IndexSet::from_catalog_as(&cat, CACHE_PAGES, ReopenBackend::Mmap).unwrap();
+
+    for (name, reopened) in [("pread", &pread), ("mmap", &mmap)] {
+        let re_plan = reopened.plan(queries);
+        assert_eq!(re_plan.assignments, plan.assignments, "{name}: identical routing");
+        let run = reopened.execute_plan(queries, &re_plan, true);
+        assert_eq!(run.answers, memory.answers, "{name}: sequential answers");
+        assert_eq!(run.total, memory.total, "{name}: sequential read-IO totals");
+        for (a, b) in run.outcomes.iter().zip(&memory.outcomes) {
+            assert_eq!(
+                (a.query, a.status, a.reported, a.io),
+                (b.query, b.status, b.reported, b.io),
+                "{name}: per-query outcome and IO delta"
+            );
+        }
+        for workers in [1usize, 4] {
+            let par = reopened.execute_parallel_plan(queries, &re_plan, workers, true);
+            assert_eq!(par.answers, memory.answers, "{name}/{workers}: parallel answers");
+            assert_eq!(par.attributed_total(), par.total, "{name}/{workers}: attribution");
+            if workers == 1 {
+                assert_eq!(par.total, memory.total, "{name}/{workers}: 1 worker == sequential");
+            }
+        }
+    }
+
+    // Prefetch purity: same plan, hints off — nothing observable changes.
+    let re_plan = mmap.plan(queries);
+    let with_hints = mmap.execute_plan(queries, &re_plan, true);
+    assert!(mmap.prefetch_enabled());
+    mmap.set_prefetch(false);
+    assert!(!mmap.prefetch_enabled());
+    let without = mmap.execute_plan(queries, &re_plan, true);
+    assert_eq!(without.answers, with_hints.answers, "prefetch off: identical answers");
+    assert_eq!(without.total, with_hints.total, "prefetch off: identical IO totals");
 }
 
 #[test]

@@ -1,13 +1,18 @@
 //! Corruption-matrix negative tests for the snapshot format (ISSUE 4):
 //! truncated files, flipped bytes in header / page body / checksum table,
 //! wrong magic, and future format versions must each surface as a typed
-//! [`SnapshotError`] with the failing offset — never a panic. Empty-device
-//! and single-page snapshots are pinned as working edge cases, and the
-//! structure-metadata envelope gets the same treatment (including loading
-//! one structure's metadata as another kind).
+//! [`SnapshotError`] with the failing offset — never a panic. Every case
+//! runs through *both* reopen backends (pread and mmap), which must fail
+//! identically: the mmap path reuses the pread path's validate-once open,
+//! so corruption is always an open-time error, never a read-time fault.
+//! Empty-device and single-page snapshots are pinned as working edge
+//! cases, and the structure-metadata envelope gets the same treatment
+//! (including loading one structure's metadata as another kind).
 
 use lcrs::engine::{load_index, RangeIndex};
-use lcrs::extmem::{Device, DeviceConfig, MetaReader, MetaWriter, PageId, SnapshotError, TempDir};
+use lcrs::extmem::{
+    Device, DeviceConfig, MetaReader, MetaWriter, PageId, ReopenBackend, SnapshotError, TempDir,
+};
 use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
 use lcrs::workloads::{points2, Dist2};
 use std::path::Path;
@@ -39,13 +44,37 @@ fn mutate(path: &Path, out: &Path, f: impl FnOnce(&mut Vec<u8>)) {
     std::fs::write(out, bytes).unwrap();
 }
 
+/// Open a snapshot through both reopen backends and demand they agree:
+/// same success, or the same typed [`SnapshotError`] (compared by its
+/// Debug rendering — variant and every offset field). Returns the pread
+/// result so each test keeps matching one error as before.
+fn open_snapshot_both(path: &Path, cache: usize) -> Result<Device, SnapshotError> {
+    let pread = Device::open_snapshot_as(path, cache, ReopenBackend::Pread);
+    let mmap = Device::open_snapshot_as(path, cache, ReopenBackend::Mmap);
+    match (&pread, &mmap) {
+        (Err(a), Err(b)) => assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "pread and mmap must fail with the same typed error"
+        ),
+        (Ok(_), Ok(_)) => {}
+        (a, b) => panic!(
+            "pread and mmap disagree on whether the snapshot opens: \
+             pread ok={}, mmap ok={}",
+            a.is_ok(),
+            b.is_ok()
+        ),
+    }
+    pread
+}
+
 #[test]
 fn wrong_magic_is_typed_with_offset() {
     let dir = TempDir::new("lcrs-corrupt-magic");
     let good = write_reference_snapshot(&dir, 3);
     let bad = dir.file("bad.pages");
     mutate(&good, &bad, |b| b[0] = b'X');
-    match Device::open_snapshot(&bad, 0) {
+    match open_snapshot_both(&bad, 0) {
         Err(SnapshotError::BadMagic { offset: 0, found, .. }) => assert_eq!(found[0], b'X'),
         other => panic!("expected BadMagic, got {other:?}", other = other.err()),
     }
@@ -57,7 +86,7 @@ fn future_format_version_is_rejected() {
     let good = write_reference_snapshot(&dir, 3);
     let bad = dir.file("bad.pages");
     mutate(&good, &bad, |b| b[OFF_VERSION] = 99);
-    match Device::open_snapshot(&bad, 0) {
+    match open_snapshot_both(&bad, 0) {
         Err(SnapshotError::UnsupportedVersion { offset, found, supported }) => {
             assert_eq!(offset, OFF_VERSION as u64);
             assert_eq!(found, 99);
@@ -75,7 +104,7 @@ fn flipped_header_byte_fails_the_header_checksum() {
     // before the bogus geometry is ever trusted.
     let bad = dir.file("bad.pages");
     mutate(&good, &bad, |b| b[OFF_PAGE_BYTES] ^= 0x01);
-    match Device::open_snapshot(&bad, 0) {
+    match open_snapshot_both(&bad, 0) {
         Err(SnapshotError::ChecksumMismatch { what: "header", offset, .. }) => {
             assert_eq!(offset, 32);
         }
@@ -89,7 +118,7 @@ fn flipped_checksum_table_byte_is_detected() {
     let good = write_reference_snapshot(&dir, 3);
     let bad = dir.file("bad.pages");
     mutate(&good, &bad, |b| b[OFF_TABLE + 5] ^= 0x80);
-    match Device::open_snapshot(&bad, 0) {
+    match open_snapshot_both(&bad, 0) {
         Err(SnapshotError::ChecksumMismatch { what: "page-checksum table", offset, .. }) => {
             assert_eq!(offset, 24, "reported at the table-checksum header field");
         }
@@ -105,7 +134,7 @@ fn flipped_page_body_byte_reports_page_and_offset() {
     // 3 pages ⇒ data starts at 40 + 3·8 = 64; corrupt a byte inside page 1.
     let data_offset = 64u64;
     mutate(&good, &bad, |b| b[data_offset as usize + 128 + 17] ^= 0x20);
-    match Device::open_snapshot(&bad, 0) {
+    match open_snapshot_both(&bad, 0) {
         Err(SnapshotError::PageChecksum { page, offset, expected, actual }) => {
             assert_eq!(page, 1);
             assert_eq!(offset, data_offset + 128, "offset of the corrupt page's start");
@@ -125,7 +154,7 @@ fn truncations_at_every_region_are_typed() {
     for (i, keep) in [10usize, 45, 200, full - 1].into_iter().enumerate() {
         let bad = dir.file(&format!("trunc-{i}.pages"));
         mutate(&good, &bad, |b| b.truncate(keep));
-        match Device::open_snapshot(&bad, 0) {
+        match open_snapshot_both(&bad, 0) {
             Err(SnapshotError::Truncated { offset, expected, actual }) => {
                 assert_eq!(actual, keep as u64, "cut at {keep}");
                 assert!(expected > actual, "cut at {keep}");
@@ -140,7 +169,7 @@ fn truncations_at_every_region_are_typed() {
     // about the exact size).
     let bad = dir.file("overlong.pages");
     mutate(&good, &bad, |b| b.extend_from_slice(&[0u8; 7]));
-    assert!(matches!(Device::open_snapshot(&bad, 0), Err(SnapshotError::Truncated { .. })));
+    assert!(matches!(open_snapshot_both(&bad, 0), Err(SnapshotError::Truncated { .. })));
 }
 
 #[test]
@@ -148,12 +177,12 @@ fn empty_and_single_page_snapshots_roundtrip() {
     let dir = TempDir::new("lcrs-corrupt-edges");
     // Empty device: header-only file, reopens with zero pages.
     let empty = write_reference_snapshot(&dir, 0);
-    let re = Device::open_snapshot(&empty, 0).unwrap();
+    let re = open_snapshot_both(&empty, 0).unwrap();
     assert_eq!(re.pages_allocated(), 0);
     assert_eq!(re.page_bytes(), 128);
     // One page: the smallest data-carrying snapshot.
     let one = write_reference_snapshot(&dir, 1);
-    let re = Device::open_snapshot(&one, 4).unwrap();
+    let re = open_snapshot_both(&one, 4).unwrap();
     assert_eq!(re.pages_allocated(), 1);
     assert_eq!(re.read_page(PageId(0), |b| (b[0], b[127])), (0, 0xFF));
     // Corruption in a 1-page file still lands on page 0.
@@ -163,7 +192,7 @@ fn empty_and_single_page_snapshots_roundtrip() {
         b[n - 1] ^= 0x01;
     });
     assert!(matches!(
-        Device::open_snapshot(&bad, 0),
+        open_snapshot_both(&bad, 0),
         Err(SnapshotError::PageChecksum { page: 0, .. })
     ));
 }
@@ -172,7 +201,7 @@ fn empty_and_single_page_snapshots_roundtrip() {
 fn missing_file_is_an_io_error() {
     let dir = TempDir::new("lcrs-corrupt-missing");
     assert!(matches!(
-        Device::open_snapshot(dir.file("does-not-exist.pages"), 0),
+        open_snapshot_both(&dir.file("does-not-exist.pages"), 0),
         Err(SnapshotError::Io(_))
     ));
 }
@@ -241,7 +270,7 @@ fn every_snapshot_error_displays_its_offsets() {
         let n = b.len();
         b[n - 3] ^= 0x04;
     });
-    let err = match Device::open_snapshot(&bad, 0) {
+    let err = match open_snapshot_both(&bad, 0) {
         Err(e) => e,
         Ok(_) => panic!("corrupt snapshot must not open"),
     };
