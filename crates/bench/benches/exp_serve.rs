@@ -1,0 +1,255 @@
+//! EXP-SERVE — the windowed query server (DESIGN.md §14): time-window
+//! batching with per-tenant IO quotas, replaying a deterministic
+//! `serve_trace` arrival stream.
+//!
+//! One 2D dataset behind a calibrated three-structure [`IndexSet`] (hs2d,
+//! kd-tree, scan), four tenants issuing interleaved hot-set and
+//! sweep-ladder halfplane queries at seeded virtual arrival times. Cell
+//! families:
+//!
+//! * `cold/N` — the no-server baseline: every admitted query planned and
+//!   executed alone (each pays its cold read cost).
+//! * `windowed/<max_wait_µs>` — the serving loop under a tight and a wide
+//!   [`WindowPolicy`]. Asserted: aggregate read IOs strictly below the
+//!   cold baseline (the window batching win), per-tenant attributed
+//!   deltas summing exactly to the aggregate, and a replayed trace
+//!   reproducing the read total bit-identically.
+//! * `quota/throttled` — tenant 0 under an exhaustible IO quota.
+//!   Asserted: tenant 0 collects typed `Rejected` outcomes while every
+//!   other tenant's answers stay bit-identical to the unthrottled run.
+//!
+//! Read totals are virtual-time-deterministic (window boundaries and
+//! admission never depend on the wall clock), so smoke cells are gated in
+//! `BENCH_baseline.json` on their `read_ios` metric; wall throughput and
+//! window-latency percentiles ride along as ungated metrics.
+
+use std::time::{Duration, Instant};
+
+use lcrs_baselines::{ExternalKdTree, ExternalScan};
+use lcrs_bench::{print_table, BenchReport};
+use lcrs_engine::{
+    Arrival, IndexSet, Query, QueryServer, QuotaConfig, ServeConfig, ServeReport, ServeStatus,
+    WindowPolicy,
+};
+use lcrs_extmem::{Device, DeviceConfig};
+use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
+use lcrs_workloads::{halfplane_with_selectivity, points2, serve_trace, Dist2};
+
+const PAGE: usize = 1024;
+const CACHE_PAGES: usize = 32;
+const TENANTS: u32 = 4;
+const GAP_NS: u64 = 1000;
+const SLOPE: i64 = 48;
+
+/// A fresh calibrated 2D serving set (hs2d + kd-tree + scan last, so a
+/// predicted-cost tie never breaks toward the scan).
+fn build_set(dev: &Device, pts: &[(i64, i64)]) -> IndexSet {
+    let mut set = IndexSet::new();
+    set.add(Box::new(HalfspaceRS2::build(dev, pts, Hs2dConfig::default())));
+    set.add(Box::new(ExternalKdTree::build(dev, pts)));
+    set.add(Box::new(ExternalScan::build(dev, pts)));
+    let probes: Vec<Query> = (0..16)
+        .map(|i| {
+            let sel = (i + 1) * pts.len() / 20;
+            let (m, c) = halfplane_with_selectivity(pts, sel, SLOPE, 900 + i as u64);
+            Query::Halfplane { m, c, inclusive: false }
+        })
+        .collect();
+    set.calibrate(&probes);
+    set
+}
+
+fn arrivals(pts: &[(i64, i64)], len: usize) -> Vec<Arrival> {
+    serve_trace(pts, TENANTS, len, GAP_NS, SLOPE, 42)
+        .into_iter()
+        .map(|op| Arrival {
+            at_ns: op.at_ns,
+            tenant: op.tenant,
+            query: Query::Halfplane { m: op.m, c: op.c, inclusive: op.inclusive },
+        })
+        .collect()
+}
+
+/// Replay through a fresh server; returns the report and the wall time.
+fn run_windowed(
+    pts: &[(i64, i64)],
+    stream: &[Arrival],
+    policy: WindowPolicy,
+    quota0: Option<QuotaConfig>,
+) -> (ServeReport, f64) {
+    let dev = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+    let set = build_set(&dev, pts);
+    let mut srv = QueryServer::new(set, ServeConfig { policy, workers: 1 });
+    if let Some(q) = quota0 {
+        srv.set_quota(0, q);
+    }
+    let t0 = Instant::now();
+    let rep = srv.run_trace(stream, true);
+    (rep, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 4096 } else { 16384 };
+    let len = if smoke { 800 } else { 4000 };
+    println!(
+        "# EXP-SERVE: windowed serving vs one-at-a-time cold, page={PAGE}B, \
+         cache={CACHE_PAGES} pages, {TENANTS} tenants{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let pts = points2(Dist2::Clustered, n, 1 << 20, 17);
+    let stream = arrivals(&pts, len);
+    let mut report = BenchReport::new("exp_serve", smoke);
+    let mut rows = Vec::new();
+
+    // The no-server baseline: each query planned and executed alone, so
+    // none shares a warm cache with its neighbors.
+    let dev = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+    let set = build_set(&dev, &pts);
+    let mut cold_reads = 0u64;
+    let mut cold_answers: Vec<Vec<u64>> = Vec::with_capacity(stream.len());
+    let t0 = Instant::now();
+    for a in &stream {
+        let one = [a.query];
+        let plan = set.plan(&one);
+        let rep = set.execute_plan(&one, &plan, true);
+        cold_reads += rep.total.reads;
+        cold_answers.push(rep.answers.unwrap().pop().unwrap());
+    }
+    let cold_secs = t0.elapsed().as_secs_f64();
+    report
+        .cell(format!("cold/{len}"))
+        .metric("read_ios", cold_reads as f64)
+        .metric("queries", len as f64)
+        .report_wall(Duration::from_secs_f64(cold_secs));
+    rows.push(vec![
+        "cold (one-at-a-time)".to_string(),
+        format!("{len}"),
+        "-".to_string(),
+        "0".to_string(),
+        format!("{cold_reads}"),
+        format!("{:.2}", cold_reads as f64 / len as f64),
+        format!("{:.1}", len as f64 / cold_secs / 1e3),
+        "-".to_string(),
+    ]);
+
+    // The serving loop under a tight and a wide window policy.
+    let policies = [
+        ("windowed/4000us", WindowPolicy { max_wait_ns: 4 * GAP_NS, max_queries: 32 }),
+        ("windowed/16000us", WindowPolicy { max_wait_ns: 16 * GAP_NS, max_queries: 128 }),
+    ];
+    let mut unthrottled_answers = None;
+    for (id, policy) in policies {
+        let (rep, secs) = run_windowed(&pts, &stream, policy, None);
+        assert_eq!(rep.rejected(), 0);
+        assert!(
+            rep.reads() < cold_reads,
+            "{id}: windowed reads {} must beat one-at-a-time cold {cold_reads}",
+            rep.reads()
+        );
+        let per_tenant = rep.per_tenant_io();
+        assert_eq!(
+            per_tenant.iter().map(|&(_, d)| d.reads).sum::<u64>(),
+            rep.reads(),
+            "{id}: per-tenant reads must sum exactly to the aggregate"
+        );
+        // Windowing only changes page residency, never answers.
+        for (i, ans) in rep.answers.as_ref().unwrap().iter().enumerate() {
+            let mut got = ans.clone();
+            let mut want = cold_answers[i].clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "{id}: arrival {i} diverged from the cold run");
+        }
+        // Virtual-time determinism: a replay reproduces the read total.
+        let (rep2, _) = run_windowed(&pts, &stream, policy, None);
+        assert_eq!(rep.reads(), rep2.reads(), "{id}: replay must be bit-deterministic");
+
+        let walls: Vec<u64> = rep.windows.iter().map(|w| w.wall_ns).collect();
+        let p99 = {
+            let mut s = walls.clone();
+            s.sort_unstable();
+            s[((s.len() - 1) * 99) / 100]
+        };
+        report
+            .cell(id)
+            .metric("read_ios", rep.reads() as f64)
+            .metric("queries", len as f64)
+            .metric("windows", rep.windows.len() as f64)
+            .metric("window_p99_ns", p99 as f64)
+            .report_wall(Duration::from_secs_f64(secs));
+        rows.push(vec![
+            id.to_string(),
+            format!("{len}"),
+            format!("{}", rep.windows.len()),
+            "0".to_string(),
+            format!("{}", rep.reads()),
+            format!("{:.2}", rep.reads() as f64 / len as f64),
+            format!("{:.1}", len as f64 / secs / 1e3),
+            format!("{:.2}", p99 as f64 / 1e6),
+        ]);
+        if id.ends_with("16000us") {
+            unthrottled_answers = rep.answers.clone();
+        }
+    }
+
+    // Admission control: tenant 0 on an exhaustible quota under the wide
+    // policy; other tenants must not notice.
+    let wide = policies[1].1;
+    let quota = QuotaConfig { capacity: 256, refill: 16, interval_ns: 1_000_000 };
+    let (rep, secs) = run_windowed(&pts, &stream, wide, Some(quota));
+    let rejected = rep.rejected();
+    assert!(rejected > 0, "tenant 0 must exhaust its {}-token quota", quota.capacity);
+    assert!(
+        rep.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, ServeStatus::Rejected(_)))
+            .all(|o| o.tenant == 0),
+        "only the throttled tenant is ever rejected"
+    );
+    let free = unthrottled_answers.expect("wide unthrottled run kept answers");
+    let thr = rep.answers.as_ref().unwrap();
+    for (i, a) in stream.iter().enumerate() {
+        if a.tenant != 0 {
+            assert_eq!(thr[i], free[i], "arrival {i}: tenant {} answers must not move", a.tenant);
+        }
+    }
+    report
+        .cell("quota/throttled")
+        .metric("read_ios", rep.reads() as f64)
+        .metric("queries", len as f64)
+        .metric("rejections", rejected as f64)
+        .metric("windows", rep.windows.len() as f64)
+        .report_wall(Duration::from_secs_f64(secs));
+    rows.push(vec![
+        "quota/throttled (tenant 0)".to_string(),
+        format!("{len}"),
+        format!("{}", rep.windows.len()),
+        format!("{rejected}"),
+        format!("{}", rep.reads()),
+        format!("{:.2}", rep.reads() as f64 / len as f64),
+        format!("{:.1}", len as f64 / secs / 1e3),
+        "-".to_string(),
+    ]);
+
+    print_table(
+        "windowed serving vs one-at-a-time cold (answers pinned cold-identical; \
+         per-tenant deltas sum exactly to the aggregate)",
+        &[
+            "cell",
+            "arrivals",
+            "windows",
+            "rejected",
+            "read IOs",
+            "IOs/query",
+            "kq/s",
+            "p99 window ms",
+        ],
+        &rows,
+    );
+
+    if smoke {
+        report.write_default();
+    }
+}

@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Benches whose smoke runs are gated against the baseline, in ci.sh order.
-pub const GATED_BENCHES: [&str; 7] = [
+pub const GATED_BENCHES: [&str; 8] = [
     "exp_batched",
     "exp_parallel",
     "exp_persist",
@@ -30,6 +30,7 @@ pub const GATED_BENCHES: [&str; 7] = [
     "exp_shard",
     "exp_live",
     "exp_mmap",
+    "exp_serve",
 ];
 
 /// The committed baseline file at the repo root.
@@ -224,7 +225,7 @@ impl Json {
 pub fn parse_json(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let v = parse_value(bytes, &mut pos)?;
+    let v = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing bytes at offset {pos}"));
@@ -248,7 +249,19 @@ fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// Deepest container nesting `parse_value` will follow before returning a
+/// typed error. The parser recurses per level, so an unbounded depth (a
+/// corrupted or adversarial baseline file like `"[[[[…"`) would blow the
+/// stack inside `bench_gate` instead of failing cleanly; real
+/// `BENCH_*.json` files nest 4 levels deep.
+pub const MAX_JSON_DEPTH: usize = 128;
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_JSON_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_JSON_DEPTH} levels at offset {pos} (corrupt input?)"
+        ));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         Some(b'{') => {
@@ -263,7 +276,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 skip_ws(b, pos);
                 let key = parse_string(b, pos)?;
                 expect(b, pos, b':')?;
-                m.insert(key, parse_value(b, pos)?);
+                m.insert(key, parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -284,7 +297,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(v));
             }
             loop {
-                v.push(parse_value(b, pos)?);
+                v.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -631,6 +644,27 @@ mod tests {
         assert!(parse_json("{} trailing").is_err());
         assert!(parse_json(r#"{"k": }"#).is_err());
         assert_eq!(parse_json(r#""héllo A""#).unwrap(), Json::Str("héllo A".to_string()));
+    }
+
+    #[test]
+    fn parser_caps_nesting_depth_instead_of_blowing_the_stack() {
+        // Regression: the parser recurses per nesting level; a corrupted
+        // baseline like "[[[[…" used to overflow the stack inside
+        // bench_gate instead of returning the typed Err it promises.
+        let deep = "[".repeat(4096);
+        let err = parse_json(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        let deep_objs = "{\"k\":".repeat(4096);
+        let err = parse_json(&deep_objs).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+
+        // At the cap exactly: still parses (the cap is generous; real
+        // BENCH files nest 4 levels).
+        let ok = format!("{}0{}", "[".repeat(MAX_JSON_DEPTH), "]".repeat(MAX_JSON_DEPTH));
+        assert!(parse_json(&ok).is_ok());
+        let too_deep =
+            format!("{}0{}", "[".repeat(MAX_JSON_DEPTH + 1), "]".repeat(MAX_JSON_DEPTH + 1));
+        assert!(parse_json(&too_deep).is_err());
     }
 
     fn write_result(dir: &Path, bench: &str, cells: &[(&str, f64)], smoke: bool) {

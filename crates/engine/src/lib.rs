@@ -45,7 +45,16 @@
 //!   `__live.meta` manifest swap over [`SnapshotCatalog`]-persisted frozen
 //!   levels (`lv<seq>` entries), merging levels on a background thread
 //!   while readers keep serving the pre-merge state — and itself a
-//!   [`RangeIndex`], so a reader fork plans like any frozen slot.
+//!   [`RangeIndex`], so a reader fork plans like any frozen slot;
+//! * [`QueryServer`] — the serving front end (DESIGN.md §14): a windowed
+//!   loop over a deterministic tenant-tagged arrival stream that
+//!   accumulates arrivals into time/size-bounded windows
+//!   ([`WindowPolicy`]), executes each window as one planned batch
+//!   (sequentially or across [`ParallelExecutor`] forks), enforces
+//!   per-tenant IO quotas ([`QuotaConfig`]) with typed
+//!   [`ServeStatus::Rejected`] outcomes, attributes exact per-tenant
+//!   [`IoDelta`](lcrs_extmem::IoDelta)s, and exposes a pull-style
+//!   [`MetricsSnapshot`].
 //!
 //! Answers are never affected by batching, sharding, or persistence: the
 //! executors only change *when* pages happen to be resident, and a
@@ -60,6 +69,7 @@ pub mod live;
 pub mod parallel;
 pub mod planner;
 pub mod query;
+pub mod serve;
 pub mod shard;
 
 pub use batch::{BatchExecutor, BatchReport, ExecMode, QueryOutcome, QueryStatus};
@@ -71,6 +81,10 @@ pub use planner::{
     IndexSet, Plan, PlanReport, PrefetchHint, RoutedReport, CALIBRATION_FILE, NO_PREFETCH_ENV,
 };
 pub use query::{load_index, Query, RangeIndex, Unsupported};
+pub use serve::{
+    saturating_ns, Arrival, MetricsSnapshot, QueryServer, QuotaConfig, RejectReason, ServeConfig,
+    ServeOutcome, ServeReport, ServeStatus, TenantId, TenantMetrics, WindowPolicy, WindowSummary,
+};
 pub use shard::{
     cheapest_tier, ShardConfig, ShardReport, ShardedIndexSet, ShardedReport, SHARD_MANIFEST,
 };

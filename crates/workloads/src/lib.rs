@@ -560,6 +560,100 @@ pub fn live_trace(mix: TraceMix, len: usize, range: i64, slope: i64, seed: u64) 
     ops
 }
 
+/// One arrival of an open-loop serving trace (the workload of the
+/// engine's `QueryServer`): a tenant-tagged halfplane query with a
+/// virtual arrival timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOp {
+    /// Virtual arrival time in nanoseconds from trace start; strictly
+    /// increasing along the trace (the open-loop arrival process).
+    pub at_ns: u64,
+    /// Issuing tenant, in `0..tenants`.
+    pub tenant: u32,
+    /// Halfplane query `y <= m·x + c`.
+    pub m: i64,
+    pub c: i64,
+    pub inclusive: bool,
+}
+
+/// A seeded open-loop serving trace of `len` tenant-tagged halfplane
+/// arrivals over `pts`.
+///
+/// Arrival gaps are drawn uniformly from `1..=2·mean_gap_ns` (so
+/// timestamps strictly increase and the mean inter-arrival time is about
+/// `mean_gap_ns`); the issuing tenant is drawn uniformly per arrival.
+/// Tenants split into two traffic classes, bracketing the locality a
+/// window-batching server can harvest: *even* tenants replay a private
+/// set of 8 hot queries under a square-law popularity bias (heavy
+/// repetition — the cache-friendliest traffic), *odd* tenants walk a
+/// private 64-rung selectivity ladder in ascending order (a sweep —
+/// consecutive arrivals share most of their output pages). Deterministic
+/// in `(pts, tenants, len, mean_gap_ns, slope, seed)`, and prefix-stable
+/// like [`live_trace`]: the first `k` ops of one seed agree whatever the
+/// requested length — the pinning test keeps it that way, so a trace
+/// name plus a seed fully identifies a serving experiment.
+pub fn serve_trace(
+    pts: &[(i64, i64)],
+    tenants: u32,
+    len: usize,
+    mean_gap_ns: u64,
+    slope: i64,
+    seed: u64,
+) -> Vec<ServeOp> {
+    assert!(!pts.is_empty() && tenants > 0 && mean_gap_ns > 0 && slope >= 0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e7e);
+    // Per-tenant query material, derived from (pts, slope, seed, tenant)
+    // only — never from the arrival rng — so prefixes stay stable.
+    let hot: Vec<Vec<(i64, i64)>> = (0..tenants)
+        .map(|t| {
+            (0..8)
+                .map(|i| {
+                    let sel = (i + 1) * pts.len() / 9;
+                    halfplane_with_selectivity(
+                        pts,
+                        sel,
+                        slope,
+                        seed ^ ((u64::from(t) << 16) | i as u64),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let ladders: Vec<Vec<i128>> = (0..tenants)
+        .map(|t| {
+            let mut r = StdRng::seed_from_u64(seed ^ 0x5e7f ^ u64::from(t));
+            let m = r.gen_range(-slope..=slope);
+            let vals: Vec<i128> =
+                pts.iter().map(|&(x, y)| y as i128 - m as i128 * x as i128).collect();
+            let mut ladder = sweep_thresholds(vals, 64);
+            ladder.insert(0, m as i128); // slot 0 carries the shared slope
+            ladder
+        })
+        .collect();
+    let mut cursors = vec![0usize; tenants as usize];
+    let mut ops = Vec::with_capacity(len);
+    let mut t_ns = 0u64;
+    for _ in 0..len {
+        t_ns = t_ns.saturating_add(rng.gen_range(1..=mean_gap_ns * 2));
+        let tenant = rng.gen_range(0..tenants);
+        let inclusive = rng.gen_range(0u32..2) == 1;
+        let (m, c) = if tenant % 2 == 0 {
+            // Hot tenant: square-law bias toward its first base queries.
+            let r = rng.gen_range(0.0..1.0f64);
+            hot[tenant as usize][((r * r * 8.0) as usize).min(7)]
+        } else {
+            // Sweep tenant: next rung of its private ascending ladder.
+            let ladder = &ladders[tenant as usize];
+            let cur = &mut cursors[tenant as usize];
+            let c = ladder[1 + (*cur % 64)];
+            *cur += 1;
+            (ladder[0] as i64, i64::try_from(c).expect("intercept fits i64"))
+        };
+        ops.push(ServeOp { at_ns: t_ns, tenant, m, c, inclusive });
+    }
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -798,6 +892,48 @@ mod tests {
             &trace[..3],
             &live_trace(TraceMix::default(), 3, 1000, 8, 42)[..],
             "prefixes of one seed agree whatever the length"
+        );
+    }
+
+    #[test]
+    fn serve_trace_is_pinned_and_well_formed() {
+        let pts = points2(Dist2::Uniform, 400, 100_000, 17);
+        let trace = serve_trace(&pts, 4, 500, 1000, 40, 55);
+        assert_eq!(trace.len(), 500);
+        assert_eq!(trace, serve_trace(&pts, 4, 500, 1000, 40, 55), "byte-for-byte deterministic");
+        assert_ne!(trace, serve_trace(&pts, 4, 500, 1000, 40, 56), "seed must matter");
+        assert_eq!(
+            &trace[..20],
+            &serve_trace(&pts, 4, 20, 1000, 40, 55)[..],
+            "prefixes of one seed agree whatever the length"
+        );
+
+        // Open-loop arrival process: timestamps strictly increase, gaps
+        // bounded by 2×mean, tenants in range, both strictness variants.
+        assert!(trace.windows(2).all(|w| w[0].at_ns < w[1].at_ns), "timestamps ascend strictly");
+        assert!(trace[0].at_ns >= 1 && trace[0].at_ns <= 2000);
+        assert!(trace.windows(2).all(|w| w[1].at_ns - w[0].at_ns <= 2000), "gap bound");
+        assert!(trace.iter().all(|op| op.tenant < 4));
+        for t in 0..4u32 {
+            assert!(trace.iter().filter(|op| op.tenant == t).count() >= 50, "tenant {t} starved");
+        }
+        assert!(trace.iter().any(|op| op.inclusive));
+        assert!(trace.iter().any(|op| !op.inclusive));
+
+        // Even tenants repeat few hot queries; odd tenants sweep ascending
+        // intercepts on one shared slope.
+        let hot: std::collections::HashSet<(i64, i64)> =
+            trace.iter().filter(|op| op.tenant == 0).map(|op| (op.m, op.c)).collect();
+        assert!(hot.len() <= 8, "hot tenant must replay at most 8 base queries");
+        assert!(hot.len() >= 2, "hot tenant must not degenerate to one query");
+        let sweep: Vec<(i64, i64)> =
+            trace.iter().filter(|op| op.tenant == 1).map(|op| (op.m, op.c)).collect();
+        assert!(sweep.len() >= 2);
+        assert!(sweep.iter().all(|&(m, _)| m == sweep[0].0), "sweep tenant shares one slope");
+        // Cursor walks the 64-rung ladder in ascending order per lap.
+        assert!(
+            sweep.windows(2).take(40).all(|w| w[0].1 <= w[1].1),
+            "sweep intercepts ascend within the first lap"
         );
     }
 

@@ -6,8 +6,8 @@
 //! batch total and answers unchanged.
 
 use lcrs::baselines::ExternalKdTree;
-use lcrs::engine::{BatchExecutor, Query, RangeIndex};
-use lcrs::extmem::{Device, DeviceConfig};
+use lcrs::engine::{BatchExecutor, IndexSet, ParallelExecutor, Query, RangeIndex};
+use lcrs::extmem::{Device, DeviceConfig, IoDelta};
 use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
 use lcrs::halfspace::tradeoff::{HybridConfig, HybridTree3};
 use lcrs::workloads::{
@@ -85,5 +85,46 @@ fn batched_beats_cold_baseline_two_distributions() {
                 .map(|(m, c)| Query::Halfplane { m, c, inclusive: false })
                 .collect();
         check(&kd, &qs, &format!("kdtree/{dist:?}"));
+    }
+}
+
+#[test]
+fn empty_batch_yields_empty_reports_with_zeroed_deltas() {
+    // Regression (ISSUE 9): a zero-query window from the serving loop
+    // lands here as an empty batch — every executor must return an empty
+    // report with zeroed deltas instead of tripping the "deltas sum to
+    // aggregate" runtime assert (or panicking on an empty schedule).
+    let pts = points2(Dist2::Uniform, 500, 1 << 16, 7);
+    let dev = cached_device();
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+
+    let ex = BatchExecutor::new(&hs).keep_answers(true);
+    for (report, label) in [(ex.run_batched(&[]), "batched"), (ex.run_cold(&[]), "cold")] {
+        assert!(report.outcomes.is_empty(), "{label}: no outcomes for no queries");
+        assert_eq!(report.total, IoDelta::default(), "{label}: zeroed aggregate");
+        assert_eq!(report.attributed_total(), report.total, "{label}: invariant holds on empty");
+        assert_eq!(report.answers, Some(Vec::new()), "{label}: empty answer set");
+    }
+
+    let par = ParallelExecutor::new(&hs, 4).keep_answers(true).run(&[]);
+    assert_eq!(par.workers, 0, "no workers spawned for an empty batch");
+    assert!(par.outcomes.is_empty() && par.per_worker.is_empty());
+    assert_eq!(par.total, IoDelta::default());
+    assert_eq!(par.attributed_total(), par.total);
+    assert_eq!(par.answers, Some(Vec::new()));
+
+    let dev2 = cached_device();
+    let mut set = IndexSet::new();
+    set.add(Box::new(HalfspaceRS2::build(&dev2, &pts, Hs2dConfig::default())));
+    let plan = set.plan(&[]);
+    assert!(plan.assignments.is_empty());
+    for (rep, label) in [
+        (set.execute_plan(&[], &plan, true), "plan"),
+        (set.execute_parallel_plan(&[], &plan, 4, true), "parallel plan"),
+    ] {
+        assert!(rep.outcomes.is_empty() && rep.per_index.is_empty(), "{label}");
+        assert_eq!(rep.total, IoDelta::default(), "{label}: zeroed aggregate");
+        assert_eq!(rep.attributed_total(), rep.total, "{label}: invariant holds on empty");
+        assert_eq!(rep.answers, Some(Vec::new()), "{label}: empty answer set");
     }
 }

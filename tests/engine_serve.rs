@@ -1,0 +1,327 @@
+//! Acceptance + differential-oracle suite for the query server (ISSUE 9).
+//!
+//! The fixture is the canonical eleven-structure [`IndexSet`] (shared with
+//! the planner suite and `exp_planner`) behind a [`QueryServer`], fed a
+//! four-tenant virtual-time arrival stream built from the mixed oracle
+//! workload.
+//!
+//! Pinned here:
+//! * **differential oracle** — replaying the stream through the windowed
+//!   serving loop yields answers bit-identical to direct
+//!   `IndexSet::execute_plan` on each window's concatenated queries, with
+//!   identical per-window read IOs on the sequential path, and matching
+//!   host-side brute force;
+//! * per-tenant attributed IoDeltas sum exactly to the aggregate (the
+//!   PR 3/PR 6 invariant one level up);
+//! * parallel window execution (workers > 1) answers bit-identically to
+//!   sequential;
+//! * a tenant exceeding its quota gets typed `Rejected` outcomes while
+//!   every other tenant's answers stay bit-identical to an unthrottled
+//!   run;
+//! * an all-rejected stream and an empty stream execute zero windows with
+//!   zeroed deltas (no runtime-assert trips);
+//! * window boundaries respect both policy bounds (size trip, deadline);
+//! * a replayed trace reproduces the report byte-identically modulo the
+//!   measured wall fields, and the metrics snapshot agrees with the
+//!   reports it summarizes.
+
+use lcrs::engine::{
+    Arrival, Query, QueryServer, QuotaConfig, RejectReason, ServeConfig, ServeReport, ServeStatus,
+    WindowPolicy,
+};
+use lcrs::extmem::{Device, DeviceConfig, IoDelta};
+use lcrs::workloads::{points2, points3, Dist2, Dist3};
+use lcrs_bench::{brute_answer, canon_answer, full_index_set, mixed_oracle, mixed_probes};
+
+const PAGE: usize = 1024;
+const CACHE_PAGES: usize = 12;
+const N2: usize = 900;
+const N3: usize = 500;
+const TENANTS: u32 = 4;
+const GAP_NS: u64 = 1000;
+
+/// The policy every test uses unless it is exercising the policy itself:
+/// 16-query windows closing after 8 virtual gaps.
+fn policy() -> WindowPolicy {
+    WindowPolicy { max_wait_ns: 8 * GAP_NS, max_queries: 16 }
+}
+
+/// A fresh calibrated server over the canonical fixture (fresh devices
+/// each call — builds and calibration are deterministic, so two servers
+/// built here plan identically).
+fn server(workers: usize) -> (Vec<Device>, QueryServer) {
+    let pts2 = points2(Dist2::Clustered, N2, 1000, 61);
+    let pts3 = points3(Dist3::Uniform, N3, 1 << 16, 62);
+    let dev2 = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+    let dev3 = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
+    let mut set = full_index_set(&dev2, &dev3, &pts2, &pts3);
+    set.calibrate(&mixed_probes(&pts2, &pts3, 81));
+    let cfg = ServeConfig { policy: policy(), workers };
+    (vec![dev2, dev3], QueryServer::new(set, cfg))
+}
+
+/// The shared four-tenant arrival stream: the mixed oracle workload with
+/// evenly spaced virtual arrivals, tenants round-robin.
+fn arrivals() -> Vec<Arrival> {
+    let pts2 = points2(Dist2::Clustered, N2, 1000, 61);
+    let pts3 = points3(Dist3::Uniform, N3, 1 << 16, 62);
+    mixed_oracle(&pts2, &pts3, (120, 48, 32), 71)
+        .into_iter()
+        .enumerate()
+        .map(|(i, query)| Arrival {
+            at_ns: (i as u64 + 1) * GAP_NS,
+            tenant: i as u32 % TENANTS,
+            query,
+        })
+        .collect()
+}
+
+#[test]
+fn serving_loop_matches_direct_plan_execution_and_brute_force() {
+    let stream = arrivals();
+    let (_devs, mut srv) = server(1);
+    let rep = srv.run_trace(&stream, true);
+    let answers = rep.answers.as_ref().unwrap();
+    assert_eq!(rep.outcomes.len(), stream.len());
+    assert_eq!(rep.rejected(), 0, "no quotas configured, nothing rejected");
+
+    // Differential oracle, window by window: gather each window's
+    // arrivals in stream order, run them directly through the planner,
+    // and demand bit-identical answers and identical window reads (the
+    // batch engine's reads are deterministic — the cache is cleared per
+    // routed group).
+    let set = srv.index_set();
+    for w in &rep.windows {
+        let members: Vec<usize> =
+            rep.outcomes.iter().filter(|o| o.window == Some(w.seq)).map(|o| o.arrival).collect();
+        assert_eq!(members.len(), w.queries);
+        let sub: Vec<Query> = members.iter().map(|&i| stream[i].query).collect();
+        let plan = set.plan(&sub);
+        let direct = set.execute_plan(&sub, &plan, true);
+        assert_eq!(
+            direct.total, w.io,
+            "window {}: serving reads must equal direct plan execution",
+            w.seq
+        );
+        let direct_answers = direct.answers.unwrap();
+        for (slot, &i) in members.iter().enumerate() {
+            assert_eq!(
+                answers[i], direct_answers[slot],
+                "window {} slot {slot}: answers must be bit-identical",
+                w.seq
+            );
+            assert_eq!(rep.outcomes[i].io, direct.outcomes[slot].io);
+        }
+    }
+
+    // And against host-side brute force (canonical form: sorted ids for
+    // reports, distance order for k-NN).
+    let pts2 = points2(Dist2::Clustered, N2, 1000, 61);
+    let pts3 = points3(Dist3::Uniform, N3, 1 << 16, 62);
+    for (i, a) in stream.iter().enumerate() {
+        assert_eq!(
+            canon_answer(&a.query, answers[i].clone()),
+            brute_answer(&a.query, &pts2, &pts3),
+            "arrival {i}"
+        );
+    }
+
+    // Attribution: per-tenant sums equal the aggregate exactly, and the
+    // window totals do too.
+    let per_tenant = rep.per_tenant_io();
+    assert_eq!(per_tenant.len(), TENANTS as usize);
+    assert_eq!(per_tenant.iter().map(|&(_, d)| d).sum::<IoDelta>(), rep.total);
+    assert_eq!(rep.windows.iter().map(|w| w.io).sum::<IoDelta>(), rep.total);
+    assert_eq!(rep.attributed_total(), rep.total);
+    assert_eq!(rep.total.writes, 0, "report queries never write");
+}
+
+#[test]
+fn parallel_windows_answer_bit_identically_to_sequential() {
+    let stream = arrivals();
+    let (_d1, mut seq) = server(1);
+    let (_d4, mut par) = server(4);
+    let seq_rep = seq.run_trace(&stream, true);
+    let par_rep = par.run_trace(&stream, true);
+    assert_eq!(seq_rep.answers, par_rep.answers, "workers must not change answers");
+    // Window boundaries are policy-driven, not worker-driven.
+    assert_eq!(seq_rep.windows.len(), par_rep.windows.len());
+    for (a, b) in seq_rep.outcomes.iter().zip(&par_rep.outcomes) {
+        assert_eq!((a.status, a.window, a.reported), (b.status, b.window, b.reported));
+    }
+}
+
+#[test]
+fn window_policy_bounds_are_respected() {
+    let stream = arrivals();
+    let (_devs, mut srv) = server(1);
+    let rep = srv.run_trace(&stream, false);
+    let policy = policy();
+    assert!(rep.windows.len() > 1, "the stream must split into several windows");
+    for w in &rep.windows {
+        assert!(w.queries <= policy.max_queries, "size bound");
+        assert!(
+            w.close_ns.saturating_sub(w.open_ns) <= policy.max_wait_ns,
+            "window {} held open past its deadline: {}..{}",
+            w.seq,
+            w.open_ns,
+            w.close_ns
+        );
+    }
+    // Evenly spaced arrivals at GAP_NS with a 16-query cap and an
+    // 8-gap deadline: every interior window trips the deadline first.
+    assert!(rep.windows.iter().all(|w| w.queries <= 9));
+}
+
+#[test]
+fn throttled_tenant_gets_typed_rejections_others_unchanged() {
+    let stream = arrivals();
+    let (_d1, mut free) = server(1);
+    let unthrottled = free.run_trace(&stream, true);
+
+    let (_d2, mut srv) = server(1);
+    // Tenant 0 gets a quota it must exhaust: a bucket of 64 read tokens
+    // refilling 1 token per virtual millisecond against a workload
+    // costing far more.
+    srv.set_quota(0, QuotaConfig { capacity: 64, refill: 1, interval_ns: 1_000_000 });
+    let throttled = srv.run_trace(&stream, true);
+
+    let rejected: Vec<usize> = throttled
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o.status, ServeStatus::Rejected(_)))
+        .map(|o| o.arrival)
+        .collect();
+    assert!(!rejected.is_empty(), "tenant 0 must exhaust its 64-token quota");
+    for &i in &rejected {
+        let o = &throttled.outcomes[i];
+        assert_eq!(o.tenant, 0, "only the throttled tenant is rejected");
+        assert_eq!(o.io, IoDelta::default(), "a rejected arrival costs nothing");
+        assert_eq!(o.window, None, "a rejected arrival never enters a window");
+        let ServeStatus::Rejected(RejectReason::QuotaExhausted { retry_at_ns }) = o.status else {
+            panic!("expected a typed quota rejection");
+        };
+        assert!(retry_at_ns > 0 && retry_at_ns < u64::MAX, "refilling quota carries a retry time");
+    }
+    // Isolation: every other tenant's answers are bit-identical to the
+    // unthrottled run (admission changes *which* queries run, never what
+    // an admitted query answers).
+    let free_answers = unthrottled.answers.as_ref().unwrap();
+    let thr_answers = throttled.answers.as_ref().unwrap();
+    for (i, a) in stream.iter().enumerate() {
+        if a.tenant != 0 {
+            assert_eq!(thr_answers[i], free_answers[i], "arrival {i} (tenant {})", a.tenant);
+        }
+    }
+    // Attribution still exact under admission control.
+    assert_eq!(throttled.attributed_total(), throttled.total);
+    let t0 = throttled.per_tenant_io().first().copied().unwrap();
+    assert_eq!(t0.0, 0);
+    assert!(
+        t0.1.reads < unthrottled.per_tenant_io()[0].1.reads,
+        "throttling must cut the tenant's attributed reads"
+    );
+}
+
+#[test]
+fn all_rejected_and_empty_streams_execute_zero_windows() {
+    // Empty stream: nothing opens, nothing trips.
+    let (_d1, mut srv) = server(1);
+    let rep = srv.run_trace(&[], true);
+    assert!(rep.outcomes.is_empty() && rep.windows.is_empty());
+    assert_eq!(rep.total, IoDelta::default());
+    assert_eq!(rep.answers, Some(Vec::new()));
+
+    // Every tenant at zero quota: every arrival rejected, zero windows,
+    // zeroed deltas — and the "deltas sum to aggregate" assert holds.
+    let stream = arrivals();
+    let (_d2, mut srv) = server(1);
+    for t in 0..TENANTS {
+        srv.set_quota(t, QuotaConfig { capacity: 0, refill: 0, interval_ns: 1 });
+    }
+    let rep = srv.run_trace(&stream, true);
+    assert_eq!(rep.outcomes.len(), stream.len());
+    assert_eq!(rep.rejected(), stream.len(), "everything rejected");
+    assert!(rep.windows.is_empty(), "an all-rejected stream executes nothing");
+    assert_eq!(rep.total, IoDelta::default());
+    assert_eq!(rep.attributed_total(), IoDelta::default());
+    assert!(rep.answers.unwrap().iter().all(Vec::is_empty));
+    let m = srv.metrics();
+    assert_eq!((m.windows_served, m.queries_served, m.read_ios), (0, 0, 0));
+    assert_eq!(m.queries_rejected, stream.len() as u64);
+    assert_eq!(m.window_wall_p50_ns, 0, "no windows, no latency samples");
+}
+
+/// Everything deterministic in a report (i.e. all but the measured wall
+/// fields), flattened for equality comparison.
+fn deterministic_view(rep: &ServeReport) -> impl PartialEq + std::fmt::Debug {
+    let outcomes: Vec<_> = rep
+        .outcomes
+        .iter()
+        .map(|o| (o.arrival, o.tenant, o.status, o.window, o.reported, o.io))
+        .collect();
+    let windows: Vec<_> =
+        rep.windows.iter().map(|w| (w.seq, w.open_ns, w.close_ns, w.queries, w.io)).collect();
+    (outcomes, windows, rep.total, rep.answers.clone())
+}
+
+#[test]
+fn replayed_trace_reproduces_the_report_and_metrics_agree() {
+    let stream = arrivals();
+    let (_d1, mut a) = server(1);
+    let (_d2, mut b) = server(1);
+    let rep_a = a.run_trace(&stream, true);
+    let rep_b = b.run_trace(&stream, true);
+    assert_eq!(
+        deterministic_view(&rep_a),
+        deterministic_view(&rep_b),
+        "a replayed trace must reproduce the report (modulo wall clock)"
+    );
+
+    // The pull-style snapshot agrees with the report it summarizes.
+    let m = a.metrics();
+    assert_eq!(m.windows_served, rep_a.windows.len() as u64);
+    assert_eq!(m.queries_served, stream.len() as u64);
+    assert_eq!(m.queries_rejected, 0);
+    assert_eq!(m.read_ios, rep_a.total.reads);
+    assert!(m.window_wall_p50_ns > 0 && m.window_wall_p50_ns <= m.window_wall_p99_ns);
+    assert_eq!(m.tenants.len(), TENANTS as usize);
+    for (tm, &(tenant, io)) in m.tenants.iter().zip(rep_a.per_tenant_io().iter()) {
+        assert_eq!(tm.tenant, tenant);
+        assert_eq!(tm.read_ios, io.reads);
+        assert_eq!(tm.rejected, 0);
+    }
+    assert_eq!(m.tenants.iter().map(|t| t.queries).sum::<u64>(), stream.len() as u64);
+    assert_eq!(m.tenants.iter().map(|t| t.read_ios).sum::<u64>(), rep_a.total.reads);
+
+    // Metrics accumulate across run_trace calls on the same server.
+    let rep_c = a.run_trace(&stream, false);
+    let m2 = a.metrics();
+    assert_eq!(m2.windows_served, (rep_a.windows.len() + rep_c.windows.len()) as u64);
+    assert_eq!(m2.queries_served, 2 * stream.len() as u64);
+    assert_eq!(m2.read_ios, rep_a.total.reads + rep_c.total.reads);
+}
+
+#[test]
+fn out_of_order_timestamps_are_clamped_not_panicked() {
+    // Malformed client input: timestamps going backwards. The loop clamps
+    // time to monotone and still serves every arrival.
+    let pts2 = points2(Dist2::Clustered, N2, 1000, 61);
+    let pts3 = points3(Dist3::Uniform, N3, 1 << 16, 62);
+    let queries = mixed_oracle(&pts2, &pts3, (12, 0, 0), 71);
+    let stream: Vec<Arrival> = queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, query)| Arrival {
+            // 5000, 4000, 3000, ... — strictly decreasing.
+            at_ns: 5000u64.saturating_sub(i as u64 * 1000),
+            tenant: 0,
+            query,
+        })
+        .collect();
+    let (_devs, mut srv) = server(1);
+    let rep = srv.run_trace(&stream, false);
+    assert_eq!(rep.outcomes.len(), stream.len());
+    assert!(rep.outcomes.iter().all(|o| o.window.is_some()));
+    assert_eq!(rep.attributed_total(), rep.total);
+}
