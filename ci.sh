@@ -61,6 +61,7 @@ stage bench-shard      cargo bench -q -p lcrs-bench --bench exp_shard -- --smoke
 stage bench-live       cargo bench -q -p lcrs-bench --bench exp_live -- --smoke
 stage bench-mmap       cargo bench -q -p lcrs-bench --bench exp_mmap -- --smoke
 stage bench-serve      cargo bench -q -p lcrs-bench --bench exp_serve -- --smoke
+stage bench-lift       cargo bench -q -p lcrs-bench --bench exp_lift -- --smoke
 
 # Read-IO regression gate: smoke read counts are deterministic (seeded
 # workloads, pinned cache geometry); wall-clock is recorded in every

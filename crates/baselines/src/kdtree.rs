@@ -21,10 +21,15 @@ struct KdNode {
     right: u32,
     pts_off: u64,
     pts_len: u64,
+    /// Subtree aggregate annotations (DESIGN.md §15): point count and
+    /// weight sum (weight of `(x, y)` is `x + y`), letting fully-covered
+    /// nodes answer count/sum queries without touching their leaves.
+    count: u64,
+    wsum: i64,
 }
 
 impl Record for KdNode {
-    const SIZE: usize = 32 + 8 + 16;
+    const SIZE: usize = 32 + 8 + 16 + 16;
     fn store(&self, buf: &mut [u8]) {
         self.lo.store(buf);
         self.hi.store(&mut buf[16..]);
@@ -32,6 +37,8 @@ impl Record for KdNode {
         self.right.store(&mut buf[36..]);
         self.pts_off.store(&mut buf[40..]);
         self.pts_len.store(&mut buf[48..]);
+        self.count.store(&mut buf[56..]);
+        self.wsum.store(&mut buf[64..]);
     }
     fn load(buf: &[u8]) -> Self {
         KdNode {
@@ -41,6 +48,8 @@ impl Record for KdNode {
             right: u32::load(&buf[36..]),
             pts_off: u64::load(&buf[40..]),
             pts_len: u64::load(&buf[48..]),
+            count: u64::load(&buf[56..]),
+            wsum: i64::load(&buf[64..]),
         }
     }
 }
@@ -85,6 +94,10 @@ impl ExternalKdTree {
             leaf_cap: usize,
         ) {
             let (lo, hi) = bbox(items);
+            let wsum: i64 = items
+                .iter()
+                .map(|([x, y], _)| x.checked_add(*y).expect("point weight fits i64"))
+                .fold(0i64, |a, w| a.checked_add(w).expect("subtree weight sum fits i64"));
             if items.len() <= leaf_cap {
                 nodes[ni] = KdNode {
                     lo,
@@ -93,6 +106,8 @@ impl ExternalKdTree {
                     right: 0,
                     pts_off: dfs.len() as u64,
                     pts_len: items.len() as u64,
+                    count: items.len() as u64,
+                    wsum,
                 };
                 dfs.extend_from_slice(items);
                 return;
@@ -105,8 +120,16 @@ impl ExternalKdTree {
             let (l, r) = items.split_at_mut(mid);
             rec(l, li, (axis + 1) % 2, nodes, dfs, leaf_cap);
             rec(r, li + 1, (axis + 1) % 2, nodes, dfs, leaf_cap);
-            nodes[ni] =
-                KdNode { lo, hi, left: li as u32, right: li as u32 + 1, pts_off: 0, pts_len: 0 };
+            nodes[ni] = KdNode {
+                lo,
+                hi,
+                left: li as u32,
+                right: li as u32 + 1,
+                pts_off: 0,
+                pts_len: 0,
+                count: items.len() as u64,
+                wsum,
+            };
         }
 
         if !items.is_empty() {
@@ -188,6 +211,115 @@ impl ExternalKdTree {
         stats.reported = out.len();
         stats.ios = self.dev.stats().since(before).total();
         (out, stats)
+    }
+
+    /// Count and weight-sum (weight of `(x, y)` is `x + y`) of points
+    /// below `y = m·x + c`, answered from the subtree annotations: a node
+    /// whose box lies entirely below the line contributes its persisted
+    /// `(count, wsum)` without descending — the aggregate path reads
+    /// strictly fewer pages than enumerate-then-count whenever the query
+    /// covers whole subtrees (asserted by the `exp_lift` experiment).
+    pub fn aggregate_below(&self, m: i64, c: i64, inclusive: bool) -> ((u64, i128), BaselineStats) {
+        let before = self.dev.stats();
+        let mut stats = BaselineStats::default();
+        let mut acc = (0u64, 0i128);
+        if self.n > 0 {
+            self.visit_agg(0, m, c, inclusive, &mut stats, &mut acc);
+        }
+        stats.reported = acc.0 as usize;
+        stats.ios = self.dev.stats().since(before).total();
+        (acc, stats)
+    }
+
+    fn visit_agg(
+        &self,
+        ni: usize,
+        m: i64,
+        c: i64,
+        inclusive: bool,
+        stats: &mut BaselineStats,
+        acc: &mut (u64, i128),
+    ) {
+        let node = self.nodes.get(ni);
+        stats.nodes_visited += 1;
+        let (lo, hi) = Self::slack_range(&node, m, c);
+        let all_below = if inclusive { hi <= 0 } else { hi < 0 };
+        let none_below = if inclusive { lo > 0 } else { lo >= 0 };
+        if none_below {
+            return;
+        }
+        if all_below {
+            acc.0 += node.count;
+            acc.1 += i128::from(node.wsum);
+            return;
+        }
+        if node.left == 0 && node.right == 0 {
+            let mut buf: Vec<PtRec> = Vec::with_capacity(node.pts_len as usize);
+            self.points.read_range(
+                node.pts_off as usize..(node.pts_off + node.pts_len) as usize,
+                &mut buf,
+            );
+            for ([x, y], _) in buf {
+                let s = y as i128 - m as i128 * x as i128 - c as i128;
+                let hit = if inclusive { s <= 0 } else { s < 0 };
+                if hit {
+                    acc.0 += 1;
+                    acc.1 += x as i128 + y as i128;
+                }
+            }
+            return;
+        }
+        self.visit_agg(node.left as usize, m, c, inclusive, stats, acc);
+        self.visit_agg(node.right as usize, m, c, inclusive, stats, acc);
+    }
+
+    /// The `k` points of lowest key `y − m·x` among those with
+    /// `y − m·x ≤ c` (inclusive candidates), ordered by `(key, id)`.
+    pub fn top_k(&self, m: i64, c: i64, k: usize) -> (Vec<u32>, BaselineStats) {
+        let before = self.dev.stats();
+        let mut stats = BaselineStats::default();
+        let mut cand: Vec<(i128, u32)> = Vec::new();
+        if self.n > 0 {
+            self.visit_topk(0, m, c, &mut stats, &mut cand);
+        }
+        cand.sort_unstable();
+        cand.truncate(k);
+        let out: Vec<u32> = cand.into_iter().map(|(_, id)| id).collect();
+        stats.reported = out.len();
+        stats.ios = self.dev.stats().since(before).total();
+        (out, stats)
+    }
+
+    fn visit_topk(
+        &self,
+        ni: usize,
+        m: i64,
+        c: i64,
+        stats: &mut BaselineStats,
+        cand: &mut Vec<(i128, u32)>,
+    ) {
+        let node = self.nodes.get(ni);
+        stats.nodes_visited += 1;
+        let (lo, _) = Self::slack_range(&node, m, c);
+        if lo > 0 {
+            return; // every key in the box exceeds c
+        }
+        if node.left == 0 && node.right == 0 {
+            let mut buf: Vec<PtRec> = Vec::with_capacity(node.pts_len as usize);
+            self.points.read_range(
+                node.pts_off as usize..(node.pts_off + node.pts_len) as usize,
+                &mut buf,
+            );
+            for ([x, y], id) in buf {
+                let key = y as i128 - m as i128 * x as i128;
+                if key <= c as i128 {
+                    cand.push((key, id));
+                }
+            }
+            return;
+        }
+        self.visit_topk(node.left as usize, m, c, stats, cand);
+        self.visit_topk(node.right as usize, m, c, stats, cand);
     }
 
     /// (min, max) of y - m·x - c over the box corners.
@@ -284,6 +416,54 @@ mod tests {
                     .collect();
                 assert_eq!(got, want, "m={m} c={c}");
             }
+        }
+    }
+
+    #[test]
+    fn aggregates_match_enumeration_and_read_less() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts = pseudo(1200, 7);
+        let t = ExternalKdTree::build(&dev, &pts);
+        for (m, c) in [(0, 0), (3, 5000), (-7, -20_000), (0, 10_000_000), (0, -10_000_000)] {
+            for inclusive in [false, true] {
+                let ((count, wsum), _) = t.aggregate_below(m, c, inclusive);
+                let mut want = (0u64, 0i128);
+                for &(x, y) in &pts {
+                    let rhs = m as i128 * x as i128 + c as i128;
+                    let hit = if inclusive { y as i128 <= rhs } else { (y as i128) < rhs };
+                    if hit {
+                        want.0 += 1;
+                        want.1 += x as i128 + y as i128;
+                    }
+                }
+                assert_eq!((count, wsum), want, "m={m} c={c}");
+            }
+        }
+        // A query covering everything answers from the root annotation:
+        // one node visit, no leaf reads — the annotated-aggregate win.
+        let (_, st) = t.aggregate_below(0, 10_000_000, true);
+        assert_eq!(st.nodes_visited, 1);
+        let (_, enumerate) = t.query_below(0, 10_000_000, true);
+        assert!(st.ios < enumerate.ios, "aggregate {} !< enumerate {}", st.ios, enumerate.ios);
+    }
+
+    #[test]
+    fn top_k_matches_brute_force() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts = pseudo(900, 11);
+        let t = ExternalKdTree::build(&dev, &pts);
+        for (m, c, k) in [(0, 0, 5), (3, 5000, 1), (-7, 50_000, 12), (2, -200_000, 4)] {
+            let (got, _) = t.top_k(m, c, k);
+            let mut cand: Vec<(i128, u32)> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, &(x, y))| y as i128 - m as i128 * x as i128 <= c as i128)
+                .map(|(i, &(x, y))| (y as i128 - m as i128 * x as i128, i as u32))
+                .collect();
+            cand.sort_unstable();
+            cand.truncate(k);
+            let want: Vec<u32> = cand.into_iter().map(|(_, id)| id).collect();
+            assert_eq!(got, want, "m={m} c={c} k={k}");
         }
     }
 

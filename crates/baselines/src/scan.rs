@@ -123,6 +123,88 @@ impl ExternalScan {
         d.sort_unstable();
         d.into_iter().take(k).map(|(_, i)| i).collect()
     }
+
+    /// Report points inside the disk of center `(x, y)` and squared
+    /// radius `r2` (distance² < r2, or ≤ when `inclusive`). Exact for the
+    /// full i64 range via the same (carry, u128) distance as
+    /// [`Self::k_nearest`]; negative `r2` admits nothing. This is the
+    /// oracle the lifted-index answers are differentially checked against.
+    pub fn disk_report(
+        &self,
+        x: i64,
+        y: i64,
+        r2: i64,
+        inclusive: bool,
+    ) -> (Vec<u32>, BaselineStats) {
+        let before = self.dev.stats();
+        let mut out = Vec::new();
+        if r2 >= 0 {
+            let r2 = (false, r2 as u128);
+            self.points.scan_while(|_, (a, b, id)| {
+                let dx = (x as i128 - a as i128).unsigned_abs();
+                let dy = (y as i128 - b as i128).unsigned_abs();
+                let (lo, carry) = (dx * dx).overflowing_add(dy * dy);
+                let hit = if inclusive { (carry, lo) <= r2 } else { (carry, lo) < r2 };
+                if hit {
+                    out.push(id);
+                }
+                true
+            });
+        }
+        let stats = BaselineStats {
+            ios: self.dev.stats().since(before).total(),
+            nodes_visited: self.points.pages(),
+            reported: out.len(),
+        };
+        (out, stats)
+    }
+
+    /// Count and weight-sum (weight of `(x, y)` is `x + y`) of points
+    /// below `y = m·x + c` — enumerate-then-count at scan cost, the
+    /// aggregate-path oracle.
+    pub fn aggregate_below(&self, m: i64, c: i64, inclusive: bool) -> ((u64, i128), BaselineStats) {
+        let before = self.dev.stats();
+        let (mut count, mut wsum) = (0u64, 0i128);
+        self.points.scan_while(|_, (x, y, _)| {
+            let rhs = m as i128 * x as i128 + c as i128;
+            let hit = if inclusive { y as i128 <= rhs } else { (y as i128) < rhs };
+            if hit {
+                count += 1;
+                wsum += x as i128 + y as i128;
+            }
+            true
+        });
+        let stats = BaselineStats {
+            ios: self.dev.stats().since(before).total(),
+            nodes_visited: self.points.pages(),
+            reported: count as usize,
+        };
+        ((count, wsum), stats)
+    }
+
+    /// The `k` points of lowest key `y − m·x` among those with
+    /// `y − m·x ≤ c` (inclusive candidates), ordered by `(key, id)` — the
+    /// ranked-reporting oracle.
+    pub fn top_k(&self, m: i64, c: i64, k: usize) -> (Vec<u32>, BaselineStats) {
+        let before = self.dev.stats();
+        let mut cand: Vec<(i128, u32)> = Vec::new();
+        self.points.scan_while(|_, (x, y, id)| {
+            let key = y as i128 - m as i128 * x as i128;
+            if key <= c as i128 {
+                cand.push((key, id));
+            }
+            true
+        });
+        cand.sort_unstable();
+        cand.truncate(k);
+        let out: Vec<u32> = cand.into_iter().map(|(_, id)| id).collect();
+        let stats = BaselineStats {
+            ios: self.dev.stats().since(before).total(),
+            nodes_visited: self.points.pages(),
+            reported: out.len(),
+        };
+        (out, stats)
+    }
 }
 
 /// Linear scan baseline over 3D points: optimal space, Θ(n) IOs per
@@ -259,6 +341,51 @@ mod tests {
         assert_eq!(got, vec![0]);
         let (got, _) = s.query_below(i64::MAX, i64::MAX, i64::MAX, false);
         assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn disk_aggregate_topk_scan_oracles() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts: Vec<(i64, i64)> =
+            (0..300).map(|i| ((i * 13) % 101 - 50, (i * 7) % 97 - 48)).collect();
+        let s = ExternalScan::build(&dev, &pts);
+        // Disk: brute membership, strictness respected, r2 < 0 empty.
+        for (x, y, r2) in [(0i64, 0i64, 900i64), (-50, -48, 0), (10, 10, -1)] {
+            for inclusive in [false, true] {
+                let (got, _) = s.disk_report(x, y, r2, inclusive);
+                let want: Vec<u32> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(a, b))| {
+                        r2 >= 0 && {
+                            let d2 = (x - a) as i128 * (x - a) as i128
+                                + (y - b) as i128 * (y - b) as i128;
+                            if inclusive {
+                                d2 <= r2 as i128
+                            } else {
+                                d2 < r2 as i128
+                            }
+                        }
+                    })
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(got, want, "disk ({x},{y},{r2}) inclusive={inclusive}");
+            }
+        }
+        // Aggregate: count/sum of everything below.
+        let ((count, wsum), _) = s.aggregate_below(0, 1000, true);
+        assert_eq!(count as usize, pts.len());
+        assert_eq!(wsum, pts.iter().map(|&(x, y)| x as i128 + y as i128).sum::<i128>());
+        assert_eq!(s.aggregate_below(0, -1000, false).0, (0, 0));
+        // TopK: ordered by (key, id), truncated.
+        let (top, _) = s.top_k(1, 1000, 5);
+        assert_eq!(top.len(), 5);
+        let key = |id: u32| {
+            let (x, y) = pts[id as usize];
+            y as i128 - x as i128
+        };
+        assert!(top.windows(2).all(|w| (key(w[0]), w[0]) < (key(w[1]), w[1])));
+        assert_eq!(key(top[0]), pts.iter().map(|&(x, y)| y as i128 - x as i128).min().unwrap());
     }
 
     #[test]

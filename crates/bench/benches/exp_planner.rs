@@ -1,5 +1,6 @@
 //! EXP-PLANNER — the cost-model query planner (DESIGN.md §10): a mixed
-//! halfplane/halfspace/k-NN workload over an [`IndexSet`] holding every
+//! six-class workload (halfplane/halfspace/k-NN plus the DESIGN.md §15
+//! disk/count/sum/top-k classes) over an [`IndexSet`] holding every
 //! structure in the workspace, routed three ways — planned (calibrated
 //! argmin), always-scan, and predicted-worst — with the differential gates
 //! asserted on every run:
@@ -18,7 +19,7 @@
 use std::time::{Duration, Instant};
 
 use lcrs_bench::{
-    canon_answer, full_index_set, mixed_oracle, mixed_probes, print_table, BenchReport,
+    canon_answer, full_index_set, lifted_oracle, lifted_probes, print_table, BenchReport,
 };
 use lcrs_engine::{IndexSet, Plan, PlanReport, Query, SnapshotCatalog};
 use lcrs_extmem::{Device, DeviceConfig, TempDir};
@@ -34,6 +35,10 @@ fn class(q: &Query) -> &'static str {
         Query::Halfplane { .. } => "halfplane",
         Query::Halfspace { .. } => "halfspace",
         Query::Knn { .. } => "knn",
+        Query::Disk { .. } => "disk",
+        Query::Count { .. } => "count",
+        Query::Sum { .. } => "sum",
+        Query::TopK { .. } => "topk",
     }
 }
 
@@ -47,12 +52,15 @@ fn run_plan(set: &IndexSet, queries: &[Query], plan: &Plan) -> (PlanReport, f64)
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let (n2, n3, q_hp, q_hs, q_knn) =
-        if smoke { (4096, 2048, 300, 120, 80) } else { (16384, 6144, 1200, 480, 320) };
+    let (n2, n3, counts) = if smoke {
+        (4096, 2048, (180, 80, 60, 72, 72, 36))
+    } else {
+        (16384, 6144, (720, 320, 240, 288, 288, 144))
+    };
+    let total = counts.0 + counts.1 + counts.2 + counts.3 + counts.4 + counts.5;
     println!(
         "# EXP-PLANNER: planned vs always-scan vs worst routing on a mixed \
-         {}-query workload, page={PAGE}B, cache={CACHE_PAGES} pages{}",
-        q_hp + q_hs + q_knn,
+         six-class {total}-query workload, page={PAGE}B, cache={CACHE_PAGES} pages{}",
         if smoke { " (smoke)" } else { "" }
     );
 
@@ -62,14 +70,15 @@ fn main() {
     let pts2 = points2(Dist2::Clustered, n2, 1000, 61);
     let pts3 = points3(Dist3::Uniform, n3, 1 << 16, 62);
 
-    // The canonical eleven-structure fixture, shared with the planner
+    // The canonical fifteen-structure fixture, shared with the planner
     // test suite (slot order is load-bearing for tie-breaking).
     let dev2 = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
     let dev3 = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
     let mut set = full_index_set(&dev2, &dev3, &pts2, &pts3);
 
-    // The measured probe pass, on seeds disjoint from the workload.
-    let probes = mixed_probes(&pts2, &pts3, 81);
+    // The measured probe pass, on seeds disjoint from the workload; the
+    // aggregate probes populate the dual calibration's aggregate side.
+    let probes = lifted_probes(&pts2, &pts3, 81);
     let t = Instant::now();
     set.calibrate(&probes);
     let calibrate_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -96,7 +105,7 @@ fn main() {
     // The mixed workload, interleaved — the same oracle construction
     // (helper, class mix, seeds) as the planner test suite's, evaluated
     // here over this bench's larger datasets.
-    let queries = mixed_oracle(&pts2, &pts3, (q_hp, q_hs, q_knn), 71);
+    let queries = lifted_oracle(&pts2, &pts3, counts, 71);
 
     let planned_plan = set.plan(&queries);
     let scan_plan = set.scan_plan(&queries);

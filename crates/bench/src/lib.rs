@@ -10,7 +10,10 @@
 pub mod mixed;
 pub mod report;
 
-pub use mixed::{brute_answer, canon_answer, full_index_set, mixed_oracle, mixed_probes};
+pub use mixed::{
+    brute_answer, canon_answer, full_index_set, lifted_oracle, lifted_probes, mixed_oracle,
+    mixed_probes,
+};
 pub use report::{BenchReport, Json};
 
 /// Render an aligned text table with a title.

@@ -1,14 +1,16 @@
 //! The shared mixed-workload oracle: ONE definition of the planner's
-//! mixed halfplane/halfspace/k-NN batch construction, used by the
-//! planner test suite (`tests/engine_planner.rs`), the gated
-//! `exp_planner` experiment, and the `planned_queries` example. The
-//! consumers pass their own datasets and counts (so the concrete query
-//! coefficients differ with the points), but the class mix, coefficient
-//! ranges, seed schedule, and interleave order live here once and
-//! cannot drift apart (DESIGN.md §10).
+//! mixed batch construction — [`mixed_oracle`] for the base
+//! halfplane/halfspace/k-NN mix, [`lifted_oracle`] for the six-class mix
+//! adding the derived disk/aggregate/top-k legs of DESIGN.md §15 — used
+//! by the planner test suite (`tests/engine_planner.rs`), the gated
+//! `exp_planner` / `exp_lift` experiments, and the `planned_queries` /
+//! `lifted_queries` examples. The consumers pass their own datasets and
+//! counts (so the concrete query coefficients differ with the points),
+//! but the class mix, coefficient ranges, seed schedule, and interleave
+//! order live here once and cannot drift apart (DESIGN.md §10).
 
 use lcrs_baselines::{ExternalKdTree, ExternalScan, ExternalScan3, StrRTree};
-use lcrs_engine::{IndexSet, Query};
+use lcrs_engine::{encode_sum, IndexSet, LiftedIndex, LiftedKind, Query};
 use lcrs_extmem::DeviceHandle;
 use lcrs_geom::point::PointD;
 use lcrs_halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
@@ -16,7 +18,9 @@ use lcrs_halfspace::hs3d::{HalfspaceRS3, Hs3dConfig};
 use lcrs_halfspace::ptree::{PTreeConfig, PartitionTree};
 use lcrs_halfspace::tradeoff::{HybridConfig, HybridTree3, ShallowConfig, ShallowTree3};
 use lcrs_halfspace::{DynamicHalfspace2, KnnStructure};
-use lcrs_workloads::{halfplane_mixed, halfspace3_mixed, knn_mixed};
+use lcrs_workloads::{
+    aggregate_mixed, disk_mixed, halfplane_mixed, halfspace3_mixed, knn_mixed, topk_mixed,
+};
 
 /// Slope/offset range of the 2D halfplane leg (see
 /// [`lcrs_workloads::halfplane_mixed`]).
@@ -66,6 +70,66 @@ pub fn mixed_oracle(
     out
 }
 
+/// Radius bound of the disk leg (squared radii up to `LIFT_RMAX²`).
+const LIFT_RMAX: i64 = 300;
+/// Upper bound on `k` for the top-k leg.
+const TOPK_K_MAX: usize = 16;
+
+/// The *lifted* mixed workload of DESIGN.md §15: [`mixed_oracle`]'s three
+/// base legs plus disk, count/sum, and top-k legs,
+/// `counts = (halfplane, halfspace, knn, disk, aggregate, topk)`, the new
+/// legs seeded `seed + 3`, `seed + 4`, `seed + 5` and spliced after the
+/// base interleave on a fixed three-slot rotation (a dry leg falls back
+/// to the others, so the output always holds exactly the requested total).
+/// Deterministic in `(pts2, pts3, counts, seed)`.
+pub fn lifted_oracle(
+    pts2: &[(i64, i64)],
+    pts3: &[(i64, i64, i64)],
+    counts: (usize, usize, usize, usize, usize, usize),
+    seed: u64,
+) -> Vec<Query> {
+    let (n_hp, n_hs, n_knn, n_disk, n_agg, n_topk) = counts;
+    let base = mixed_oracle(pts2, pts3, (n_hp, n_hs, n_knn), seed);
+    let dk = disk_mixed(pts2, n_disk, LIFT_RMAX, seed + 3)
+        .into_iter()
+        .map(|(x, y, r2, inclusive)| Query::Disk { x, y, r2, inclusive });
+    let ag = aggregate_mixed(pts2, n_agg, HP_SLOPE, seed + 4).into_iter().map(
+        |(m, c, inclusive, sum)| {
+            if sum {
+                Query::Sum { m, c, inclusive }
+            } else {
+                Query::Count { m, c, inclusive }
+            }
+        },
+    );
+    let tk = topk_mixed(pts2, n_topk, HP_SLOPE, TOPK_K_MAX, seed + 5)
+        .into_iter()
+        .map(|(m, c, k)| Query::TopK { m, c, k });
+    let (mut dk, mut ag, mut tk) = (dk.fuse(), ag.fuse(), tk.fuse());
+    let mut out = base;
+    for i in 0.. {
+        let q = match i % 3 {
+            0 => dk.next().or_else(|| ag.next()).or_else(|| tk.next()),
+            1 => ag.next().or_else(|| tk.next()).or_else(|| dk.next()),
+            _ => tk.next().or_else(|| dk.next()).or_else(|| ag.next()),
+        };
+        match q {
+            Some(q) => out.push(q),
+            None => break,
+        }
+    }
+    out
+}
+
+/// The measured probe sample paired with [`lifted_oracle`], mirroring
+/// [`mixed_probes`] with all six legs present — the aggregate probes are
+/// what populates the dual calibration's aggregate side
+/// (`Calibration::agg_probes`), so a planner calibrated with this sample
+/// prices `Query::Count` / `Query::Sum` with the annotated-path constant.
+pub fn lifted_probes(pts2: &[(i64, i64)], pts3: &[(i64, i64, i64)], seed: u64) -> Vec<Query> {
+    lifted_oracle(pts2, pts3, (8, 4, 4, 8, 8, 8), seed)
+}
+
 /// The measured probe sample paired with [`mixed_oracle`]: a small
 /// (16 + 8 + 8)-query batch for `IndexSet::calibrate`. Keep its `seed`
 /// disjoint from the workload's so calibration never sees the gated
@@ -75,12 +139,14 @@ pub fn mixed_probes(pts2: &[(i64, i64)], pts3: &[(i64, i64, i64)], seed: u64) ->
 }
 
 /// Every `RangeIndex` structure in the workspace over one 2D + one 3D
-/// dataset — the canonical eleven-slot fixture shared by the planner test
-/// suite and `exp_planner`. Slot order is load-bearing and must stay in
-/// one place: `IndexSet::plan` breaks predicted-cost ties toward earlier
-/// slots, so the scan-class structures sit last — a tie must never break
-/// toward a scan. The dynamic structure inserts with tag = input index,
-/// keeping its answers comparable to a brute-force reference.
+/// dataset — the canonical fifteen-slot fixture shared by the planner
+/// test suite and `exp_planner`/`exp_lift`. Slot order is load-bearing
+/// and must stay in one place: `IndexSet::plan` breaks predicted-cost
+/// ties toward earlier slots, so the scan-class structures sit last — a
+/// tie must never break toward a scan (`lift-scan3`, whose disk path
+/// scans its lifted file, sits after even the plain scans). The dynamic
+/// structure inserts with tag = input index, keeping its answers
+/// comparable to a brute-force reference.
 pub fn full_index_set(
     h2: &DeviceHandle,
     h3: &DeviceHandle,
@@ -102,17 +168,23 @@ pub fn full_index_set(
     set.add(Box::new(HalfspaceRS3::build(h3, pts3, Hs3dConfig::default())));
     set.add(Box::new(HybridTree3::build(h3, pts3, HybridConfig::default())));
     set.add(Box::new(ShallowTree3::build(h3, pts3, ShallowConfig::default())));
+    set.add(Box::new(LiftedIndex::build(h2, pts2, LiftedKind::Hs3d)));
+    set.add(Box::new(LiftedIndex::build(h2, pts2, LiftedKind::Hybrid)));
+    set.add(Box::new(LiftedIndex::build(h2, pts2, LiftedKind::Shallow)));
     set.add(Box::new(ExternalScan::build(h2, pts2)));
     set.add(Box::new(ExternalScan3::build(h3, pts3)));
+    set.add(Box::new(LiftedIndex::build(h2, pts2, LiftedKind::Scan3)));
     set
 }
 
 /// Canonical answer form for cross-structure comparison: report queries
-/// sort their id sets (structures report in structure-specific order);
-/// k-NN answers are already canonically ordered (distance, ties by id)
-/// by every capable structure, so their order is preserved and compared.
+/// (halfplane, halfspace, disk) sort their id sets — structures report in
+/// structure-specific order. Ranked answers (k-NN by distance, top-k by
+/// `y − m·x`; ties by id) are already canonically ordered by every capable
+/// structure, so their order is preserved and compared; aggregate answers
+/// are scalars (count word, sum words), never sorted.
 pub fn canon_answer(q: &Query, mut ids: Vec<u64>) -> Vec<u64> {
-    if !matches!(q, Query::Knn { .. }) {
+    if !(q.is_ranked() || q.is_aggregate()) {
         ids.sort_unstable();
     }
     ids
@@ -171,7 +243,62 @@ pub fn brute_answer(q: &Query, pts2: &[(i64, i64)], pts3: &[(i64, i64, i64)]) ->
             d.sort_unstable();
             d.into_iter().take(k).map(|(_, i)| i).collect()
         }
+        Query::Disk { x, y, r2, inclusive } => {
+            let mut ids: Vec<u64> = pts2
+                .iter()
+                .enumerate()
+                .filter(|(_, &(px, py))| {
+                    let (dx, dy) = (x as i128 - px as i128, y as i128 - py as i128);
+                    let d2 = dx * dx + dy * dy;
+                    if inclusive {
+                        d2 <= r2 as i128
+                    } else {
+                        d2 < r2 as i128
+                    }
+                })
+                .map(|(i, _)| i as u64)
+                .collect();
+            ids.sort_unstable();
+            ids
+        }
+        Query::Count { m, c, inclusive } => {
+            vec![below2(pts2, m, c, inclusive).count() as u64]
+        }
+        Query::Sum { m, c, inclusive } => {
+            encode_sum(below2(pts2, m, c, inclusive).map(|(_, (x, y))| x as i128 + y as i128).sum())
+        }
+        Query::TopK { m, c, k } => {
+            let mut cand: Vec<(i128, u64)> = pts2
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (y as i128 - m as i128 * x as i128, i as u64))
+                .filter(|&(key, _)| key <= c as i128)
+                .collect();
+            cand.sort_unstable();
+            cand.into_iter().take(k).map(|(_, i)| i).collect()
+        }
     }
+}
+
+/// The 2D points below `y = m·x + c` with their input indices — the one
+/// membership predicate the halfplane-derived brute arms share.
+fn below2(
+    pts2: &[(i64, i64)],
+    m: i64,
+    c: i64,
+    inclusive: bool,
+) -> impl Iterator<Item = (usize, (i64, i64))> + '_ {
+    pts2.iter()
+        .enumerate()
+        .filter(move |(_, &(x, y))| {
+            let rhs = m as i128 * x as i128 + c as i128;
+            if inclusive {
+                y as i128 <= rhs
+            } else {
+                (y as i128) < rhs
+            }
+        })
+        .map(|(i, &p)| (i, p))
 }
 
 #[cfg(test)]
@@ -203,5 +330,49 @@ mod tests {
         assert_eq!(canon_answer(&report, vec![3, 1, 2]), vec![1, 2, 3]);
         let knn = Query::Knn { x: 0, y: 0, k: 3 };
         assert_eq!(canon_answer(&knn, vec![3, 1, 2]), vec![3, 1, 2]);
+        // Derived classes: disks sort like reports, ranked and aggregate
+        // answers are order-preserving (top-k rank, sum's word split).
+        let disk = Query::Disk { x: 0, y: 0, r2: 4, inclusive: true };
+        assert_eq!(canon_answer(&disk, vec![3, 1, 2]), vec![1, 2, 3]);
+        let topk = Query::TopK { m: 0, c: 0, k: 3 };
+        assert_eq!(canon_answer(&topk, vec![3, 1, 2]), vec![3, 1, 2]);
+        let sum = Query::Sum { m: 0, c: 0, inclusive: true };
+        assert_eq!(canon_answer(&sum, vec![7, 3]), vec![7, 3]);
+    }
+
+    #[test]
+    fn lifted_oracle_is_deterministic_and_complete() {
+        let pts2 = points2(Dist2::Uniform, 200, 1000, 5);
+        let pts3 = points3(Dist3::Uniform, 100, 1 << 12, 6);
+        let counts = (12, 6, 6, 10, 10, 6);
+        let a = lifted_oracle(&pts2, &pts3, counts, 71);
+        assert_eq!(a, lifted_oracle(&pts2, &pts3, counts, 71));
+        assert_eq!(a.len(), 50);
+        // The base interleave is exactly mixed_oracle's — the new legs
+        // splice after it without disturbing pinned prefixes.
+        assert_eq!(a[..24], mixed_oracle(&pts2, &pts3, (12, 6, 6), 71)[..]);
+        let n = |f: fn(&Query) -> bool| a.iter().filter(|q| f(q)).count();
+        assert_eq!(n(|q| matches!(q, Query::Disk { .. })), 10);
+        assert_eq!(n(|q| q.is_aggregate()), 10);
+        assert_eq!(n(|q| matches!(q, Query::TopK { .. })), 6);
+        assert_eq!(n(|q| matches!(q, Query::Count { .. })), 5);
+        assert_eq!(n(|q| matches!(q, Query::Sum { .. })), 5);
+    }
+
+    #[test]
+    fn brute_answers_the_derived_classes_exactly() {
+        let pts2 = vec![(0, 0), (3, 4), (0, 5), (-2, -2)];
+        let disk = Query::Disk { x: 0, y: 0, r2: 25, inclusive: true };
+        assert_eq!(brute_answer(&disk, &pts2, &[]), vec![0, 1, 2, 3]);
+        let strict = Query::Disk { x: 0, y: 0, r2: 25, inclusive: false };
+        assert_eq!(brute_answer(&strict, &pts2, &[]), vec![0, 3]);
+        // Count/Sum below y <= 0·x + 0: points (0,0) and (-2,-2).
+        let count = Query::Count { m: 0, c: 0, inclusive: true };
+        assert_eq!(brute_answer(&count, &pts2, &[]), vec![2]);
+        let sum = Query::Sum { m: 0, c: 0, inclusive: true };
+        assert_eq!(brute_answer(&sum, &pts2, &[]), encode_sum(-4));
+        // Top-k by key y − 0·x ≤ 5, two lowest: (-2,-2) key −4, (0,0) key 0.
+        let topk = Query::TopK { m: 0, c: 5, k: 2 };
+        assert_eq!(brute_answer(&topk, &pts2, &[]), vec![3, 0]);
     }
 }

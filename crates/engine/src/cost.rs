@@ -3,50 +3,85 @@
 //! Each structure self-reports its asymptotic query bound as a
 //! [`CostHint`] ([`RangeIndex::cost_hint`]);
 //! this module turns those shapes into comparable per-query read estimates
-//! by fitting one multiplicative constant per structure from a measured
-//! probe pass ([`Calibration`]). The fitted constants serialize exactly
-//! (f64 bit patterns through [`MetaWriter`]), so a catalog reopened in
-//! another process makes *identical* plan decisions without re-probing —
-//! pinned by the planner test suite.
+//! by fitting multiplicative constants per structure from a measured
+//! probe pass ([`Calibration`]). Structures with an annotated aggregate
+//! path answer [`Query::Count`] / [`Query::Sum`] with different IO
+//! behavior than their reporting path (covered canonical nodes skip their
+//! leaves — DESIGN.md §15), so the fit is *dual*: probes are partitioned
+//! by [`RangeIndex::cost_hint_for`]'s [`CostHint::aggregate`] flag and
+//! each side gets its own constant. The fitted constants serialize
+//! exactly (f64 bit patterns through [`MetaWriter`]), so a catalog
+//! reopened in another process makes *identical* plan decisions without
+//! re-probing — pinned by the planner test suite.
 
 use lcrs_extmem::{MetaReader, MetaWriter, SnapshotError};
 use lcrs_halfspace::cost::CostHint;
 
 use crate::query::{Query, RangeIndex};
 
-/// A fitted cost constant for one structure.
+/// Fitted cost constants for one structure: one for the reporting path,
+/// one for the annotated aggregate path.
 ///
-/// `constant` is the ratio of measured cold reads per probe query to the
-/// hint's [`CostHint::structural_reads`]; an uncalibrated structure uses
-/// `1.0` (the raw paper shape). `probes` records how many measurements the
-/// fit averaged — zero means "never calibrated".
+/// Each constant is the ratio of measured cold reads per probe query to
+/// the hint's [`CostHint::structural_reads`]; an uncalibrated structure
+/// uses `1.0` (the raw paper shape). `probes` / `agg_probes` record how
+/// many measurements each fit averaged — zero means "never calibrated",
+/// and an aggregate prediction with `agg_probes == 0` falls back to the
+/// reporting constant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
-    /// Fitted multiplier on the structural shape (> 0).
+    /// Fitted multiplier on the structural shape (> 0), reporting path.
     pub constant: f64,
-    /// Probe queries the fit averaged over (0 = uncalibrated).
+    /// Probe queries the reporting fit averaged over (0 = uncalibrated).
     pub probes: u64,
+    /// Fitted multiplier for aggregate-path queries
+    /// ([`CostHint::aggregate`] hints), > 0.
+    pub agg_constant: f64,
+    /// Probe queries the aggregate fit averaged over (0 = uncalibrated;
+    /// predictions then use [`Self::constant`]).
+    pub agg_probes: u64,
 }
 
 impl Default for Calibration {
     fn default() -> Self {
-        Calibration { constant: 1.0, probes: 0 }
+        Calibration { constant: 1.0, probes: 0, agg_constant: 1.0, agg_probes: 0 }
     }
 }
 
 impl Calibration {
-    /// Fit from a probe pass: `measured_reads` total cold read IOs over
-    /// `probes` queries against a structure whose shape predicts
-    /// `structural` reads per query.
-    pub fn fit(measured_reads: u64, probes: u64, structural: f64) -> Calibration {
+    /// Fit one constant from a probe pass: `measured_reads` total cold
+    /// read IOs over `probes` queries against a structure whose shape
+    /// predicts `structural` reads per query.
+    fn fit_one(measured_reads: u64, probes: u64, structural: f64) -> (f64, u64) {
         if probes == 0 {
-            return Calibration::default();
+            return (1.0, 0);
         }
         let mean = measured_reads as f64 / probes as f64;
         // Structural shapes are >= 1 (see CostHint::structural_reads); a
         // zero-read probe pass (everything metadata-resident) still gets a
         // small positive constant so costs stay ordered by shape.
-        Calibration { constant: (mean / structural.max(1.0)).max(1e-6), probes }
+        ((mean / structural.max(1.0)).max(1e-6), probes)
+    }
+
+    /// Fit the reporting-path constant only (aggregate side left
+    /// uncalibrated). [`fit_dual`](Self::fit_dual) fits both.
+    pub fn fit(measured_reads: u64, probes: u64, structural: f64) -> Calibration {
+        let (constant, probes) = Self::fit_one(measured_reads, probes, structural);
+        Calibration { constant, probes, ..Calibration::default() }
+    }
+
+    /// Fit both constants from a partitioned probe pass (reporting and
+    /// aggregate measurements against the same structural shape).
+    pub fn fit_dual(
+        measured_reads: u64,
+        probes: u64,
+        agg_reads: u64,
+        agg_probes: u64,
+        structural: f64,
+    ) -> Calibration {
+        let (constant, probes) = Self::fit_one(measured_reads, probes, structural);
+        let (agg_constant, agg_probes) = Self::fit_one(agg_reads, agg_probes, structural);
+        Calibration { constant, probes, agg_constant, agg_probes }
     }
 
     /// Exact serialization (bit pattern, not decimal) — plan decisions
@@ -54,47 +89,72 @@ impl Calibration {
     pub fn save(&self, w: &mut MetaWriter) {
         w.u64(self.constant.to_bits());
         w.u64(self.probes);
+        w.u64(self.agg_constant.to_bits());
+        w.u64(self.agg_probes);
     }
 
     /// Inverse of [`Self::save`].
     pub fn load(r: &mut MetaReader) -> Result<Calibration, SnapshotError> {
-        let bits = r.u64()?;
-        let constant = f64::from_bits(bits);
-        if !(constant.is_finite() && constant > 0.0) {
-            return Err(r.error(format!("calibration constant {constant} must be finite positive")));
-        }
-        Ok(Calibration { constant, probes: r.u64()? })
+        let load_constant = |r: &mut MetaReader| -> Result<f64, SnapshotError> {
+            let constant = f64::from_bits(r.u64()?);
+            if !(constant.is_finite() && constant > 0.0) {
+                return Err(
+                    r.error(format!("calibration constant {constant} must be finite positive"))
+                );
+            }
+            Ok(constant)
+        };
+        let constant = load_constant(r)?;
+        let probes = r.u64()?;
+        let agg_constant = load_constant(r)?;
+        let agg_probes = r.u64()?;
+        Ok(Calibration { constant, probes, agg_constant, agg_probes })
     }
 }
 
-/// Predicted read cost of `q` on a structure with `hint` and `calib`.
+/// Predicted read cost of `q` on a structure answering with `hint`
+/// (obtained from [`RangeIndex::cost_hint_for`]) under `calib`.
 ///
-/// The shape's structural term is scaled by the fitted constant. The
-/// output term `t/B` is omitted on purpose: every structure reports the
-/// same `t` ids for the same query at the same ~`t/B` page cost, so the
-/// term cancels inside an argmin/argmax over capable structures (DESIGN.md
-/// §10). The `q` parameter keeps the signature honest — cost is a
-/// per-query notion — even though today's shapes only depend on the class.
+/// The shape's structural term is scaled by the fitted constant — the
+/// aggregate constant when the hint carries [`CostHint::aggregate`] and
+/// the aggregate side has been calibrated, the reporting constant
+/// otherwise. The output term `t/B` is omitted on purpose: every
+/// structure reports the same `t` ids for the same query at the same
+/// ~`t/B` page cost, so the term cancels inside an argmin/argmax over
+/// capable structures (DESIGN.md §10). The `q` parameter keeps the
+/// signature honest — cost is a per-query notion — even though today's
+/// shapes depend only on the class and the aggregate flag.
 pub fn predicted_reads(hint: &CostHint, calib: &Calibration, q: &Query) -> f64 {
     let _ = q;
-    calib.constant * hint.structural_reads()
+    let constant =
+        if hint.aggregate && calib.agg_probes > 0 { calib.agg_constant } else { calib.constant };
+    constant * hint.structural_reads()
 }
 
 /// Run the measured probe pass for one structure: every supported query
 /// in `probes`, each against a cleared cache so the measurement is cold,
-/// deterministic, and independent of probe order. Returns the fitted
-/// calibration (default if no probe applies).
+/// deterministic, and independent of probe order. Probes are partitioned
+/// by the [`CostHint::aggregate`] flag of [`RangeIndex::cost_hint_for`],
+/// fitting the reporting and aggregate constants separately. Returns the
+/// fitted calibration (default if no probe applies).
 pub fn calibrate_index(index: &dyn RangeIndex, probes: &[Query]) -> Calibration {
     let mut reads = 0u64;
     let mut count = 0u64;
+    let mut agg_reads = 0u64;
+    let mut agg_count = 0u64;
     for q in probes.iter().filter(|q| index.supports(q)) {
         index.device().clear_cache();
         let (result, io) = index.try_execute_measured(q);
         debug_assert!(result.is_ok(), "supports() admitted the probe");
-        reads += io.reads;
-        count += 1;
+        if index.cost_hint_for(q).aggregate {
+            agg_reads += io.reads;
+            agg_count += 1;
+        } else {
+            reads += io.reads;
+            count += 1;
+        }
     }
-    Calibration::fit(reads, count, index.cost_hint().structural_reads())
+    Calibration::fit_dual(reads, count, agg_reads, agg_count, index.cost_hint().structural_reads())
 }
 
 #[cfg(test)]
@@ -114,33 +174,63 @@ mod tests {
     }
 
     #[test]
+    fn dual_fit_partitions_the_sides() {
+        let c = Calibration::fit_dual(300, 10, 40, 8, 3.0);
+        assert!((c.constant - 10.0).abs() < 1e-12);
+        assert!((c.agg_constant - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!((c.probes, c.agg_probes), (10, 8));
+        // One-sided passes leave the other side uncalibrated at 1.0.
+        let rep_only = Calibration::fit_dual(300, 10, 0, 0, 3.0);
+        assert_eq!((rep_only.agg_constant, rep_only.agg_probes), (1.0, 0));
+    }
+
+    #[test]
     fn calibration_roundtrips_bit_exactly() {
-        let c = Calibration { constant: 0.1 + 0.2, probes: 7 }; // a non-representable sum
+        let c = Calibration {
+            constant: 0.1 + 0.2, // a non-representable sum
+            probes: 7,
+            agg_constant: 1.0 / 3.0,
+            agg_probes: 3,
+        };
         let mut w = MetaWriter::new();
         c.save(&mut w);
         let mut r = MetaReader::from_bytes(w.into_bytes()).unwrap();
         let back = Calibration::load(&mut r).unwrap();
         r.finish().unwrap();
         assert_eq!(back.constant.to_bits(), c.constant.to_bits());
-        assert_eq!(back.probes, 7);
+        assert_eq!(back.agg_constant.to_bits(), c.agg_constant.to_bits());
+        assert_eq!((back.probes, back.agg_probes), (7, 3));
     }
 
     #[test]
     fn corrupt_constants_are_rejected() {
         for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
             let mut w = MetaWriter::new();
-            Calibration { constant: bad, probes: 1 }.save(&mut w);
+            Calibration { constant: bad, probes: 1, ..Calibration::default() }.save(&mut w);
             let mut r = MetaReader::from_bytes(w.into_bytes()).unwrap();
             assert!(Calibration::load(&mut r).is_err(), "{bad}");
+            let mut w = MetaWriter::new();
+            Calibration { agg_constant: bad, agg_probes: 1, ..Calibration::default() }.save(&mut w);
+            let mut r = MetaReader::from_bytes(w.into_bytes()).unwrap();
+            assert!(Calibration::load(&mut r).is_err(), "agg {bad}");
         }
     }
 
     #[test]
     fn predicted_reads_scales_the_shape() {
         let hint = CostHint::new(CostShape::Logarithmic, 1000);
-        let calib = Calibration { constant: 2.5, probes: 4 };
+        let calib = Calibration { constant: 2.5, probes: 4, agg_constant: 0.5, agg_probes: 2 };
         let q = Query::Halfplane { m: 0, c: 0, inclusive: false };
         let got = predicted_reads(&hint, &calib, &q);
         assert!((got - 2.5 * hint.structural_reads()).abs() < 1e-12);
+        // The aggregate flag switches to the aggregate constant…
+        let agg = hint.as_aggregate();
+        let q_agg = Query::Count { m: 0, c: 0, inclusive: false };
+        let got_agg = predicted_reads(&agg, &calib, &q_agg);
+        assert!((got_agg - 0.5 * hint.structural_reads()).abs() < 1e-12);
+        // …unless that side was never calibrated.
+        let uncal = Calibration { agg_probes: 0, ..calib };
+        let fallback = predicted_reads(&agg, &uncal, &q_agg);
+        assert!((fallback - 2.5 * hint.structural_reads()).abs() < 1e-12);
     }
 }

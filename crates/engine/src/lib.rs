@@ -5,8 +5,14 @@
 //! across queries is the dominant cost saving. This crate is the front door
 //! for that mode of operation (DESIGN.md §7):
 //!
-//! * [`Query`] — a structure-agnostic query value (halfplane, halfspace,
-//!   k-NN report);
+//! * [`Query`] — a structure-agnostic query value: halfplane, halfspace,
+//!   and k-NN reports, plus the derived classes of DESIGN.md §15 —
+//!   [`Query::Disk`] (circular ranges via the paraboloid lift),
+//!   [`Query::Count`] / [`Query::Sum`] (annotated aggregates), and
+//!   [`Query::TopK`] (ranked reporting);
+//! * [`LiftedIndex`] — disk queries answered by the existing 3D
+//!   structures over lifted 2D points, with an exact-scan tail for
+//!   points outside the lift budget;
 //! * [`RangeIndex`] — the unified query interface, implemented by every
 //!   structure of `lcrs_halfspace` and every baseline of `lcrs_baselines`,
 //!   with per-query [`IoDelta`](lcrs_extmem::IoDelta) attribution measured
@@ -65,6 +71,7 @@
 pub mod batch;
 pub mod catalog;
 pub mod cost;
+pub mod lift;
 pub mod live;
 pub mod parallel;
 pub mod planner;
@@ -75,12 +82,13 @@ pub mod shard;
 pub use batch::{BatchExecutor, BatchReport, ExecMode, QueryOutcome, QueryStatus};
 pub use catalog::{CatalogEntry, SnapshotCatalog, RESERVED_PREFIX};
 pub use cost::{calibrate_index, predicted_reads, Calibration};
+pub use lift::{LiftedIndex, LiftedKind};
 pub use live::{LiveIndex, LiveLevel, LIVE_MANIFEST};
 pub use parallel::{ParallelExecutor, ParallelReport, WorkerReport};
 pub use planner::{
     IndexSet, Plan, PlanReport, PrefetchHint, RoutedReport, CALIBRATION_FILE, NO_PREFETCH_ENV,
 };
-pub use query::{load_index, Query, RangeIndex, Unsupported};
+pub use query::{decode_sum, encode_sum, load_index, Query, RangeIndex, Unsupported};
 pub use serve::{
     saturating_ns, Arrival, MetricsSnapshot, QueryServer, QuotaConfig, RejectReason, ServeConfig,
     ServeOutcome, ServeReport, ServeStatus, TenantId, TenantMetrics, WindowPolicy, WindowSummary,

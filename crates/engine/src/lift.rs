@@ -1,0 +1,337 @@
+//! [`LiftedIndex`]: disk queries on 2D points through the 3D structures —
+//! no new index, just the paraboloid lift (DESIGN.md §15).
+//!
+//! At build time every in-budget 2D point `(px, py)` (within
+//! [`lcrs_geom::lift::MAX_LIFT_COORD`]) lifts to the 3D point
+//! `(px, py, px² + py²)`; a [`Query::Disk`] of center `(x, y)` and squared
+//! radius `r2` translates to the halfspace
+//! `z ≤ 2x·px + 2y·py + (r2 − x² − y²)`
+//! ([`lcrs_geom::lift::disk_to_halfspace`]), which any of the four 3D
+//! backends answers: [`HalfspaceRS3`] (Theorem 4.4, logarithmic),
+//! [`HybridTree3`] / [`ShallowTree3`] (Section 6 trade-offs), or
+//! [`ExternalScan3`] (the lifted oracle). Points *outside* the lift budget
+//! go to a tail file on the same device, scanned with exact carry-aware
+//! `u128` distances ([`lcrs_geom::lift::in_disk`]) — the lift accelerates
+//! the dense in-budget mass without ever giving up exactness.
+//!
+//! All IOs — inner-structure reads and tail pages — flow through the one
+//! [`DeviceHandle`] scope the index was built on, so the engine's
+//! per-query [`lcrs_extmem::IoDelta`] attribution sees the composite as a
+//! single structure.
+
+use lcrs_baselines::ExternalScan3;
+use lcrs_extmem::{DeviceHandle, MetaReader, MetaWriter, SnapshotError, VecFile};
+use lcrs_geom::lift;
+use lcrs_halfspace::cost::{CostHint, CostShape};
+use lcrs_halfspace::hs3d::Hs3dConfig;
+use lcrs_halfspace::tradeoff::{HybridConfig, ShallowConfig};
+use lcrs_halfspace::{HalfspaceRS3, HybridTree3, ShallowTree3};
+
+use crate::query::{unsupported, Query, RangeIndex, Unsupported};
+
+/// Which 3D backend serves the lifted points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiftedKind {
+    /// [`HalfspaceRS3`] — O(log n) search (Theorem 4.4).
+    Hs3d,
+    /// [`HybridTree3`] — the n^(1/3) Section 6 trade-off.
+    Hybrid,
+    /// [`ShallowTree3`] — the n^(2/3) Section 6 trade-off.
+    Shallow,
+    /// [`ExternalScan3`] — the lifted scan oracle.
+    Scan3,
+}
+
+enum Inner {
+    Hs3d(HalfspaceRS3),
+    Hybrid(HybridTree3),
+    Shallow(ShallowTree3),
+    Scan3(ExternalScan3),
+}
+
+/// A 2D point set answering [`Query::Disk`] via the paraboloid lift (see
+/// the module docs). Built from arbitrary `i64` points; only the
+/// in-budget ones ride the 3D structure, the rest live in an exact-scan
+/// tail on the same device.
+pub struct LiftedIndex {
+    dev: DeviceHandle,
+    inner: Inner,
+    /// Inner-structure local id → original input id (in-budget points
+    /// keep their build order inside the inner structure).
+    ids: Vec<u32>,
+    /// Out-of-budget points `(x, y, original id)`.
+    tail: VecFile<(i64, i64, u32)>,
+    n: usize,
+}
+
+impl LiftedIndex {
+    /// Lift `points` and build the `kind` backend over the in-budget
+    /// subset; the rest go to the tail file. Pays the inner structure's
+    /// build IOs plus one sequential write of the tail.
+    pub fn build(dev: &DeviceHandle, points: &[(i64, i64)], kind: LiftedKind) -> LiftedIndex {
+        let mut lifted: Vec<(i64, i64, i64)> = Vec::new();
+        let mut ids: Vec<u32> = Vec::new();
+        let mut tail_items: Vec<(i64, i64, u32)> = Vec::new();
+        for (i, &(px, py)) in points.iter().enumerate() {
+            match lift::lift_z(px, py) {
+                Some(z) => {
+                    lifted.push((px, py, z));
+                    ids.push(i as u32);
+                }
+                None => tail_items.push((px, py, i as u32)),
+            }
+        }
+        let inner = match kind {
+            LiftedKind::Hs3d => {
+                Inner::Hs3d(HalfspaceRS3::build(dev, &lifted, Hs3dConfig::default()))
+            }
+            LiftedKind::Hybrid => {
+                Inner::Hybrid(HybridTree3::build(dev, &lifted, HybridConfig::default()))
+            }
+            LiftedKind::Shallow => {
+                Inner::Shallow(ShallowTree3::build(dev, &lifted, ShallowConfig::default()))
+            }
+            LiftedKind::Scan3 => Inner::Scan3(ExternalScan3::build(dev, &lifted)),
+        };
+        let tail = VecFile::from_slice(dev, &tail_items);
+        LiftedIndex { dev: dev.clone(), inner, ids, tail, n: points.len() }
+    }
+
+    /// Total points (in-budget plus tail).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Points served by the exact-scan tail rather than the lift.
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// The same index viewed through `h` (own cache + stats, same pages).
+    pub fn with_handle(&self, h: &DeviceHandle) -> LiftedIndex {
+        let inner = match &self.inner {
+            Inner::Hs3d(s) => Inner::Hs3d(s.with_handle(h)),
+            Inner::Hybrid(s) => Inner::Hybrid(s.with_handle(h)),
+            Inner::Shallow(s) => Inner::Shallow(s.with_handle(h)),
+            Inner::Scan3(s) => Inner::Scan3(s.with_handle(h)),
+        };
+        LiftedIndex {
+            dev: h.clone(),
+            inner,
+            ids: self.ids.clone(),
+            tail: self.tail.with_handle(h),
+            n: self.n,
+        }
+    }
+
+    /// Reconstruct an index persisted through [`RangeIndex::save_meta`]
+    /// from its kind string (`"lift-hs3d"` / `"lift-hybrid"` /
+    /// `"lift-shallow"` / `"lift-scan3"`).
+    pub fn load(
+        kind: &str,
+        h: &DeviceHandle,
+        r: &mut MetaReader,
+    ) -> Result<LiftedIndex, SnapshotError> {
+        let inner = match kind {
+            "lift-hs3d" => Inner::Hs3d(HalfspaceRS3::load(h, r)?),
+            "lift-hybrid" => Inner::Hybrid(HybridTree3::load(h, r)?),
+            "lift-shallow" => Inner::Shallow(ShallowTree3::load(h, r)?),
+            "lift-scan3" => Inner::Scan3(ExternalScan3::load(h, r)?),
+            other => return Err(r.error(format!("unknown lifted kind {other:?}"))),
+        };
+        let n_ids = r.seq()?;
+        let mut ids = Vec::with_capacity(n_ids);
+        for _ in 0..n_ids {
+            ids.push(r.u32()?);
+        }
+        let tail = VecFile::load(h, r)?;
+        let n = r.usize()?;
+        if ids.len() + tail.len() != n {
+            return Err(r.error("lifted id map + tail must cover every point"));
+        }
+        Ok(LiftedIndex { dev: h.clone(), inner, ids, tail, n })
+    }
+
+    fn inner_query(&self, u: i64, v: i64, w: i64, inclusive: bool) -> Vec<u32> {
+        match &self.inner {
+            Inner::Hs3d(s) => s.query_below(u, v, w, inclusive),
+            Inner::Hybrid(s) => s.query_below(u, v, w, inclusive),
+            Inner::Shallow(s) => s.query_below(u, v, w, inclusive),
+            Inner::Scan3(s) => s.query_below(u, v, w, inclusive).0,
+        }
+    }
+
+    /// Ids of points inside the disk: lifted halfspace over the in-budget
+    /// mass, exact scan over the tail.
+    pub fn disk_report(&self, x: i64, y: i64, r2: i64, inclusive: bool) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        if let Some((u, v, w)) = lift::disk_to_halfspace(x, y, r2) {
+            for local in self.inner_query(u, v, w, inclusive) {
+                out.push(u64::from(self.ids[local as usize]));
+            }
+        }
+        // r2 < 0 (an empty disk) skips the lift but still scans nothing
+        // from the tail: in_disk rejects every point.
+        self.tail.scan_while(|_, (px, py, id)| {
+            if lift::in_disk(x, y, r2, px, py, inclusive) {
+                out.push(u64::from(id));
+            }
+            true
+        });
+        out
+    }
+}
+
+impl RangeIndex for LiftedIndex {
+    fn name(&self) -> &'static str {
+        match self.inner {
+            Inner::Hs3d(_) => "lift-hs3d",
+            Inner::Hybrid(_) => "lift-hybrid",
+            Inner::Shallow(_) => "lift-shallow",
+            Inner::Scan3(_) => "lift-scan3",
+        }
+    }
+
+    fn device(&self) -> &DeviceHandle {
+        &self.dev
+    }
+
+    /// Disks whose center keeps the lifted plane exact
+    /// ([`lcrs_geom::lift::MAX_DISK_CENTER`]); empty disks (`r2 < 0`)
+    /// are supported and answer with nothing.
+    fn supports(&self, q: &Query) -> bool {
+        match *q {
+            Query::Disk { x, y, .. } => {
+                x.unsigned_abs() <= lift::MAX_DISK_CENTER as u64
+                    && y.unsigned_abs() <= lift::MAX_DISK_CENTER as u64
+            }
+            _ => false,
+        }
+    }
+
+    fn cost_hint(&self) -> CostHint {
+        let mut hint = match &self.inner {
+            Inner::Hs3d(s) => s.cost_hint(),
+            Inner::Hybrid(s) => s.cost_hint(),
+            Inner::Shallow(s) => s.cost_hint(),
+            Inner::Scan3(s) => {
+                CostHint::new(CostShape::Scan { data_pages: s.data_pages() }, s.len())
+            }
+        };
+        // Every disk query also scans the tail; a scan-shaped inner can
+        // price those pages exactly, the others absorb them into the
+        // calibrated constant.
+        if let CostShape::Scan { data_pages } = hint.shape {
+            hint.shape = CostShape::Scan { data_pages: data_pages + self.tail.pages() as u64 };
+        }
+        hint.n = self.n as u64;
+        hint
+    }
+
+    fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
+        match *q {
+            Query::Disk { x, y, r2, inclusive } if RangeIndex::supports(self, q) => {
+                Ok(self.disk_report(x, y, r2, inclusive))
+            }
+            _ => unsupported(RangeIndex::name(self), q),
+        }
+    }
+
+    fn fork_reader(&self) -> Box<dyn RangeIndex> {
+        Box::new(self.with_handle(&self.dev.fork()))
+    }
+
+    fn save_meta(&self, w: &mut MetaWriter) {
+        match &self.inner {
+            Inner::Hs3d(s) => s.save(w),
+            Inner::Hybrid(s) => s.save(w),
+            Inner::Shallow(s) => s.save(w),
+            Inner::Scan3(s) => s.save(w),
+        }
+        w.seq(self.ids.len());
+        for &id in &self.ids {
+            w.u32(id);
+        }
+        self.tail.save(w);
+        w.usize(self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrs_extmem::{Device, DeviceConfig};
+
+    fn mixed_points(n: usize, seed: u64) -> Vec<(i64, i64)> {
+        // Mostly in-budget points, with a sprinkle of extreme outliers
+        // that must land in the tail.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        (0..n)
+            .map(|i| {
+                if i % 17 == 13 {
+                    let sign = if next() % 2 == 0 { 1 } else { -1 };
+                    (sign * (next() % 1_000_000_000) as i64, (next() % 1_000_000_000) as i64)
+                } else {
+                    ((next() % 2049) as i64 - 1024, (next() % 2049) as i64 - 1024)
+                }
+            })
+            .collect()
+    }
+
+    fn brute_disk(pts: &[(i64, i64)], x: i64, y: i64, r2: i64, inclusive: bool) -> Vec<u64> {
+        pts.iter()
+            .enumerate()
+            .filter(|(_, &(px, py))| lift::in_disk(x, y, r2, px, py, inclusive))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    #[test]
+    fn every_backend_matches_brute_force() {
+        let pts = mixed_points(500, 9);
+        for kind in [LiftedKind::Hs3d, LiftedKind::Hybrid, LiftedKind::Shallow, LiftedKind::Scan3] {
+            let dev = Device::new(DeviceConfig::new(512, 0));
+            let idx = LiftedIndex::build(&dev, &pts, kind);
+            assert!(idx.tail_len() > 0, "outliers must populate the tail");
+            for (x, y, r2) in [
+                (0i64, 0i64, 400_000i64),
+                (-500, 500, 90_000),
+                (lift::MAX_DISK_CENTER, 0, 1 << 50),
+                (3, -4, 0),
+                (7, 7, -5),
+            ] {
+                for inclusive in [false, true] {
+                    let mut got = idx.disk_report(x, y, r2, inclusive);
+                    got.sort_unstable();
+                    let want = brute_disk(&pts, x, y, r2, inclusive);
+                    assert_eq!(got, want, "{kind:?} disk=({x},{y},{r2}) inclusive={inclusive}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supports_gates_on_center_budget() {
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let idx = LiftedIndex::build(&dev, &[(0, 0), (3, 4)], LiftedKind::Hs3d);
+        let ok = Query::Disk { x: 0, y: 0, r2: 25, inclusive: true };
+        let empty = Query::Disk { x: 0, y: 0, r2: -1, inclusive: true };
+        let far = Query::Disk { x: lift::MAX_DISK_CENTER + 1, y: 0, r2: 25, inclusive: true };
+        assert!(RangeIndex::supports(&idx, &ok));
+        assert!(RangeIndex::supports(&idx, &empty), "empty disks are supported (answer: nothing)");
+        assert!(!RangeIndex::supports(&idx, &far));
+        let mut got = idx.execute(&ok);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1], "(0,0) and (3,4) both lie in the inclusive r²=25 disk");
+        assert_eq!(idx.execute(&empty), Vec::<u64>::new());
+        assert!(idx.try_execute(&far).is_err());
+    }
+}

@@ -145,11 +145,27 @@ impl RangeIndex for LiveLevel {
     }
 
     fn supports(&self, q: &Query) -> bool {
-        matches!(q, Query::Halfplane { .. })
+        matches!(
+            q,
+            Query::Halfplane { .. }
+                | Query::Count { .. }
+                | Query::Sum { .. }
+                | Query::TopK { .. }
+                | Query::Disk { .. }
+        )
     }
 
     fn cost_hint(&self) -> CostHint {
         self.structure.cost_hint()
+    }
+
+    fn cost_hint_for(&self, q: &Query) -> CostHint {
+        let hint = self.structure.cost_hint();
+        if q.is_aggregate() {
+            hint.as_aggregate()
+        } else {
+            hint
+        }
     }
 
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
@@ -159,6 +175,33 @@ impl RangeIndex for LiveLevel {
                 .query_below(m, c, inclusive)
                 .into_iter()
                 .map(|id| self.points[id as usize].2)
+                .collect()),
+            // Aggregates depend only on coordinates, not on the local→tag
+            // id mapping, so they delegate to the annotated structure.
+            Query::Count { m, c, inclusive } => {
+                Ok(vec![self.structure.aggregate_below(m, c, inclusive).0])
+            }
+            Query::Sum { m, c, inclusive } => {
+                Ok(crate::query::encode_sum(self.structure.aggregate_below(m, c, inclusive).1))
+            }
+            // Ranked reporting ties by *external* tag, which the
+            // structure's local ids cannot see — rank host-side instead.
+            Query::TopK { m, c, k } => {
+                let mut cand: Vec<(i128, u64)> = self
+                    .points
+                    .iter()
+                    .map(|&(x, y, tag)| (y as i128 - m as i128 * x as i128, tag))
+                    .filter(|&(key, _)| key <= c as i128)
+                    .collect();
+                cand.sort_unstable();
+                cand.truncate(k);
+                Ok(cand.into_iter().map(|(_, tag)| tag).collect())
+            }
+            Query::Disk { x, y, r2, inclusive } => Ok(self
+                .points
+                .iter()
+                .filter(|&&(px, py, _)| lcrs_geom::lift::in_disk(x, y, r2, px, py, inclusive))
+                .map(|&(_, _, tag)| tag)
                 .collect()),
             _ => Err(Unsupported { index: RangeIndex::name(self), query: *q }),
         }
@@ -511,8 +554,19 @@ impl RangeIndex for LiveIndex {
         self.core.scope()
     }
 
+    /// The live tier answers every 2D-derived class of DESIGN.md §15
+    /// (aggregates, top-k, disks for arbitrary centers): the leveled core
+    /// enumerates its live points host-side, trading the frozen tiers' IO
+    /// wins for exactness over the mutable state.
     fn supports(&self, q: &Query) -> bool {
-        matches!(q, Query::Halfplane { .. })
+        matches!(
+            q,
+            Query::Halfplane { .. }
+                | Query::Count { .. }
+                | Query::Sum { .. }
+                | Query::TopK { .. }
+                | Query::Disk { .. }
+        )
     }
 
     fn cost_hint(&self) -> CostHint {
@@ -522,6 +576,14 @@ impl RangeIndex for LiveIndex {
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfplane { m, c, inclusive } => Ok(self.core.query_below(m, c, inclusive)),
+            Query::Count { m, c, inclusive } => {
+                Ok(vec![self.core.aggregate_below(m, c, inclusive).0])
+            }
+            Query::Sum { m, c, inclusive } => {
+                Ok(crate::query::encode_sum(self.core.aggregate_below(m, c, inclusive).1))
+            }
+            Query::TopK { m, c, k } => Ok(self.core.top_k(m, c, k)),
+            Query::Disk { x, y, r2, inclusive } => Ok(self.core.disk_report(x, y, r2, inclusive)),
             _ => Err(Unsupported { index: RangeIndex::name(self), query: *q }),
         }
     }

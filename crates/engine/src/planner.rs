@@ -12,10 +12,13 @@
 //!   support the same query class must be answer-equivalent (indexes over
 //!   one logical dataset) — the cross-structure oracle suite is what makes
 //!   that contract checkable.
-//! * **Cost** comes from [`RangeIndex::cost_hint`] (the paper's asymptotic
-//!   bound as a shape) times a per-structure constant fitted by a measured
-//!   probe pass ([`IndexSet::calibrate`]). Constants persist exactly
-//!   through a [`SnapshotCatalog`] ([`IndexSet::save_calibration_to_catalog`]),
+//! * **Cost** comes from [`RangeIndex::cost_hint_for`] (the paper's
+//!   asymptotic bound as a shape, flagged per query class — aggregate
+//!   count/sum queries carry [`lcrs_halfspace::cost::CostHint::aggregate`])
+//!   times a per-structure constant fitted by a measured probe pass
+//!   ([`IndexSet::calibrate`], which fits the reporting and aggregate
+//!   paths separately). Constants persist exactly through a
+//!   [`SnapshotCatalog`] ([`IndexSet::save_calibration_to_catalog`]),
 //!   so a reopened catalog plans identically without re-probing.
 //! * **Execution** composes with the rest of the engine: each routed
 //!   sub-batch runs through the [`crate::BatchExecutor`]'s locality
@@ -276,7 +279,7 @@ impl IndexSet {
     /// Predicted (calibrated) reads of answering `q` at `slot`.
     pub fn cost(&self, slot: usize, q: &Query) -> f64 {
         let e = &self.entries[slot];
-        predicted_reads(&e.index.cost_hint(), &e.calib, q)
+        predicted_reads(&e.index.cost_hint_for(q), &e.calib, q)
     }
 
     /// The measured probe pass: fit every structure's cost constant from
@@ -352,7 +355,8 @@ impl IndexSet {
             candidates.clear();
             for (slot, e) in self.entries.iter().enumerate() {
                 if e.index.supports(q) {
-                    candidates.push((slot, predicted_reads(&e.index.cost_hint(), &e.calib, q)));
+                    candidates
+                        .push((slot, predicted_reads(&e.index.cost_hint_for(q), &e.calib, q)));
                 }
             }
             match pick(&candidates) {

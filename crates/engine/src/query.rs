@@ -10,34 +10,91 @@ use lcrs_halfspace::{
     ShallowTree3,
 };
 
-/// A structure-agnostic report query.
+/// A structure-agnostic query.
 ///
-/// Coordinates follow the conventions of the underlying structures: 2D
-/// halfplanes are `y <= m·x + c`, 3D halfspaces are `z <= u·x + v·y + w`
-/// (strict unless `inclusive`), and k-NN reports the `k` points closest to
-/// `(x, y)` in Euclidean distance.
+/// Seven query classes share one answer channel (`Vec<u64>` of ids or
+/// encoded scalars — see each variant). Coordinates follow the
+/// conventions of the underlying structures: 2D halfplanes are
+/// `y <= m·x + c`, 3D halfspaces are `z <= u·x + v·y + w` (strict unless
+/// `inclusive`). Three classes are *derived* — answered by existing
+/// structures without any new index:
+///
+/// * [`Query::Disk`] reduces to a 3D halfspace over paraboloid-lifted
+///   points ([`lcrs_geom::lift`], served by [`crate::LiftedIndex`]);
+/// * [`Query::Count`] / [`Query::Sum`] ride annotated canonical nodes
+///   (subtree counts and weight sums, weight = `x + y`) so covered nodes
+///   answer without enumerating leaves;
+/// * [`Query::TopK`] ranks the halfplane candidates by `y − m·x`, the
+///   dual-line value the 2D walk computes anyway.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Query {
-    /// Points below the line `y = m·x + c` (2D structures).
+    /// Points below the line `y = m·x + c` (2D structures). Answer: ids.
     Halfplane { m: i64, c: i64, inclusive: bool },
     /// Points below the plane `z = u·x + v·y + w` (3D structures).
+    /// Answer: ids.
     Halfspace { u: i64, v: i64, w: i64, inclusive: bool },
-    /// The `k` nearest neighbors of `(x, y)` ([`KnnStructure`] only).
+    /// The `k` nearest neighbors of `(x, y)` ([`KnnStructure`] and the 2D
+    /// scan). Answer: ids, closest first (ties by id) — order matters.
     Knn { x: i64, y: i64, k: usize },
+    /// Points within squared distance `r2` of `(x, y)` (circular range
+    /// reporting via the lift — DESIGN.md §15). `r2 < 0` is an empty
+    /// disk. Answer: ids.
+    Disk { x: i64, y: i64, r2: i64, inclusive: bool },
+    /// How many points lie below `y = m·x + c`. Answer: `vec![count]`.
+    Count { m: i64, c: i64, inclusive: bool },
+    /// Exact `Σ (x + y)` over points below `y = m·x + c`, an `i128`.
+    /// Answer: two words — see [`encode_sum`] / [`decode_sum`].
+    Sum { m: i64, c: i64, inclusive: bool },
+    /// The `k` points with the lowest key `y − m·x` among those with
+    /// key ≤ `c` (always inclusive). Answer: ids ordered by
+    /// `(key, id)` — order matters, like [`Query::Knn`].
+    TopK { m: i64, c: i64, k: usize },
 }
 
 impl Query {
     /// Sort key for page locality: nearby keys tend to touch the same
-    /// pages. Halfplanes map to their dual point `(m, c)` — queries with
-    /// close duals cross the same levels of the 2D structure; halfspaces
-    /// and k-NN queries sort by their region of interest.
+    /// pages. Halfplanes and their derived classes (count/sum/top-k) map
+    /// to their dual point `(m, c)` — queries with close duals cross the
+    /// same levels of the 2D structure; halfspaces, disks, and k-NN
+    /// queries sort by their region of interest.
     pub fn locality_key(&self) -> [i64; 3] {
         match *self {
             Query::Halfplane { m, c, .. } => [m, c, 0],
             Query::Halfspace { u, v, w, .. } => [u, v, w],
             Query::Knn { x, y, k } => [x, y, k as i64],
+            Query::Disk { x, y, r2, .. } => [x, y, r2],
+            Query::Count { m, c, .. } => [m, c, 1],
+            Query::Sum { m, c, .. } => [m, c, 2],
+            Query::TopK { m, c, k } => [m, c, k as i64],
         }
     }
+
+    /// `true` for the scalar-answer classes ([`Query::Count`] /
+    /// [`Query::Sum`]): their answers are aggregates, not id reports, so
+    /// sharded execution merges them by summing and the planner prices
+    /// them with the separately calibrated aggregate constant.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, Query::Count { .. } | Query::Sum { .. })
+    }
+
+    /// `true` when the answer's *order* is part of the contract
+    /// ([`Query::Knn`] distance-ranked, [`Query::TopK`] key-ranked):
+    /// comparing or merging such answers must never sort them by id.
+    pub fn is_ranked(&self) -> bool {
+        matches!(self, Query::Knn { .. } | Query::TopK { .. })
+    }
+}
+
+/// Encode an exact `i128` weight sum into the `Vec<u64>` answer channel:
+/// `[low 64 bits, high 64 bits]`. [`decode_sum`] inverts this.
+pub fn encode_sum(s: i128) -> Vec<u64> {
+    vec![s as u64, (s >> 64) as u64]
+}
+
+/// Decode a [`Query::Sum`] answer produced by [`encode_sum`].
+pub fn decode_sum(ans: &[u64]) -> i128 {
+    assert_eq!(ans.len(), 2, "a Sum answer is exactly two words");
+    ((ans[1] as i64 as i128) << 64) | ans[0] as i128
 }
 
 /// A query an index cannot answer (wrong query class for the structure).
@@ -91,6 +148,16 @@ pub trait RangeIndex: Send + Sync {
     /// §10) — the shape the [`crate::IndexSet`] planner's cost model is
     /// seeded from before calibration fits the constant.
     fn cost_hint(&self) -> CostHint;
+
+    /// The hint this index would answer `q` with. Defaults to
+    /// [`Self::cost_hint`]; structures with an annotated aggregate path
+    /// override it to return [`CostHint::as_aggregate`] for
+    /// [`Query::Count`] / [`Query::Sum`], which the calibrated planner
+    /// prices with a separately fitted constant (DESIGN.md §15).
+    fn cost_hint_for(&self, q: &Query) -> CostHint {
+        let _ = q;
+        self.cost_hint()
+    }
 
     /// Answer `q`, returning reported ids, or [`Unsupported`] when
     /// `!self.supports(q)`.
@@ -150,6 +217,9 @@ pub fn load_index(
         "scan3" => Box::new(ExternalScan3::load(h, r)?),
         "kdtree" => Box::new(ExternalKdTree::load(h, r)?),
         "rtree" => Box::new(StrRTree::load(h, r)?),
+        "lift-hs3d" | "lift-hybrid" | "lift-shallow" | "lift-scan3" => {
+            Box::new(crate::lift::LiftedIndex::load(kind, h, r)?)
+        }
         other => {
             return Err(SnapshotError::Meta {
                 offset: 0,
@@ -163,7 +233,7 @@ fn widen(v: Vec<u32>) -> Vec<u64> {
     v.into_iter().map(u64::from).collect()
 }
 
-fn unsupported(name: &'static str, q: &Query) -> Result<Vec<u64>, Unsupported> {
+pub(crate) fn unsupported(name: &'static str, q: &Query) -> Result<Vec<u64>, Unsupported> {
     Err(Unsupported { index: name, query: *q })
 }
 
@@ -177,16 +247,33 @@ impl RangeIndex for HalfspaceRS2 {
     }
 
     fn supports(&self, q: &Query) -> bool {
-        matches!(q, Query::Halfplane { .. })
+        matches!(
+            q,
+            Query::Halfplane { .. } | Query::Count { .. } | Query::Sum { .. } | Query::TopK { .. }
+        )
     }
 
     fn cost_hint(&self) -> CostHint {
         HalfspaceRS2::cost_hint(self)
     }
 
+    fn cost_hint_for(&self, q: &Query) -> CostHint {
+        let hint = HalfspaceRS2::cost_hint(self);
+        if q.is_aggregate() {
+            hint.as_aggregate()
+        } else {
+            hint
+        }
+    }
+
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive))),
+            Query::Count { m, c, inclusive } => Ok(vec![self.aggregate_below(m, c, inclusive).0]),
+            Query::Sum { m, c, inclusive } => {
+                Ok(encode_sum(self.aggregate_below(m, c, inclusive).1))
+            }
+            Query::TopK { m, c, k } => Ok(widen(self.top_k(m, c, k))),
             _ => unsupported(RangeIndex::name(self), q),
         }
     }
@@ -209,8 +296,18 @@ impl RangeIndex for DynamicHalfspace2 {
         DynamicHalfspace2::device(self)
     }
 
+    /// The live tier answers every 2D-derived class (aggregates, top-k,
+    /// disks for arbitrary centers) by exact host-side enumeration of its
+    /// catalog state — the mutable tier favors exactness over IO wins.
     fn supports(&self, q: &Query) -> bool {
-        matches!(q, Query::Halfplane { .. })
+        matches!(
+            q,
+            Query::Halfplane { .. }
+                | Query::Count { .. }
+                | Query::Sum { .. }
+                | Query::TopK { .. }
+                | Query::Disk { .. }
+        )
     }
 
     fn cost_hint(&self) -> CostHint {
@@ -220,6 +317,12 @@ impl RangeIndex for DynamicHalfspace2 {
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfplane { m, c, inclusive } => Ok(self.query_below(m, c, inclusive)),
+            Query::Count { m, c, inclusive } => Ok(vec![self.aggregate_below(m, c, inclusive).0]),
+            Query::Sum { m, c, inclusive } => {
+                Ok(encode_sum(self.aggregate_below(m, c, inclusive).1))
+            }
+            Query::TopK { m, c, k } => Ok(self.top_k(m, c, k)),
+            Query::Disk { x, y, r2, inclusive } => Ok(self.disk_report(x, y, r2, inclusive)),
             _ => unsupported(RangeIndex::name(self), q),
         }
     }
@@ -384,8 +487,20 @@ impl RangeIndex for KnnStructure {
         KnnStructure::device(self)
     }
 
+    /// The k-NN structure already lives on the paraboloid lift, so it
+    /// answers [`Query::Disk`] directly ([`KnnStructure::within_radius`])
+    /// for non-empty disks whose center keeps the lifted plane exact
+    /// (`|x|, |y| ≤ 2^21` — [`lcrs_geom::lift::MAX_DISK_CENTER`]).
     fn supports(&self, q: &Query) -> bool {
-        matches!(q, Query::Knn { .. })
+        match *q {
+            Query::Knn { .. } => true,
+            Query::Disk { x, y, r2, .. } => {
+                r2 >= 0
+                    && x.unsigned_abs() <= lcrs_geom::lift::MAX_DISK_CENTER as u64
+                    && y.unsigned_abs() <= lcrs_geom::lift::MAX_DISK_CENTER as u64
+            }
+            _ => false,
+        }
     }
 
     fn cost_hint(&self) -> CostHint {
@@ -395,6 +510,9 @@ impl RangeIndex for KnnStructure {
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Knn { x, y, k } => Ok(widen(self.k_nearest(x, y, k))),
+            Query::Disk { x, y, r2, inclusive } if RangeIndex::supports(self, q) => {
+                Ok(widen(self.within_radius(x, y, r2, inclusive)))
+            }
             _ => unsupported(RangeIndex::name(self), q),
         }
     }
@@ -417,11 +535,13 @@ impl RangeIndex for ExternalScan {
         ExternalScan::device(self)
     }
 
-    /// A 2D scan can answer anything computable from its points: both
-    /// halfplane reports and k-NN (distances sorted, ties by id — the
-    /// same order as the k-NN structure), at Θ(n/B) IOs either way.
+    /// A 2D scan can answer anything computable from its points — every
+    /// query class except 3D halfspaces, at Θ(n/B) IOs. In particular it
+    /// is the only structure answering [`Query::Disk`] for *arbitrary*
+    /// centers (exact carry-aware `u128` distances), so every disk query
+    /// has at least one capable structure in a full index set.
     fn supports(&self, q: &Query) -> bool {
-        matches!(q, Query::Halfplane { .. } | Query::Knn { .. })
+        !matches!(q, Query::Halfspace { .. })
     }
 
     fn cost_hint(&self) -> CostHint {
@@ -432,7 +552,17 @@ impl RangeIndex for ExternalScan {
         match *q {
             Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive).0)),
             Query::Knn { x, y, k } => Ok(widen(self.k_nearest(x, y, k))),
-            _ => unsupported(RangeIndex::name(self), q),
+            Query::Disk { x, y, r2, inclusive } => {
+                Ok(widen(self.disk_report(x, y, r2, inclusive).0))
+            }
+            Query::Count { m, c, inclusive } => {
+                Ok(vec![self.aggregate_below(m, c, inclusive).0 .0])
+            }
+            Query::Sum { m, c, inclusive } => {
+                Ok(encode_sum(self.aggregate_below(m, c, inclusive).0 .1))
+            }
+            Query::TopK { m, c, k } => Ok(widen(self.top_k(m, c, k).0)),
+            Query::Halfspace { .. } => unsupported(RangeIndex::name(self), q),
         }
     }
 
@@ -455,7 +585,10 @@ impl RangeIndex for ExternalKdTree {
     }
 
     fn supports(&self, q: &Query) -> bool {
-        matches!(q, Query::Halfplane { .. })
+        matches!(
+            q,
+            Query::Halfplane { .. } | Query::Count { .. } | Query::Sum { .. } | Query::TopK { .. }
+        )
     }
 
     fn cost_hint(&self) -> CostHint {
@@ -463,9 +596,25 @@ impl RangeIndex for ExternalKdTree {
         CostHint::new(CostShape::RootD { d: 2 }, self.len())
     }
 
+    fn cost_hint_for(&self, q: &Query) -> CostHint {
+        let hint = RangeIndex::cost_hint(self);
+        if q.is_aggregate() {
+            hint.as_aggregate()
+        } else {
+            hint
+        }
+    }
+
     fn try_execute(&self, q: &Query) -> Result<Vec<u64>, Unsupported> {
         match *q {
             Query::Halfplane { m, c, inclusive } => Ok(widen(self.query_below(m, c, inclusive).0)),
+            Query::Count { m, c, inclusive } => {
+                Ok(vec![self.aggregate_below(m, c, inclusive).0 .0])
+            }
+            Query::Sum { m, c, inclusive } => {
+                Ok(encode_sum(self.aggregate_below(m, c, inclusive).0 .1))
+            }
+            Query::TopK { m, c, k } => Ok(widen(self.top_k(m, c, k).0)),
             _ => unsupported(RangeIndex::name(self), q),
         }
     }

@@ -11,6 +11,11 @@
 //!   predicate keeps only the shards whose region can intersect the
 //!   query constraint (conservative and exact: a shard holding a
 //!   reported answer is never pruned; k-NN fans out to every shard).
+//!   The derived classes of DESIGN.md §15 route by the same geometry:
+//!   disks clamp the center to the shard box and compare exact
+//!   carry-aware distances
+//!   ([`lcrs_halfspace::ShardRegion2::may_intersect_disk`]), while
+//!   count/sum/top-k reduce to their halfplane constraint.
 //! * **Execute** — each routed sub-batch runs through the shard's own
 //!   planner ([`IndexSet::execute_plan`]), sequentially or with every
 //!   shard on its own OS thread ([`ShardedIndexSet::execute_parallel`],
@@ -19,9 +24,12 @@
 //!   changes counts.
 //! * **Merge** — per-shard answers translate back to global ids and
 //!   merge to the canonical order (sorted ids for reports; `(distance,
-//!   id)` for k-NN, recomputed exactly in `i128`), and per-shard
-//!   [`IoDelta`]s sum *exactly* to the aggregate (runtime assert, the
-//!   same invariant the batch/parallel executors pin).
+//!   id)` for k-NN and `(key, id)` for top-k, recomputed exactly in
+//!   `i128` and truncated to `k`; count/sum scalars summed across the
+//!   disjoint shards — zero-synthesized when routing pruned every
+//!   shard), and per-shard [`IoDelta`]s sum *exactly* to the aggregate
+//!   (runtime assert, the same invariant the batch/parallel executors
+//!   pin).
 //!
 //! The cost model is fan-out aware: [`ShardedIndexSet::predicted_reads`]
 //! prices a query as the sum over routed shards of the cheapest capable
@@ -292,6 +300,22 @@ impl ShardedIndexSet {
                 .filter(|&s| self.shards[s].region3.may_intersect_halfspace(u, v, w, inclusive))
                 .collect(),
             Query::Knn { .. } => (0..self.shards.len()).collect(),
+            // The derived 2D classes route by the same region geometry:
+            // disks clamp the center to the shard box (exact carry-aware
+            // distance), count/sum/top-k reduce to their halfplane
+            // constraint (a shard with no point below y = m·x + c
+            // contributes zero / no candidates).
+            Query::Disk { x, y, r2, inclusive } => (0..self.shards.len())
+                .filter(|&s| self.shards[s].region2.may_intersect_disk(x, y, r2, inclusive))
+                .collect(),
+            Query::Count { m, c, inclusive } | Query::Sum { m, c, inclusive } => {
+                (0..self.shards.len())
+                    .filter(|&s| self.shards[s].region2.may_intersect_halfplane(m, c, inclusive))
+                    .collect()
+            }
+            Query::TopK { m, c, .. } => (0..self.shards.len())
+                .filter(|&s| self.shards[s].region2.may_intersect_halfplane(m, c, true))
+                .collect(),
         }
     }
 
@@ -396,8 +420,13 @@ impl ShardedIndexSet {
 
         // Gather: merge per-shard outcomes and answers back into
         // submission order, summing a query's deltas across its shards.
+        // Report classes accumulate id candidates for the canonical
+        // merge; aggregate classes (count/sum) merge by *summing* the
+        // per-shard scalars — shards are disjoint, so the sums are exact.
         let mut io: Vec<IoDelta> = vec![IoDelta::default(); queries.len()];
         let mut candidates: Vec<Vec<u64>> = vec![Vec::new(); queries.len()];
+        let mut agg_count: Vec<u64> = vec![0; queries.len()];
+        let mut agg_sum: Vec<i128> = vec![0; queries.len()];
         let mut per_shard = Vec::with_capacity(reports.len());
         let mut total = IoDelta::default();
         for (s, report) in &reports {
@@ -417,19 +446,29 @@ impl ShardedIndexSet {
                 );
                 io[qi] += outcome.io;
                 let local = &answers[outcome.query];
-                let map: &[u32] = match queries[qi] {
-                    Query::Halfspace { .. } => &shard.ids3,
-                    Query::Halfplane { .. } | Query::Knn { .. } => &shard.ids2,
-                };
-                candidates[qi].extend(local.iter().map(|&l| map[l as usize] as u64));
+                match queries[qi] {
+                    Query::Count { .. } => agg_count[qi] += local[0],
+                    Query::Sum { .. } => agg_sum[qi] += crate::query::decode_sum(local),
+                    Query::Halfspace { .. } => {
+                        candidates[qi].extend(local.iter().map(|&l| shard.ids3[l as usize] as u64))
+                    }
+                    Query::Halfplane { .. }
+                    | Query::Knn { .. }
+                    | Query::Disk { .. }
+                    | Query::TopK { .. } => {
+                        candidates[qi].extend(local.iter().map(|&l| shard.ids2[l as usize] as u64))
+                    }
+                }
             }
             per_shard.push(ShardReport { shard: *s, queries: subs[*s].len(), io: report.total });
             total += report.total;
         }
 
         // Canonical merge order: sorted global ids for reports; exact
-        // (distance², id) for k-NN, truncated to k — identical to the
-        // unsharded structures' canonical answer form.
+        // (distance², id) for k-NN and (key, id) for top-k, truncated to
+        // k; aggregates re-encode their summed scalars — identical to
+        // the unsharded structures' canonical answer form. A supported
+        // aggregate whose every shard was pruned still answers (zero).
         let mut outcomes = Vec::with_capacity(queries.len());
         let mut answers: Vec<Vec<u64>> =
             if keep_answers { vec![Vec::new(); queries.len()] } else { Vec::new() };
@@ -448,6 +487,23 @@ impl ShardedIndexSet {
                         .collect();
                     ranked.sort_unstable();
                     ids = ranked.into_iter().take(k).map(|(_, gid)| gid).collect();
+                }
+                Query::TopK { m, c: _, k } => {
+                    // Each shard already filtered to key ≤ c; re-rank the
+                    // union by the exact key and truncate, like k-NN.
+                    let mut ranked: Vec<(i128, u64)> = ids
+                        .iter()
+                        .map(|&gid| {
+                            let (px, py) = self.locate2(gid as u32);
+                            (py as i128 - m as i128 * px as i128, gid)
+                        })
+                        .collect();
+                    ranked.sort_unstable();
+                    ids = ranked.into_iter().take(k).map(|(_, gid)| gid).collect();
+                }
+                Query::Count { .. } if self.supports(q) => ids = vec![agg_count[qi]],
+                Query::Sum { .. } if self.supports(q) => {
+                    ids = crate::query::encode_sum(agg_sum[qi])
                 }
                 _ => ids.sort_unstable(),
             }

@@ -17,7 +17,9 @@
 //!   convex hull (dual of the lower envelope of planes) with Clarkson–Shor
 //!   conflict lists and prefix snapshots, powering Section 4;
 //! * [`point`] — d-dimensional integer points, hyperplanes, boxes and
-//!   simplices for the partition trees of Section 5.
+//!   simplices for the partition trees of Section 5;
+//! * [`lift`] — the paraboloid lift turning disk queries into 3D
+//!   halfspace queries, with exact carry-aware distance predicates.
 //!
 //! ## Coordinate budgets
 //!
@@ -25,7 +27,11 @@
 //! * 2D points and query lines: `|coordinate| <= 2^30` ([`MAX_COORD_2D`]);
 //! * 3D plane coefficients: `|a|,|b| <= 2^20`, `|c| <= 2^21`, and query
 //!   points `|x|,|y| <= 2^22` ([`MAX_COORD_3D`]);
-//! * k-NN lift inputs: `|x|,|y| <= 1024` (squares must fit the 3D budget).
+//! * paraboloid-lift inputs (k-NN and lifted disk structures):
+//!   `|x|,|y| <= 1024` ([`lift::MAX_LIFT_COORD`] — squares must fit the
+//!   3D budget), disk centers `|x|,|y| <= 2^21`
+//!   ([`lift::MAX_DISK_CENTER`]). Points and disks outside these budgets
+//!   fall back to exact carry-aware `u128` scans ([`lift::dist2_carry`]).
 
 pub mod arrangement;
 pub mod dual;
@@ -33,6 +39,7 @@ pub mod dyn_envelope;
 pub mod envelope;
 pub mod hull3;
 pub mod level;
+pub mod lift;
 pub mod line2;
 pub mod plane3;
 pub mod point;

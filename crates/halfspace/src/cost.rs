@@ -65,12 +65,25 @@ pub struct CostHint {
     pub shape: CostShape,
     /// Points in the structure (the `n` of the bounds).
     pub n: u64,
+    /// The query runs on an annotated aggregate path: fully-covered
+    /// canonical nodes answer from persisted subtree counts/sums without
+    /// enumerating leaves, so the output term vanishes *and* the
+    /// structural constant differs from the reporting path. The engine's
+    /// calibration fits a separate constant for hints carrying this flag.
+    pub aggregate: bool,
 }
 
 impl CostHint {
-    /// Hint for a structure with cost `shape` over `n` points.
+    /// Hint for a structure with cost `shape` over `n` points (reporting
+    /// path; see [`Self::as_aggregate`]).
     pub fn new(shape: CostShape, n: usize) -> CostHint {
-        CostHint { shape, n: n as u64 }
+        CostHint { shape, n: n as u64, aggregate: false }
+    }
+
+    /// The same shape priced on the annotated aggregate path.
+    pub fn as_aggregate(mut self) -> CostHint {
+        self.aggregate = true;
+        self
     }
 
     /// The structural (output-independent) search cost predicted by the

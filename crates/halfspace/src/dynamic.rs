@@ -123,6 +123,25 @@ impl DynamicHalfspace2 {
     pub fn query_below_stats(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u64>, QueryStats) {
         self.core.query_below_stats(m, c, inclusive)
     }
+
+    /// Count and weight-sum (`Σ x + y`, exact in `i128`) of live points
+    /// below `y = m·x + c` — exact host-side enumeration over the catalog
+    /// state (see [`LeveledHalfspace2::aggregate_below`]).
+    pub fn aggregate_below(&self, m: i64, c: i64, inclusive: bool) -> (u64, i128) {
+        self.core.aggregate_below(m, c, inclusive)
+    }
+
+    /// The `k` live points with the lowest key `y − m·x` among those with
+    /// key ≤ `c`, as tags ordered by `(key, tag)`.
+    pub fn top_k(&self, m: i64, c: i64, k: usize) -> Vec<u64> {
+        self.core.top_k(m, c, k)
+    }
+
+    /// Tags of live points inside the disk of center `(x, y)` and squared
+    /// radius `r2` — exact for arbitrary `i64` coordinates.
+    pub fn disk_report(&self, x: i64, y: i64, r2: i64, inclusive: bool) -> Vec<u64> {
+        self.core.disk_report(x, y, r2, inclusive)
+    }
 }
 
 #[cfg(test)]

@@ -97,6 +97,72 @@ impl Record for RatKey {
     }
 }
 
+/// Per line-slot annotation, parallel to `lines`: the cluster index where
+/// this line's contiguous occurrence run starts within the clustering
+/// (Corollary 3.3 — a line's cluster occurrences form one contiguous run),
+/// plus the duplicate-expanded point count and weight sum the line
+/// contributes. Read only by the aggregate path; the report path never
+/// touches these pages.
+#[derive(Debug, Clone, Copy, Default)]
+struct AnnRec {
+    start: u32,
+    pcount: u32,
+    wsum: i64,
+}
+
+impl Record for AnnRec {
+    const SIZE: usize = 16;
+    fn store(&self, buf: &mut [u8]) {
+        self.start.store(buf);
+        self.pcount.store(&mut buf[4..]);
+        self.wsum.store(&mut buf[8..]);
+    }
+    fn load(buf: &[u8]) -> Self {
+        AnnRec { start: u32::load(buf), pcount: u32::load(&buf[4..]), wsum: i64::load(&buf[8..]) }
+    }
+}
+
+/// Per-cluster aggregate annotation: duplicate-expanded totals over all
+/// lines of the cluster, totals over only the lines whose occurrence run
+/// *starts* at this cluster ("new" lines — the dedup unit of the
+/// aggregate walk), and a conservative geometric certificate
+/// (`m_min`/`m_max`/`b_max`) proving every line of the cluster passes
+/// below a query point without reading the lines.
+#[derive(Debug, Clone, Copy, Default)]
+struct AggRec {
+    pcount_total: u64,
+    wsum_total: i64,
+    pcount_new: u64,
+    wsum_new: i64,
+    m_min: i64,
+    m_max: i64,
+    b_max: i64,
+}
+
+impl Record for AggRec {
+    const SIZE: usize = 56;
+    fn store(&self, buf: &mut [u8]) {
+        self.pcount_total.store(buf);
+        self.wsum_total.store(&mut buf[8..]);
+        self.pcount_new.store(&mut buf[16..]);
+        self.wsum_new.store(&mut buf[24..]);
+        self.m_min.store(&mut buf[32..]);
+        self.m_max.store(&mut buf[40..]);
+        self.b_max.store(&mut buf[48..]);
+    }
+    fn load(buf: &[u8]) -> Self {
+        AggRec {
+            pcount_total: u64::load(buf),
+            wsum_total: i64::load(&buf[8..]),
+            pcount_new: u64::load(&buf[16..]),
+            wsum_new: i64::load(&buf[24..]),
+            m_min: i64::load(&buf[32..]),
+            m_max: i64::load(&buf[40..]),
+            b_max: i64::load(&buf[48..]),
+        }
+    }
+}
+
 /// One clustering Γ_i on disk.
 struct ClusteringDisk {
     lambda: usize,
@@ -107,6 +173,10 @@ struct ClusteringDisk {
     dir: VecFile<(u64, u32)>,
     /// Concatenated clusters, each sorted by line id.
     lines: VecFile<LineRec>,
+    /// Per-slot run-start/weight annotations, parallel to `lines`.
+    ann: VecFile<AnnRec>,
+    /// Per-cluster aggregates, parallel to `dir`.
+    aggs: VecFile<AggRec>,
 }
 
 impl ClusteringDisk {
@@ -117,6 +187,8 @@ impl ClusteringDisk {
             boundaries: self.boundaries.with_handle(h),
             dir: self.dir.with_handle(h),
             lines: self.lines.with_handle(h),
+            ann: self.ann.with_handle(h),
+            aggs: self.aggs.with_handle(h),
         }
     }
 
@@ -126,6 +198,8 @@ impl ClusteringDisk {
         self.boundaries.save(w);
         self.dir.save(w);
         self.lines.save(w);
+        self.ann.save(w);
+        self.aggs.save(w);
     }
 
     fn load(h: &DeviceHandle, r: &mut MetaReader) -> Result<ClusteringDisk, SnapshotError> {
@@ -135,7 +209,70 @@ impl ClusteringDisk {
             boundaries: BPlusTree::load(h, r)?,
             dir: VecFile::load(h, r)?,
             lines: VecFile::load(h, r)?,
+            ann: VecFile::load(h, r)?,
+            aggs: VecFile::load(h, r)?,
         })
+    }
+
+    /// Aggregate contribution of cluster `k` for the dual query point
+    /// `(px, py)`: `(lines_below, new, carry)` where `new` and `carry`
+    /// are `(point count, weight sum)` over the below lines whose runs
+    /// start at `k` resp. strictly before `k`. Lines *above* the query
+    /// point are inserted into `above` (for the Lemma 3.4 stopping rule).
+    /// When the persisted certificate proves every line of the cluster
+    /// below, nothing is read beyond the one `AggRec` — the aggregate
+    /// fast path — and the stopping bookkeeping is unchanged, because a
+    /// provably all-below cluster contributes zero above lines exactly
+    /// like a scanned one would.
+    fn aggregate_cluster(
+        &self,
+        k: usize,
+        px: i64,
+        py: i64,
+        inclusive: bool,
+        above: Option<&mut HashSet<u32>>,
+        stats: &mut QueryStats,
+    ) -> (usize, (u64, i128), (u64, i128)) {
+        let a = self.aggs.get(k);
+        let (off, len) = self.dir.get(k);
+        // Certificate: every line's value at px is at most
+        // max(m_min·px, m_max·px) + b_max.
+        let all_below = len == 0 || {
+            let worst =
+                (a.m_min as i128 * px as i128).max(a.m_max as i128 * px as i128) + a.b_max as i128;
+            if inclusive {
+                worst <= py as i128
+            } else {
+                worst < py as i128
+            }
+        };
+        if all_below {
+            stats.clusters_skipped += 1;
+            let carry = (a.pcount_total - a.pcount_new, a.wsum_total as i128 - a.wsum_new as i128);
+            return (len as usize, (a.pcount_new, a.wsum_new as i128), carry);
+        }
+        let range = off as usize..off as usize + len as usize;
+        let mut buf: Vec<LineRec> = Vec::new();
+        let mut ann: Vec<AnnRec> = Vec::new();
+        self.lines.read_range(range.clone(), &mut buf);
+        self.ann.read_range(range, &mut ann);
+        stats.clusters_read += 1;
+        let mut n_below = 0usize;
+        let (mut new, mut carry) = ((0u64, 0i128), (0u64, 0i128));
+        let mut above = above;
+        for (r, an) in buf.iter().zip(&ann) {
+            let v = r.1 .0 as i128 * px as i128 + r.1 .1 as i128;
+            let below = if inclusive { v <= py as i128 } else { v < py as i128 };
+            if below {
+                n_below += 1;
+                let acc = if an.start as usize == k { &mut new } else { &mut carry };
+                acc.0 += u64::from(an.pcount);
+                acc.1 += i128::from(an.wsum);
+            } else if let Some(ab) = above.as_deref_mut() {
+                ab.insert(r.0);
+            }
+        }
+        (n_below, new, carry)
     }
 }
 
@@ -170,6 +307,10 @@ pub struct QueryStats {
     pub ios: u64,
     pub clusterings_visited: usize,
     pub clusters_read: usize,
+    /// Clusters the aggregate path answered from their persisted
+    /// `AggRec` certificate without reading any line (always 0 on the
+    /// report path).
+    pub clusters_skipped: usize,
     pub reported: usize,
 }
 
@@ -221,10 +362,20 @@ impl HalfspaceRS2 {
             groups.iter().map(|g| g[0]).collect()
         };
         let id_of = |li: usize| ids[li];
-        // Geometry lookup by public id (dense enough either way).
+        // Geometry lookup by public id (dense enough either way), plus the
+        // duplicate-expanded aggregate a line contributes: its group's
+        // point count and weight sum (weight of a point (x, y) is x + y).
         let mut geom_by_id: Vec<Line2> = vec![Line2::new(0, 0); points.len().max(n_lines)];
+        let mut agg_by_id: Vec<(u32, i64)> = vec![(0, 0); points.len().max(n_lines)];
         for (li, &id) in ids.iter().enumerate() {
             geom_by_id[id as usize] = lines[li];
+            let mut wsum = 0i128;
+            for &p in &groups[li] {
+                let (x, y) = points[p as usize];
+                wsum += x as i128 + y as i128;
+            }
+            agg_by_id[id as usize] =
+                (groups[li].len() as u32, i64::try_from(wsum).expect("group weight sum fits i64"));
         }
 
         let per_page = dev.records_per_page(<LineRec as Record>::SIZE);
@@ -258,6 +409,7 @@ impl HalfspaceRS2 {
                     &[],
                     &built,
                     &geom_by_id,
+                    &agg_by_id,
                 ));
                 break;
             }
@@ -280,6 +432,7 @@ impl HalfspaceRS2 {
                 &built.boundaries,
                 &clusters_pub,
                 &geom_by_id,
+                &agg_by_id,
             ));
             // H ← H \ L_i (both sorted ascending).
             let mut next = Vec::with_capacity(h.len() - built.covered.len());
@@ -326,15 +479,56 @@ impl HalfspaceRS2 {
         boundaries: &[Rat],
         clusters: &[Vec<u32>],
         geom_by_id: &[Line2],
+        agg_by_id: &[(u32, i64)],
     ) -> ClusteringDisk {
         let mut dir: Vec<(u64, u32)> = Vec::with_capacity(clusters.len());
         let mut recs: Vec<LineRec> = Vec::new();
-        for c in clusters {
+        let mut anns: Vec<AnnRec> = Vec::new();
+        let mut aggs: Vec<AggRec> = Vec::with_capacity(clusters.len());
+        // Run starts: first occurrence cluster per line id; Corollary 3.3
+        // guarantees occurrences are contiguous, which the dedup convention
+        // of the aggregate walk relies on — assert it at build time.
+        let mut runs: std::collections::HashMap<u32, (u32, u32)> = std::collections::HashMap::new();
+        for (k, c) in clusters.iter().enumerate() {
             dir.push((recs.len() as u64, c.len() as u32));
+            let mut agg = AggRec { b_max: i64::MIN, ..Default::default() };
+            let mut first = true;
             for &id in c {
                 let l = geom_by_id[id as usize];
                 recs.push((id, (l.m, l.b)));
+                let start = match runs.entry(id) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let (start, last) = *e.get();
+                        assert!(
+                            last + 1 == k as u32,
+                            "line {id} recurs non-contiguously (Corollary 3.3 violated)"
+                        );
+                        e.insert((start, k as u32));
+                        start
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((k as u32, k as u32));
+                        k as u32
+                    }
+                };
+                let (pcount, wsum) = agg_by_id[id as usize];
+                anns.push(AnnRec { start, pcount, wsum });
+                agg.pcount_total += u64::from(pcount);
+                agg.wsum_total = agg.wsum_total.checked_add(wsum).expect("weight sum fits i64");
+                if start == k as u32 {
+                    agg.pcount_new += u64::from(pcount);
+                    agg.wsum_new = agg.wsum_new.checked_add(wsum).expect("weight sum fits i64");
+                }
+                if first {
+                    (agg.m_min, agg.m_max) = (l.m, l.m);
+                    first = false;
+                } else {
+                    agg.m_min = agg.m_min.min(l.m);
+                    agg.m_max = agg.m_max.max(l.m);
+                }
+                agg.b_max = agg.b_max.max(l.b);
             }
+            aggs.push(agg);
         }
         // Boundary B-tree: key = abscissa, value = cluster index to the
         // right. Duplicate abscissae (degenerate concurrences) keep the
@@ -359,6 +553,8 @@ impl HalfspaceRS2 {
             boundaries: btree,
             dir: VecFile::from_slice(dev, &dir),
             lines: VecFile::from_slice(dev, &recs),
+            ann: VecFile::from_slice(dev, &anns),
+            aggs: VecFile::from_slice(dev, &aggs),
         }
     }
 
@@ -480,11 +676,11 @@ impl HalfspaceRS2 {
         self.query_below_stats(m, c, inclusive).0
     }
 
-    /// [`Self::query_below`] with measured IO statistics.
-    pub fn query_below_stats(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u32>, QueryStats) {
-        let before = self.dev.stats();
-        // Dual point of the query line.
-        let (px, py) = (m, c);
+    /// The cluster-cascade walk shared by the report and top-k paths:
+    /// every distinct dual line below the query point `(px, py)`, in
+    /// first-seen order, with partial stats (IOs are finalized by the
+    /// caller).
+    fn below_lines(&self, px: i64, py: i64, inclusive: bool) -> (Vec<LineRec>, QueryStats) {
         let below = |lm: i64, lb: i64| -> bool {
             let v = lm as i128 * px as i128 + lb as i128;
             if inclusive {
@@ -495,11 +691,11 @@ impl HalfspaceRS2 {
         };
 
         let mut reported_ids: HashSet<u32> = HashSet::new();
-        let mut out: Vec<u32> = Vec::new();
+        let mut out: Vec<LineRec> = Vec::new();
         let mut stats = QueryStats::default();
-        let mut report = |id: u32, out: &mut Vec<u32>| {
-            if reported_ids.insert(id) {
-                out.push(id);
+        let mut report = |r: &LineRec, out: &mut Vec<LineRec>| {
+            if reported_ids.insert(r.0) {
+                out.push(*r);
             }
         };
 
@@ -515,18 +711,16 @@ impl HalfspaceRS2 {
             };
             read_cluster(j, &mut buf);
             stats.clusters_read += 1;
-            let below_j: Vec<u32> =
-                buf.iter().filter(|r| below(r.1 .0, r.1 .1)).map(|r| r.0).collect();
-            if below_j.len() < g.lambda {
+            let below_j: Vec<LineRec> =
+                buf.iter().filter(|r| below(r.1 .0, r.1 .1)).copied().collect();
+            let halt = below_j.len() < g.lambda;
+            for r in &below_j {
+                report(r, &mut out);
+            }
+            if halt {
                 // Lemma 3.1: the relevant cluster contains every remaining
                 // line below the query point — report and halt.
-                for id in below_j {
-                    report(id, &mut out);
-                }
                 break 'clusterings;
-            }
-            for id in below_j {
-                report(id, &mut out);
             }
             // Rightward scan (Lemma 3.4).
             let mut above_right: HashSet<u32> = HashSet::new();
@@ -535,7 +729,7 @@ impl HalfspaceRS2 {
                 stats.clusters_read += 1;
                 for r in &buf {
                     if below(r.1 .0, r.1 .1) {
-                        report(r.0, &mut out);
+                        report(r, &mut out);
                     } else {
                         above_right.insert(r.0);
                     }
@@ -551,7 +745,7 @@ impl HalfspaceRS2 {
                 stats.clusters_read += 1;
                 for r in &buf {
                     if below(r.1 .0, r.1 .1) {
-                        report(r.0, &mut out);
+                        report(r, &mut out);
                     } else {
                         above_left.insert(r.0);
                     }
@@ -561,6 +755,14 @@ impl HalfspaceRS2 {
                 }
             }
         }
+        (out, stats)
+    }
+
+    /// [`Self::query_below`] with measured IO statistics.
+    pub fn query_below_stats(&self, m: i64, c: i64, inclusive: bool) -> (Vec<u32>, QueryStats) {
+        let before = self.dev.stats();
+        let (lines, mut stats) = self.below_lines(m, c, inclusive);
+        let out: Vec<u32> = lines.iter().map(|r| r.0).collect();
 
         // Expand duplicate groups with page-batched reads: directory
         // entries in id order, then point slots in offset order, paying one
@@ -581,6 +783,135 @@ impl HalfspaceRS2 {
         } else {
             out
         };
+        stats.reported = result.len();
+        stats.ios = self.dev.stats().since(before).total();
+        (result, stats)
+    }
+
+    /// Count and weight-sum (weight of `(x, y)` is `x + y`) of every
+    /// point below `y = m·x + c`, *without* enumerating the answer: the
+    /// same cluster cascade as [`Self::query_below`], but any cluster
+    /// whose persisted certificate proves all its lines below the query
+    /// point contributes its pre-aggregated totals at the cost of one
+    /// `AggRec` read. Exactness rests on the run-start dedup: each line
+    /// is counted at the first cluster of its contiguous occurrence run
+    /// inside the scanned interval (Corollary 3.3), so overlapping
+    /// clusters never double-count, and the halting/stopping decisions
+    /// are bit-identical to the report path (an all-below cluster
+    /// contributes zero above lines either way).
+    pub fn aggregate_below(&self, m: i64, c: i64, inclusive: bool) -> (u64, i128) {
+        self.aggregate_below_stats(m, c, inclusive).0
+    }
+
+    /// [`Self::aggregate_below`] with measured IO statistics.
+    pub fn aggregate_below_stats(
+        &self,
+        m: i64,
+        c: i64,
+        inclusive: bool,
+    ) -> ((u64, i128), QueryStats) {
+        let before = self.dev.stats();
+        let (px, py) = (m, c);
+        let (mut count, mut wsum) = (0u64, 0i128);
+        let mut stats = QueryStats::default();
+
+        'clusterings: for g in &self.clusterings {
+            stats.clusterings_visited += 1;
+            let j = g.boundaries.floor(&RatKey::from_int(px)).map(|(_, v)| v as usize).unwrap_or(0);
+            let (n_below, new_j, carry_j) =
+                g.aggregate_cluster(j, px, py, inclusive, None, &mut stats);
+            if n_below < g.lambda {
+                // Lemma 3.1 halting: the interval is {j}; every below line
+                // of j counts exactly once, wherever its run started.
+                count += new_j.0 + carry_j.0;
+                wsum += new_j.1 + carry_j.1;
+                break 'clusterings;
+            }
+            count += new_j.0;
+            wsum += new_j.1;
+            // Carry of the leftmost processed cluster; lines whose runs
+            // began left of the scanned interval recur at its left edge
+            // (contiguity), so they are counted there once at the end.
+            let mut edge_carry = carry_j;
+            // Rightward scan (Lemma 3.4): runs of below lines seen here
+            // start within the interval, so `new` totals cover them.
+            let mut above_right: HashSet<u32> = HashSet::new();
+            for k in j + 1..g.n_clusters {
+                let (_, new_k, _) =
+                    g.aggregate_cluster(k, px, py, inclusive, Some(&mut above_right), &mut stats);
+                count += new_k.0;
+                wsum += new_k.1;
+                if above_right.len() > g.lambda {
+                    break;
+                }
+            }
+            // Leftward scan.
+            let mut above_left: HashSet<u32> = HashSet::new();
+            for k in (0..j).rev() {
+                let (_, new_k, carry_k) =
+                    g.aggregate_cluster(k, px, py, inclusive, Some(&mut above_left), &mut stats);
+                count += new_k.0;
+                wsum += new_k.1;
+                edge_carry = carry_k;
+                if above_left.len() > g.lambda {
+                    break;
+                }
+            }
+            // Left-edge fixup.
+            count += edge_carry.0;
+            wsum += edge_carry.1;
+        }
+
+        stats.reported = count as usize;
+        stats.ios = self.dev.stats().since(before).total();
+        ((count, wsum), stats)
+    }
+
+    /// The `k` points of lowest key `y − m·x` among those with
+    /// `y − m·x ≤ c` (the candidate halfplane is always inclusive),
+    /// ordered by `(key, id)`. The key of a point is exactly its dual
+    /// line's value at abscissa `m`, which the cascade walk evaluates
+    /// anyway — no extra reads over an inclusive report.
+    pub fn top_k(&self, m: i64, c: i64, k: usize) -> Vec<u32> {
+        self.top_k_stats(m, c, k).0
+    }
+
+    /// [`Self::top_k`] with measured IO statistics.
+    pub fn top_k_stats(&self, m: i64, c: i64, k: usize) -> (Vec<u32>, QueryStats) {
+        let before = self.dev.stats();
+        let (lines, mut stats) = self.below_lines(m, c, true);
+        // Dual identity: point (a, b) has key b − m·a = value of its dual
+        // line (−a, b) at px = m.
+        let mut cand: Vec<(i128, u32)> =
+            lines.iter().map(|&(id, (lm, lb))| (lm as i128 * m as i128 + lb as i128, id)).collect();
+        // Expand duplicate groups, each member inheriting its line's key
+        // (duplicates share coordinates). Group offsets are monotone in
+        // line id, so sorting candidates by id keeps slots sorted too.
+        if let (Some(dir), Some(pts)) = (&self.group_dir, &self.group_pts) {
+            cand.sort_unstable_by_key(|&(_, id)| id);
+            let ids: Vec<usize> = cand.iter().map(|&(_, id)| id as usize).collect();
+            let mut entries: Vec<(u64, u32)> = Vec::with_capacity(ids.len());
+            dir.get_many(&ids, &mut entries);
+            let slots: Vec<usize> = entries
+                .iter()
+                .flat_map(|&(off, len)| off as usize..off as usize + len as usize)
+                .collect();
+            debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
+            let mut expanded = Vec::with_capacity(slots.len());
+            pts.get_many(&slots, &mut expanded);
+            let mut cursor = 0usize;
+            let mut out = Vec::with_capacity(expanded.len());
+            for (&(val, _), &(_, len)) in cand.iter().zip(&entries) {
+                for _ in 0..len {
+                    out.push((val, expanded[cursor]));
+                    cursor += 1;
+                }
+            }
+            cand = out;
+        }
+        cand.sort_unstable();
+        cand.truncate(k);
+        let result: Vec<u32> = cand.into_iter().map(|(_, id)| id).collect();
         stats.reported = result.len();
         stats.ios = self.dev.stats().since(before).total();
         (result, stats)
@@ -712,6 +1043,109 @@ mod tests {
             st.ios,
             n_blocks
         );
+    }
+
+    fn brute_agg(points: &[(i64, i64)], m: i64, c: i64, inclusive: bool) -> (u64, i128) {
+        let mut count = 0u64;
+        let mut wsum = 0i128;
+        for &(x, y) in points {
+            let rhs = m as i128 * x as i128 + c as i128;
+            let below = if inclusive { y as i128 <= rhs } else { (y as i128) < rhs };
+            if below {
+                count += 1;
+                wsum += x as i128 + y as i128;
+            }
+        }
+        (count, wsum)
+    }
+
+    fn brute_topk(points: &[(i64, i64)], m: i64, c: i64, k: usize) -> Vec<u32> {
+        let mut cand: Vec<(i128, u32)> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| y as i128 - m as i128 * x as i128 <= c as i128)
+            .map(|(i, &(x, y))| (y as i128 - m as i128 * x as i128, i as u32))
+            .collect();
+        cand.sort_unstable();
+        cand.truncate(k);
+        cand.into_iter().map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn aggregates_match_enumeration() {
+        let dev = Device::new(DeviceConfig::new(128, 0));
+        let mut pts = pseudo_points(1500, 77, 1 << 20);
+        for i in 0..50 {
+            let p = pts[i * 7];
+            pts.push(p); // duplicate groups must be weight-expanded
+        }
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        assert!(hs.num_clusterings() > 1, "want a multi-level cascade");
+        let mut s = 99u64;
+        let mut next = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 33) as i64).rem_euclid(4000) - 2000
+        };
+        for t in 0..60 {
+            let (m, c) = (next(), next() * 1000);
+            let inclusive = t % 2 == 0;
+            let got = hs.aggregate_below(m, c, inclusive);
+            assert_eq!(got, brute_agg(&pts, m, c, inclusive), "m={m} c={c} inc={inclusive}");
+        }
+        // Selectivity extremes, where the certificate skips whole clusters.
+        for (m, c) in [(0, i64::MAX / 2), (0, i64::MIN / 2), (3, 1 << 40), (-5, -(1 << 40))] {
+            for inclusive in [false, true] {
+                assert_eq!(hs.aggregate_below(m, c, inclusive), brute_agg(&pts, m, c, inclusive));
+            }
+        }
+        // A query covering everything must answer mostly from certificates.
+        let ((count, _), st) = hs.aggregate_below_stats(0, i64::MAX / 2, true);
+        assert_eq!(count as usize, pts.len());
+        assert!(st.clusters_skipped > 0, "all-covering query should skip clusters");
+        assert!(
+            st.clusters_read < hs.query_below_stats(0, i64::MAX / 2, true).1.clusters_read,
+            "aggregate path must read fewer clusters than the report path"
+        );
+    }
+
+    #[test]
+    fn aggregates_survive_save_load() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let pts = pseudo_points(600, 5, 100_000);
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        let mut w = MetaWriter::new();
+        hs.save(&mut w);
+        let mut r = MetaReader::from_bytes(w.into_bytes()).unwrap();
+        let back = HalfspaceRS2::load(&dev, &mut r).unwrap();
+        r.finish().unwrap();
+        for (m, c, inclusive) in [(3, 50_000, true), (-40, -1, false), (0, 0, true)] {
+            assert_eq!(back.aggregate_below(m, c, inclusive), hs.aggregate_below(m, c, inclusive));
+            assert_eq!(back.top_k(m, c, 7), hs.top_k(m, c, 7));
+        }
+    }
+
+    #[test]
+    fn top_k_matches_brute_force() {
+        let dev = Device::new(DeviceConfig::new(256, 0));
+        let mut pts = pseudo_points(700, 31, 100_000);
+        for i in 0..30 {
+            let p = pts[i * 11];
+            pts.push(p); // ties across duplicates break by id
+        }
+        let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+        let mut s = 13u64;
+        let mut next = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 33) as i64).rem_euclid(4000) - 2000
+        };
+        for t in 0..40 {
+            let (m, c) = (next(), next() * 100);
+            let k = (t % 9) + 1;
+            assert_eq!(hs.top_k(m, c, k), brute_topk(&pts, m, c, k), "m={m} c={c} k={k}");
+        }
+        // k larger than the candidate set returns everything, still ordered.
+        assert_eq!(hs.top_k(1, i64::MAX / 2, 10_000).len(), pts.len());
+        assert_eq!(hs.top_k(1, i64::MIN / 2, 5), brute_topk(&pts, 1, i64::MIN / 2, 5));
     }
 
     #[test]

@@ -527,6 +527,76 @@ impl LeveledHalfspace2 {
         (out, stats)
     }
 
+    /// Visit every live point `(x, y, tag)` host-side: level inputs and
+    /// the delta buffer are in memory anyway (they are catalog state), so
+    /// the live tier answers the derived query classes by exact
+    /// enumeration — zero device IOs, exactness over asymptotics. The
+    /// frozen snapshot levels behind the engine's `LiveIndex` take the
+    /// annotated/lifted fast paths instead.
+    fn for_each_live(&self, mut f: impl FnMut(i64, i64, u64)) {
+        let draining_levels = self.draining.iter().flat_map(|d| d.levels.iter());
+        for level in self.levels.iter().chain(draining_levels) {
+            for &(x, y, tag) in level.points.iter() {
+                if !self.delta.is_dead(tag) {
+                    f(x, y, tag);
+                }
+            }
+        }
+        if let Some(d) = &self.draining {
+            for &(x, y, tag) in &d.buffer {
+                if !self.delta.is_dead(tag) {
+                    f(x, y, tag);
+                }
+            }
+        }
+        for &(x, y, tag) in self.delta.buffer() {
+            f(x, y, tag);
+        }
+    }
+
+    /// Count and weight-sum (`Σ x + y`, exact in `i128`) of live points
+    /// below `y = m·x + c`.
+    pub fn aggregate_below(&self, m: i64, c: i64, inclusive: bool) -> (u64, i128) {
+        let (mut count, mut wsum) = (0u64, 0i128);
+        self.for_each_live(|x, y, _| {
+            let rhs = m as i128 * x as i128 + c as i128;
+            let hit = if inclusive { y as i128 <= rhs } else { (y as i128) < rhs };
+            if hit {
+                count += 1;
+                wsum += x as i128 + y as i128;
+            }
+        });
+        (count, wsum)
+    }
+
+    /// The `k` live points with the lowest key `y − m·x` among those with
+    /// key ≤ `c` (always inclusive), as tags ordered by `(key, tag)`.
+    pub fn top_k(&self, m: i64, c: i64, k: usize) -> Vec<u64> {
+        let mut cand: Vec<(i128, u64)> = Vec::new();
+        self.for_each_live(|x, y, tag| {
+            let key = y as i128 - m as i128 * x as i128;
+            if key <= c as i128 {
+                cand.push((key, tag));
+            }
+        });
+        cand.sort_unstable();
+        cand.truncate(k);
+        cand.into_iter().map(|(_, tag)| tag).collect()
+    }
+
+    /// Tags of live points inside the disk of center `(x, y)` and squared
+    /// radius `r2` — exact for arbitrary `i64` coordinates (carry-aware
+    /// `u128` distances, [`lcrs_geom::lift::in_disk`]).
+    pub fn disk_report(&self, x: i64, y: i64, r2: i64, inclusive: bool) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.for_each_live(|px, py, tag| {
+            if lcrs_geom::lift::in_disk(x, y, r2, px, py, inclusive) {
+                out.push(tag);
+            }
+        });
+        out
+    }
+
     /// Serialize the catalog state: every level (its structure *and* its
     /// build input, which rebuilds need), the insert buffer, and the
     /// tombstone set (sorted so equal states serialize to equal bytes).
@@ -756,6 +826,62 @@ mod tests {
         assert_eq!(core.len(), model.len());
         // The fork taken before commit still answers from the old state.
         check(&fork, &model);
+    }
+
+    fn check_derived(core: &LeveledHalfspace2, model: &BTreeMap<u64, (i64, i64)>) {
+        // Aggregates, top-k, and disks against the model — the derived
+        // query classes must see exactly the live set, even mid-merge.
+        for (m, c) in [(3i64, 500i64), (-2, -100), (0, 0)] {
+            let got = core.aggregate_below(m, c, true);
+            let mut want = (0u64, 0i128);
+            let mut keys: Vec<(i128, u64)> = Vec::new();
+            for (&t, &(x, y)) in model {
+                let key = y as i128 - m as i128 * x as i128;
+                if key <= c as i128 {
+                    want.0 += 1;
+                    want.1 += x as i128 + y as i128;
+                    keys.push((key, t));
+                }
+            }
+            assert_eq!(got, want, "aggregate m={m} c={c}");
+            keys.sort_unstable();
+            keys.truncate(7);
+            let want_top: Vec<u64> = keys.into_iter().map(|(_, t)| t).collect();
+            assert_eq!(core.top_k(m, c, 7), want_top, "top_k m={m} c={c}");
+        }
+        for (x, y, r2) in [(0i64, 0i64, 40_000i64), (100, -100, 10_000), (0, 0, -1)] {
+            let mut got = core.disk_report(x, y, r2, true);
+            got.sort_unstable();
+            let mut want: Vec<u64> = model
+                .iter()
+                .filter(|(_, &(px, py))| lcrs_geom::lift::in_disk(x, y, r2, px, py, true))
+                .map(|(&t, _)| t)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "disk ({x},{y},{r2})");
+        }
+    }
+
+    #[test]
+    fn derived_queries_match_model_even_mid_merge() {
+        let (_anchor, mut core) = per_level_core();
+        let mut model = BTreeMap::new();
+        for t in 0..303u64 {
+            let (x, y) = ((t as i64 * 37) % 500 - 250, (t as i64 * 91) % 500 - 250);
+            core.insert(x, y, t);
+            model.insert(t, (x, y));
+        }
+        check_derived(&core, &model);
+        let handle = core.begin_background_merge().expect("merge input");
+        for t in 400..430u64 {
+            core.insert(t as i64, -(t as i64), t);
+            model.insert(t, (t as i64, -(t as i64)));
+        }
+        assert!(core.remove(5));
+        model.remove(&5);
+        check_derived(&core, &model); // draining levels + buffer + tombstones
+        core.commit_background_merge(handle);
+        check_derived(&core, &model);
     }
 
     #[test]

@@ -138,6 +138,27 @@ impl ShardRegion2 {
         }
     }
 
+    /// Conservative routing test: can a point of this shard lie inside
+    /// the disk of center `(x, y)` and squared radius `r2`? Clamps the
+    /// center to the bounding box (the box point nearest the center) and
+    /// compares the exact carry-aware squared distance
+    /// ([`lcrs_geom::lift::dist2_carry`]) against `r2` — never a false
+    /// negative because every shard point lies inside the box.
+    pub fn may_intersect_disk(&self, x: i64, y: i64, r2: i64, inclusive: bool) -> bool {
+        if r2 < 0 {
+            return false;
+        }
+        let cx = x.clamp(self.lo.0, self.hi.0);
+        let cy = y.clamp(self.lo.1, self.hi.1);
+        let d2 = lcrs_geom::lift::dist2_carry(x, y, cx, cy);
+        let r2 = (false, r2 as u128);
+        if inclusive {
+            d2 <= r2
+        } else {
+            d2 < r2
+        }
+    }
+
     fn save(&self, w: &mut MetaWriter) {
         w.seq(self.constraints.len());
         for c in &self.constraints {
@@ -623,6 +644,30 @@ mod tests {
                         assert!(
                             region.may_intersect_halfplane(m, c, inclusive),
                             "pruned a shard holding an answer (m={m} c={c})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disk_routing_has_no_false_negatives() {
+        let pts = pseudo2(300, 21);
+        let p = partition2(&pts, 8);
+        for (x, y, r2) in
+            [(0i64, 0i64, 1_000_000i64), (500, -500, 250_000), (-3, 7, 0), (1000, 1000, -1)]
+        {
+            for inclusive in [false, true] {
+                for (g, region) in p.groups.iter().zip(&p.regions) {
+                    let has_answer = g.iter().any(|&i| {
+                        let (px, py) = pts[i as usize];
+                        lcrs_geom::lift::in_disk(x, y, r2, px, py, inclusive)
+                    });
+                    if has_answer {
+                        assert!(
+                            region.may_intersect_disk(x, y, r2, inclusive),
+                            "pruned a shard holding an answer (disk ({x},{y},{r2}))"
                         );
                     }
                 }

@@ -442,6 +442,108 @@ pub fn knn_mixed(
         .collect()
 }
 
+/// A seeded batch of `len` *mixed* disk queries `(x, y, r2, inclusive)`
+/// over 2D `pts` — the circular-range leg of the oracle workload
+/// (DESIGN.md §15), mirroring [`halfplane_mixed`]'s diversity contract:
+/// centers jittered around data points (queries land where the data
+/// lives), squared radii spanning degenerate (`r2 = 0`, only an exact
+/// center hit) through `r_max²`, with every 8th query's radius set to the
+/// *exact* squared distance of a data point so the strict/inclusive
+/// boundary distinction is exercised, strictness interleaved.
+/// Deterministic and prefix-stable in `(pts, len, r_max, seed)`.
+pub fn disk_mixed(
+    pts: &[(i64, i64)],
+    len: usize,
+    r_max: i64,
+    seed: u64,
+) -> Vec<(i64, i64, i64, bool)> {
+    assert!(!pts.is_empty() && (1..=1 << 30).contains(&r_max));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd15c);
+    (0..len)
+        .map(|i| {
+            let (px, py) = pts[rng.gen_range(0..pts.len())];
+            let jitter = r_max / 4 + 1;
+            let x = px.saturating_add(rng.gen_range(-jitter..=jitter));
+            let y = py.saturating_add(rng.gen_range(-jitter..=jitter));
+            let r2 = match i % 8 {
+                0 => 0,
+                1 => {
+                    // Boundary case: squared distance to a data point, so
+                    // strict and inclusive variants genuinely differ.
+                    let (qx, qy) = pts[rng.gen_range(0..pts.len())];
+                    let (dx, dy) = (x as i128 - qx as i128, y as i128 - qy as i128);
+                    i64::try_from(dx * dx + dy * dy).unwrap_or(r_max * r_max)
+                }
+                _ => {
+                    let r = rng.gen_range(1..=r_max);
+                    r * r
+                }
+            };
+            (x, y, r2, rng.gen_range(0u32..2) == 1)
+        })
+        .collect()
+}
+
+/// A seeded batch of `len` *mixed* aggregate queries
+/// `(m, c, inclusive, sum)` over 2D `pts` — the count/sum leg of the
+/// oracle workload (DESIGN.md §15). The halfplane material mirrors
+/// [`halfplane_mixed`] exactly (same selectivity schedule from empty
+/// through half the input, strictness interleaved); the trailing flag
+/// alternates deterministically between count (`false`) and weight-sum
+/// (`true`) so both aggregate classes get equal coverage. Deterministic
+/// and prefix-stable in `(pts, len, slope, seed)`.
+pub fn aggregate_mixed(
+    pts: &[(i64, i64)],
+    len: usize,
+    slope: i64,
+    seed: u64,
+) -> Vec<(i64, i64, bool, bool)> {
+    assert!(!pts.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa66a);
+    (0..len)
+        .map(|i| {
+            let t = match i % 8 {
+                0 => 0,
+                1 => 1,
+                2 => pts.len().min(2),
+                _ => rng.gen_range(0..=pts.len() / 2),
+            };
+            let (m, c) = halfplane_with_selectivity(pts, t, slope, seed ^ ((i as u64) << 7));
+            (m, c, rng.gen_range(0u32..2) == 1, i % 2 == 1)
+        })
+        .collect()
+}
+
+/// A seeded batch of `len` *mixed* top-k queries `(m, c, k)` over 2D
+/// `pts` — the ranked-reporting leg of the oracle workload
+/// (DESIGN.md §15): candidate thresholds follow the
+/// [`halfplane_mixed`] selectivity schedule (so some queries admit no
+/// candidate at all and some admit far more than `k`, exercising both
+/// truncation and short answers), `k` drawn from `1..=k_max`.
+/// Deterministic and prefix-stable in `(pts, len, slope, k_max, seed)`.
+pub fn topk_mixed(
+    pts: &[(i64, i64)],
+    len: usize,
+    slope: i64,
+    k_max: usize,
+    seed: u64,
+) -> Vec<(i64, i64, usize)> {
+    assert!(!pts.is_empty() && k_max >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x709b);
+    (0..len)
+        .map(|i| {
+            let t = match i % 8 {
+                0 => 0,
+                1 => 1,
+                2 => pts.len().min(2),
+                _ => rng.gen_range(0..=pts.len() / 2),
+            };
+            let (m, c) = halfplane_with_selectivity(pts, t, slope, seed ^ ((i as u64) << 7));
+            (m, c, 1 + rng.gen_range(0..k_max))
+        })
+        .collect()
+}
+
 /// A sequential *page-sweep* trace of `len` halfplane queries `(m, c)`:
 /// one shared slope, selectivity climbing by a constant `stride` per query
 /// from 0 (clamped at n), emitted in submission order. Consecutive answer
@@ -817,6 +919,78 @@ mod tests {
         assert!(batch.iter().all(|&(x, y, _)| pts
             .iter()
             .any(|&(px, py)| (x - px).abs() <= 21 && (y - py).abs() <= 21)));
+    }
+
+    #[test]
+    fn disk_mixed_is_deterministic_and_diverse() {
+        let pts = points2(Dist2::Uniform, 400, 1000, 18);
+        let batch = disk_mixed(&pts, 64, 200, 24);
+        assert_eq!(batch.len(), 64);
+        assert_eq!(batch, disk_mixed(&pts, 64, 200, 24));
+        assert_ne!(batch, disk_mixed(&pts, 64, 200, 25), "seed must matter");
+        assert_eq!(&batch[..9], &disk_mixed(&pts, 9, 200, 24)[..], "prefix-stable");
+        assert!(batch.iter().any(|&(_, _, _, inc)| inc));
+        assert!(batch.iter().any(|&(_, _, _, inc)| !inc));
+        assert!(batch.iter().all(|&(_, _, r2, _)| r2 >= 0));
+        assert!(batch.iter().any(|&(_, _, r2, _)| r2 == 0), "degenerate disk present");
+        // Boundary radii (i % 8 == 1) hit a data point's exact squared
+        // distance, so some answers differ between strictness variants.
+        let in_count = |&(x, y, r2, inc): &(i64, i64, i64, bool)| {
+            pts.iter()
+                .filter(|&&(px, py)| {
+                    let (dx, dy) = (x as i128 - px as i128, y as i128 - py as i128);
+                    let d2 = dx * dx + dy * dy;
+                    if inc {
+                        d2 <= r2 as i128
+                    } else {
+                        d2 < r2 as i128
+                    }
+                })
+                .count()
+        };
+        assert!(
+            batch
+                .iter()
+                .any(|&(x, y, r2, _)| in_count(&(x, y, r2, true)) != in_count(&(x, y, r2, false))),
+            "some radius must land exactly on a point"
+        );
+        assert!(batch.iter().map(in_count).any(|t| t >= 3), "must include a heavy disk");
+    }
+
+    #[test]
+    fn aggregate_mixed_is_deterministic_and_diverse() {
+        let pts = points2(Dist2::Uniform, 400, 100_000, 19);
+        let batch = aggregate_mixed(&pts, 64, 40, 26);
+        assert_eq!(batch.len(), 64);
+        assert_eq!(batch, aggregate_mixed(&pts, 64, 40, 26));
+        assert_ne!(batch, aggregate_mixed(&pts, 64, 40, 27), "seed must matter");
+        assert_eq!(&batch[..9], &aggregate_mixed(&pts, 9, 40, 26)[..], "prefix-stable");
+        // Count and sum alternate exactly; both strictness variants occur.
+        assert_eq!(batch.iter().filter(|&&(_, _, _, sum)| sum).count(), 32);
+        assert!(batch.iter().any(|&(_, _, inc, _)| inc));
+        assert!(batch.iter().any(|&(_, _, inc, _)| !inc));
+        let counts: Vec<usize> =
+            batch.iter().map(|&(m, c, _, _)| count_below2(&pts, m, c)).collect();
+        assert!(counts.contains(&0), "must include an empty aggregate");
+        assert!(counts.iter().any(|&t| t >= 100), "must include a heavy aggregate");
+    }
+
+    #[test]
+    fn topk_mixed_is_deterministic_and_diverse() {
+        let pts = points2(Dist2::Uniform, 400, 100_000, 20);
+        let batch = topk_mixed(&pts, 64, 40, 12, 28);
+        assert_eq!(batch.len(), 64);
+        assert_eq!(batch, topk_mixed(&pts, 64, 40, 12, 28));
+        assert_ne!(batch, topk_mixed(&pts, 64, 40, 12, 29), "seed must matter");
+        assert_eq!(&batch[..9], &topk_mixed(&pts, 9, 40, 12, 28)[..], "prefix-stable");
+        assert!(batch.iter().all(|&(_, _, k)| (1..=12).contains(&k)));
+        let ks: std::collections::HashSet<usize> = batch.iter().map(|&(_, _, k)| k).collect();
+        assert!(ks.len() >= 5, "k must vary, saw {ks:?}");
+        // The selectivity schedule spans empty through far-more-than-k
+        // candidate pools (truncation and short answers both exercised).
+        let counts: Vec<usize> = batch.iter().map(|&(m, c, _)| count_below2(&pts, m, c)).collect();
+        assert!(counts.contains(&0), "must include a no-candidate query");
+        assert!(counts.iter().any(|&t| t >= 100), "must include a truncating query");
     }
 
     #[test]

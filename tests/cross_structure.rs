@@ -10,7 +10,7 @@
 //! change can't silently corrupt answers.
 
 use lcrs::baselines::{ExternalKdTree, ExternalScan, ExternalScan3, StrRTree};
-use lcrs::engine::{load_index, Query, RangeIndex};
+use lcrs::engine::{load_index, LiftedIndex, LiftedKind, Query, RangeIndex};
 use lcrs::extmem::{Device, DeviceConfig, MetaReader, MetaWriter, TempDir};
 use lcrs::geom::point::{HyperplaneD, PointD};
 use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
@@ -19,9 +19,10 @@ use lcrs::halfspace::ptree::{PTreeConfig, PartitionTree, Partitioner};
 use lcrs::halfspace::tradeoff::{HybridConfig, HybridTree3, ShallowConfig, ShallowTree3};
 use lcrs::halfspace::{DynamicHalfspace2, KnnStructure};
 use lcrs::workloads::{
-    halfplane_mixed, halfplane_with_selectivity, halfspace3_with_selectivity, points2, points3,
-    Dist2, Dist3,
+    aggregate_mixed, disk_mixed, halfplane_mixed, halfplane_with_selectivity,
+    halfspace3_with_selectivity, points2, points3, topk_mixed, Dist2, Dist3,
 };
+use lcrs_bench::brute_answer;
 
 fn sorted(mut v: Vec<u32>) -> Vec<u32> {
     v.sort_unstable();
@@ -277,6 +278,72 @@ fn differential_oracle_3d_and_knn_200_mixed_queries() {
         let want: Vec<u64> = d.into_iter().take(k).map(|(_, i)| i).collect();
         check_against_reference(&q, &want, &in_memory_k, &reopened_k, true, &format!("knn-q{qi}"));
     }
+}
+
+#[test]
+fn differential_oracle_derived_classes_500_mixed_queries() {
+    // The DESIGN.md §15 leg of the oracle: 300 disk + 100 count/sum +
+    // 100 top-k queries over every capable 2D structure — the annotated
+    // hs2d/kd-tree, the scan, the dynamic tier, the k-NN structure's
+    // in-budget disk path, and all four lifted backends — in-memory and
+    // reopened from a snapshot, against host-side brute force (exact
+    // i128 arithmetic, `lcrs_bench::brute_answer`).
+    let dir = TempDir::new("lcrs-oracle-lift");
+    let pts = points2(Dist2::Clustered, 900, 1000, 23);
+    let dev = Device::new(DeviceConfig::new(512, 0));
+    let hs = HalfspaceRS2::build(&dev, &pts, Hs2dConfig::default());
+    let kd = ExternalKdTree::build(&dev, &pts);
+    let sc = ExternalScan::build(&dev, &pts);
+    let knn = KnnStructure::build(&dev, &pts, Hs3dConfig::default());
+    let mut dy = DynamicHalfspace2::new(&dev, Hs2dConfig::default());
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        dy.insert(x, y, i as u64); // tags = indices, comparable to brute
+    }
+    let l_hs3d = LiftedIndex::build(&dev, &pts, LiftedKind::Hs3d);
+    let l_hybrid = LiftedIndex::build(&dev, &pts, LiftedKind::Hybrid);
+    let l_shallow = LiftedIndex::build(&dev, &pts, LiftedKind::Shallow);
+    let l_scan3 = LiftedIndex::build(&dev, &pts, LiftedKind::Scan3);
+    let in_memory: Vec<&dyn RangeIndex> =
+        vec![&hs, &kd, &sc, &knn, &dy, &l_hs3d, &l_hybrid, &l_shallow, &l_scan3];
+    let reopened = reopen_all(&dir, "oraclelift", &dev, &in_memory);
+
+    let mut queries: Vec<Query> = Vec::with_capacity(500);
+    queries.extend(
+        disk_mixed(&pts, 300, 200, 24).into_iter().map(|(x, y, r2, inclusive)| Query::Disk {
+            x,
+            y,
+            r2,
+            inclusive,
+        }),
+    );
+    queries.extend(aggregate_mixed(&pts, 100, 40, 25).into_iter().map(|(m, c, inclusive, sum)| {
+        if sum {
+            Query::Sum { m, c, inclusive }
+        } else {
+            Query::Count { m, c, inclusive }
+        }
+    }));
+    queries.extend(topk_mixed(&pts, 100, 40, 16, 26).into_iter().map(|(m, c, k)| Query::TopK {
+        m,
+        c,
+        k,
+    }));
+    assert_eq!(queries.len(), 500);
+
+    let mut disks_on_lifted = 0usize;
+    for (qi, q) in queries.iter().enumerate() {
+        let want = brute_answer(q, &pts, &[]);
+        // Ranked answers (top-k) and scalar encodings (count, sum words)
+        // compare verbatim; disk reports compare as sorted id sets.
+        let ordered = q.is_ranked() || q.is_aggregate();
+        check_against_reference(q, &want, &in_memory, &reopened, ordered, &format!("lift-q{qi}"));
+        if l_hs3d.supports(q) && matches!(q, Query::Disk { .. }) {
+            disks_on_lifted += 1;
+        }
+    }
+    // The lifted backends must actually participate: every disk query here
+    // has an in-budget center, so none may fall back to scan-only support.
+    assert_eq!(disks_on_lifted, 300, "lifted index must cover the whole disk leg");
 }
 
 #[test]

@@ -1,10 +1,12 @@
-//! Acceptance + property suite for the cost-model query planner (ISSUE 5).
+//! Acceptance + property suite for the cost-model query planner (ISSUE 5;
+//! derived query classes per DESIGN.md §15).
 //!
-//! The shared fixture is an eleven-structure [`IndexSet`] over one 2D and one
-//! 3D dataset — every `RangeIndex` structure in the workspace plus the
-//! scan baselines covering all three query classes — calibrated by a
-//! measured probe pass, and a mixed 500-query oracle workload (300
-//! halfplane + 120 halfspace + 80 k-NN, interleaved).
+//! The shared fixture is a fifteen-structure [`IndexSet`] over one 2D and
+//! one 3D dataset — every `RangeIndex` structure in the workspace (now
+//! including the four lifted-disk backends) plus the scan baselines
+//! covering all six query classes — calibrated by a measured probe pass,
+//! and a mixed 500-query oracle workload (180 halfplane + 80 halfspace +
+//! 60 k-NN + 72 disk + 72 count/sum + 36 top-k, interleaved).
 //!
 //! Pinned here:
 //! * planned answers are bit-identical to routing every query through the
@@ -28,7 +30,7 @@ use lcrs::engine::{BatchExecutor, IndexSet, Plan, Query, QueryStatus, SnapshotCa
 use lcrs::extmem::{Device, DeviceConfig, ReopenBackend, TempDir};
 use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
 use lcrs::workloads::{points2, points3, Dist2, Dist3};
-use lcrs_bench::{brute_answer, canon_answer, full_index_set, mixed_oracle, mixed_probes};
+use lcrs_bench::{brute_answer, canon_answer, full_index_set, lifted_oracle, lifted_probes};
 use proptest::prelude::*;
 
 const PAGE: usize = 1024;
@@ -51,20 +53,21 @@ fn build_state() -> State {
     let pts2 = points2(Dist2::Clustered, N2, 1000, 61);
     let pts3 = points3(Dist3::Uniform, N3, 1 << 16, 62);
 
-    // The canonical eleven-structure fixture, shared with exp_planner
+    // The canonical fifteen-structure fixture, shared with exp_planner
     // (slot order is load-bearing for tie-breaking — scans sit last).
     let dev2 = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
     let dev3 = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
     let mut set = full_index_set(&dev2, &dev3, &pts2, &pts3);
 
-    // The measured probe pass, on seeds disjoint from the workload.
-    set.calibrate(&mixed_probes(&pts2, &pts3, 81));
+    // The measured probe pass, on seeds disjoint from the workload; the
+    // aggregate probes populate the dual calibration's aggregate side.
+    set.calibrate(&lifted_probes(&pts2, &pts3, 81));
 
-    // The mixed 500-query oracle workload: 300 halfplane + 120 halfspace +
-    // 80 k-NN, deterministically interleaved — the same construction as
+    // The mixed 500-query oracle workload across all six query classes,
+    // deterministically interleaved — the same construction as
     // exp_planner's (the query coefficients differ with the dataset, which
     // is smaller here).
-    let queries = mixed_oracle(&pts2, &pts3, (300, 120, 80), 71);
+    let queries = lifted_oracle(&pts2, &pts3, (180, 80, 60, 72, 72, 36), 71);
     assert_eq!(queries.len(), 500);
     let reference: Vec<Vec<u64>> = queries.iter().map(|q| brute_answer(q, &pts2, &pts3)).collect();
     State { devices: vec![dev2, dev3], set, queries, reference }

@@ -1,8 +1,10 @@
 //! Acceptance suite for the space-partitioned `ShardedIndexSet` (ISSUE 6).
 //!
 //! The fixture mirrors the planner suite exactly — the same 2D + 3D
-//! datasets, the canonical eleven-structure `full_index_set` per shard,
-//! the same probe pass, and the same mixed 500-query oracle workload —
+//! datasets, the canonical fifteen-structure `full_index_set` per shard,
+//! the same probe pass, and the same mixed six-class 500-query oracle
+//! workload (halfplane, halfspace, k-NN, plus the DESIGN.md §15 disk /
+//! count / sum / top-k classes) —
 //! and adds sharded sets at S ∈ {1, 2, 4, 8} over the *same* logical
 //! dataset.
 //!
@@ -30,7 +32,7 @@ use lcrs::engine::{
 };
 use lcrs::extmem::{Device, DeviceConfig, IoDelta, TempDir};
 use lcrs::workloads::{halfplane_narrow, points2, points3, Dist2, Dist3};
-use lcrs_bench::{brute_answer, canon_answer, full_index_set, mixed_oracle, mixed_probes};
+use lcrs_bench::{brute_answer, canon_answer, full_index_set, lifted_oracle, lifted_probes};
 
 const PAGE: usize = 1024;
 const CACHE_PAGES: usize = 12;
@@ -53,7 +55,7 @@ struct State {
 fn build_state() -> State {
     let pts2 = points2(Dist2::Clustered, N2, 1000, 61);
     let pts3 = points3(Dist3::Uniform, N3, 1 << 16, 62);
-    let probes = mixed_probes(&pts2, &pts3, 81);
+    let probes = lifted_probes(&pts2, &pts3, 81);
 
     let dev2 = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
     let dev3 = Device::new(DeviceConfig::new(PAGE, CACHE_PAGES));
@@ -78,13 +80,13 @@ fn build_state() -> State {
         })
         .collect();
 
-    let queries = mixed_oracle(&pts2, &pts3, (300, 120, 80), 71);
+    let queries = lifted_oracle(&pts2, &pts3, (180, 80, 60, 72, 72, 36), 71);
     assert_eq!(queries.len(), 500);
     let reference: Vec<Vec<u64>> = queries.iter().map(|q| brute_answer(q, &pts2, &pts3)).collect();
     State { _devices: vec![dev2, dev3], unsharded, tiers, pts2, queries, reference }
 }
 
-/// The fixture is expensive (eleven structure builds × 16 shards) and IO
+/// The fixture is expensive (fifteen structure builds × 16 shards) and IO
 /// is measured on shared device scopes, so tests serialize on one mutex.
 fn state() -> MutexGuard<'static, State> {
     static STATE: OnceLock<Mutex<State>> = OnceLock::new();

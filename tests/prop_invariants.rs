@@ -6,12 +6,30 @@
 //! * the greedy clustering respects the Lemma 3.2 bounds for arbitrary k;
 //! * box classification agrees with corner enumeration in any dimension.
 
+use lcrs::engine::{LiftedIndex, LiftedKind};
 use lcrs::extmem::btree::BPlusTree;
 use lcrs::extmem::{Device, DeviceConfig};
+use lcrs::geom::lift::MAX_DISK_CENTER;
 use lcrs::geom::point::{BoxSide, HyperplaneD, PointD};
 use lcrs::halfspace::hs2d::{HalfspaceRS2, Hs2dConfig};
 use lcrs::halfspace::hs3d::{HalfspaceRS3, Hs3dConfig};
 use proptest::prelude::*;
+
+/// Promote ~half of `pts` to out-of-lift-budget coordinates — up to the
+/// `i64` extremes — per the selector mask: the tail path of the lifted
+/// index must stay exact for any representable point.
+fn with_extremes(pts: &[(i64, i64)], mask: &[u8]) -> Vec<(i64, i64)> {
+    pts.iter()
+        .zip(mask.iter().chain(std::iter::repeat(&0)))
+        .map(|(&(x, y), &m)| match m {
+            4 => (i64::MAX, y),
+            5 => (i64::MIN, y),
+            6 => (x, 1 << 40),
+            7 => (-(1 << 40), i64::MIN),
+            _ => (x, y),
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -51,6 +69,52 @@ proptest! {
             }).map(|(i, _)| i as u32).collect();
             want.sort_unstable();
             prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn lifted_disk_matches_brute_force_including_extremes(
+        base in prop::collection::vec((-3000i64..3000, -3000i64..3000), 1..60),
+        mask in prop::collection::vec(0u8..8, 1..60),
+        queries in prop::collection::vec(
+            (
+                -MAX_DISK_CENTER..=MAX_DISK_CENTER,
+                -MAX_DISK_CENTER..=MAX_DISK_CENTER,
+                -10i64..40_000_000,
+                0u8..8,
+                any::<bool>(),
+            ),
+            1..6,
+        ),
+    ) {
+        // Every lifted backend must agree with exact i128 membership for
+        // any representable points — out-of-budget ones ride the tail —
+        // and any in-budget center, including negative and huge r².
+        let pts = with_extremes(&base, &mask);
+        let dev = Device::new(DeviceConfig::new(512, 0));
+        let lifted: Vec<LiftedIndex> =
+            [LiftedKind::Hs3d, LiftedKind::Hybrid, LiftedKind::Shallow, LiftedKind::Scan3]
+                .into_iter()
+                .map(|kind| LiftedIndex::build(&dev, &pts, kind))
+                .collect();
+        for &(x, y, r2_raw, r2_sel, inclusive) in &queries {
+            let r2 = match r2_sel {
+                6 => i64::MAX,
+                7 => 1 << 62,
+                _ => r2_raw,
+            };
+            let mut want: Vec<u64> = pts.iter().enumerate().filter(|(_, &(px, py))| {
+                let (dx, dy) = (x as i128 - px as i128, y as i128 - py as i128);
+                let d2 = dx * dx + dy * dy;
+                if inclusive { d2 <= r2 as i128 } else { d2 < r2 as i128 }
+            }).map(|(i, _)| i as u64).collect();
+            want.sort_unstable();
+            for index in &lifted {
+                let mut got = index.disk_report(x, y, r2, inclusive);
+                got.sort_unstable();
+                prop_assert_eq!(&got, &want, "{} on ({}, {}, r2={}, inc={})",
+                    lcrs::engine::RangeIndex::name(index), x, y, r2, inclusive);
+            }
         }
     }
 

@@ -3,8 +3,8 @@
 //! (distribution, n, range, seed).
 
 use lcrs::workloads::{
-    halfplane_mixed, halfplane_with_selectivity, halfspace3_with_selectivity, knn_batch, points2,
-    points3, BatchShape, Dist2, Dist3,
+    aggregate_mixed, disk_mixed, halfplane_mixed, halfplane_with_selectivity,
+    halfspace3_with_selectivity, knn_batch, points2, points3, topk_mixed, BatchShape, Dist2, Dist3,
 };
 
 const ALL_DIST2: [Dist2; 5] =
@@ -68,4 +68,28 @@ fn query_generators_are_deterministic_per_seed() {
     // across processes (it pins snapshot answers against it).
     assert_eq!(halfplane_mixed(&pts2, 96, 40, 13), halfplane_mixed(&pts2, 96, 40, 13));
     assert_ne!(halfplane_mixed(&pts2, 96, 40, 13), halfplane_mixed(&pts2, 96, 40, 14));
+}
+
+#[test]
+fn derived_class_generators_are_deterministic_and_prefix_stable() {
+    // The DESIGN.md §15 legs (disk, count/sum, top-k) follow the same
+    // reproducibility contract as the base generators: byte-for-byte
+    // deterministic per seed, seed-sensitive, and prefix-stable — the
+    // first k queries of one seed agree whatever the requested length, so
+    // a recorded experiment name plus a seed identifies its workload.
+    let pts = points2(Dist2::Clustered, 400, 1000, 6);
+    let disks = disk_mixed(&pts, 128, 200, 41);
+    assert_eq!(disks, disk_mixed(&pts, 128, 200, 41));
+    assert_ne!(disks, disk_mixed(&pts, 128, 200, 42), "seed must matter");
+    assert_eq!(&disks[..17], &disk_mixed(&pts, 17, 200, 41)[..], "prefix-stable");
+
+    let aggs = aggregate_mixed(&pts, 128, 40, 43);
+    assert_eq!(aggs, aggregate_mixed(&pts, 128, 40, 43));
+    assert_ne!(aggs, aggregate_mixed(&pts, 128, 40, 44), "seed must matter");
+    assert_eq!(&aggs[..17], &aggregate_mixed(&pts, 17, 40, 43)[..], "prefix-stable");
+
+    let topks = topk_mixed(&pts, 128, 40, 16, 45);
+    assert_eq!(topks, topk_mixed(&pts, 128, 40, 16, 45));
+    assert_ne!(topks, topk_mixed(&pts, 128, 40, 16, 46), "seed must matter");
+    assert_eq!(&topks[..17], &topk_mixed(&pts, 17, 40, 16, 45)[..], "prefix-stable");
 }
